@@ -1,0 +1,128 @@
+package sigil
+
+// End-to-end CLI integration: build the command binaries once and drive the
+// profile → post-process pipeline through real files, the way a user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	sigilBin := buildCmd(t, dir, "sigil")
+	partBin := buildCmd(t, dir, "sigil-part")
+	reuseBin := buildCmd(t, dir, "sigil-reuse")
+	critBin := buildCmd(t, dir, "sigil-critpath")
+
+	// List workloads.
+	if out := runCmd(t, sigilBin, "-list"); !strings.Contains(out, "streamcluster") {
+		t.Errorf("-list missing workloads:\n%s", out)
+	}
+
+	// Profile canneal with reuse tracking; save profile + events.
+	prof := filepath.Join(dir, "canneal.profile")
+	evt := filepath.Join(dir, "canneal.evt")
+	out := runCmd(t, sigilBin, "-workload", "canneal", "-reuse",
+		"-o", prof, "-events", evt, "-top", "5")
+	if !strings.Contains(out, "netlist::swap_locations") && !strings.Contains(out, "mul") {
+		t.Errorf("summary missing canneal functions:\n%s", out)
+	}
+
+	// Partition from the saved profile.
+	out = runCmd(t, partBin, "-profile", prof, "-top", "3")
+	if !strings.Contains(out, "S(breakeven)") || !strings.Contains(out, "coverage") {
+		t.Errorf("partition output malformed:\n%s", out)
+	}
+
+	// Reuse analysis from the same file.
+	out = runCmd(t, reuseBin, "-profile", prof, "-fn", "mul")
+	if !strings.Contains(out, "zero re-use") || !strings.Contains(out, "mul") {
+		t.Errorf("reuse output malformed:\n%s", out)
+	}
+
+	// Critical path from the saved event file, with scheduling.
+	out = runCmd(t, critBin, "-events", evt, "-slots", "2,4")
+	if !strings.Contains(out, "max parallelism") || !strings.Contains(out, "4 slots") &&
+		!strings.Contains(out, "4     ") {
+		t.Errorf("critpath output malformed:\n%s", out)
+	}
+
+	// Assemble-and-run path: write a .sasm file and profile it.
+	asm := filepath.Join(dir, "toy.sasm")
+	src := `
+.reserve buf 32
+func main {
+    movi r1, buf
+    movi r2, 7
+    store8 r1, 0, r2
+    call reader
+    halt
+}
+func reader {
+    load8 r3, r1, 0
+    ret
+}
+`
+	if err := os.WriteFile(asm, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCmd(t, sigilBin, "-asm", asm)
+	if !strings.Contains(out, "reader") {
+		t.Errorf("asm profile missing function:\n%s", out)
+	}
+}
+
+func TestCLIReportAndExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	reportBin := buildCmd(t, dir, "sigil-report")
+	expBin := buildCmd(t, dir, "experiments")
+
+	md := filepath.Join(dir, "report.md")
+	runCmd(t, reportBin, "-workload", "vips", "-o", md, "-slots", "2")
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Sigil analysis: vips", "conv_gen", "## Data re-use"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	if out := runCmd(t, expBin, "-only", "table1"); !strings.Contains(out, "Shadow object contents") {
+		t.Errorf("experiments table1 malformed:\n%s", out)
+	}
+	if out := runCmd(t, expBin, "-only", "memlimit"); !strings.Contains(out, "relative error") {
+		t.Errorf("experiments memlimit malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-only fig7] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sigil/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: table1, fig4..fig13, table2, table3, chains")
+	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
+	flag.Parse()
+
+	s := experiments.NewSuite()
+	s.TimingReps = *reps
+
+	run := func(name string, f func() (string, error)) {
+		if *only != "" && !strings.EqualFold(*only, name) {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if *only == "" {
+		out, err := s.RenderAll()
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		chains, err := s.CriticalPathChains()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		for name, chain := range chains {
+			fmt.Printf("%s §IV-C chain: %s\n", name, strings.Join(chain, " -> "))
+		}
+		return
+	}
+
+	run("table1", func() (string, error) { return experiments.TableI().Render(), nil })
+	run("fig4", func() (string, error) { r, err := s.Figure4(); return render(r, err) })
+	run("fig5", func() (string, error) { r, err := s.Figure5(); return render(r, err) })
+	run("fig6", func() (string, error) { r, err := s.Figure6(); return render(r, err) })
+	run("fig7", func() (string, error) { r, err := s.Figure7(); return render(r, err) })
+	run("table2", func() (string, error) { r, err := s.TableII(5); return render(r, err) })
+	run("table3", func() (string, error) { r, err := s.TableIII(5); return render(r, err) })
+	run("fig8", func() (string, error) { r, err := s.Figure8(); return render(r, err) })
+	run("fig9", func() (string, error) { r, err := s.Figure9(8); return render(r, err) })
+	run("fig10", func() (string, error) { r, err := s.Figure10(); return render(r, err) })
+	run("fig11", func() (string, error) { r, err := s.Figure11(); return render(r, err) })
+	run("fig12", func() (string, error) { r, err := s.Figure12(); return render(r, err) })
+	run("fig13", func() (string, error) { r, err := s.Figure13(); return render(r, err) })
+	run("schedule", func() (string, error) {
+		r, err := s.ScheduleCurve([]int{2, 4, 8, 16})
+		return render(r, err)
+	})
+	run("commaware", func() (string, error) {
+		r, err := s.CommAwareCurve(0.25)
+		return render(r, err)
+	})
+	run("memlimit", func() (string, error) {
+		r, err := s.MemoryLimitAccuracy("dedup", 12)
+		return render(r, err)
+	})
+	run("offload", func() (string, error) {
+		r, err := s.OffloadStudy(10)
+		return render(r, err)
+	})
+	run("chains", func() (string, error) {
+		chains, err := s.CriticalPathChains()
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		for name, chain := range chains {
+			fmt.Fprintf(&sb, "%s: %s\n", name, strings.Join(chain, " -> "))
+		}
+		return sb.String(), nil
+	})
+}
+
+func render(r interface{ Render() string }, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

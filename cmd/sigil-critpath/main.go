@@ -1,0 +1,107 @@
+// Command sigil-critpath post-processes a Sigil event file into dependency
+// chains: the critical path, its function chain, and the maximum
+// theoretical function-level parallelism (the paper's Fig 13 metric).
+//
+// Usage:
+//
+//	sigil-critpath -events out.evt
+//	sigil-critpath -workload streamcluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sigil/internal/core"
+	"sigil/internal/critpath"
+	"sigil/internal/trace"
+	"sigil/internal/workloads"
+)
+
+func main() {
+	var (
+		evtFile  = flag.String("events", "", "event file written by `sigil -events`")
+		workload = flag.String("workload", "", "trace this bundled workload instead")
+		class    = flag.String("class", "simsmall", "input class with -workload")
+		commCost = flag.Float64("opsperbyte", 0, "charge data edges at this many ops per byte")
+		slots    = flag.String("slots", "", "comma-separated slot counts to schedule onto (e.g. 2,4,8)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*evtFile, *workload, *class)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := critpath.AnalyzeWithComm(tr, critpath.CommConfig{OpsPerByte: *commCost})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serial length:      %d ops\n", a.SerialOps)
+	fmt.Printf("critical path:      %d ops over %d segments", a.CriticalOps, a.Segments)
+	if *commCost > 0 {
+		fmt.Printf(" (communication charged at %.2f ops/byte)", *commCost)
+	}
+	fmt.Println()
+	fmt.Printf("max parallelism:    %.2f\n", a.Parallelism())
+	if len(a.Chain) > 0 {
+		leafToMain := make([]string, len(a.Chain))
+		for i, fn := range a.Chain {
+			leafToMain[len(a.Chain)-1-i] = fn
+		}
+		fmt.Printf("critical chain:     %s\n", strings.Join(leafToMain, " -> "))
+	}
+	if *slots != "" {
+		fmt.Println("\nschedule onto bounded slots:")
+		fmt.Printf("  %-6s %12s %10s %12s %14s\n", "slots", "makespan", "speedup", "utilization", "cross-slot B")
+		for _, s := range strings.Split(*slots, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad slot count %q: %v", s, err))
+			}
+			r, err := critpath.Schedule(tr, n)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-6d %12d %10.2f %12.2f %14d\n",
+				n, r.Makespan, r.Speedup(), r.Utilization(), r.CrossSlotBytes)
+		}
+	}
+}
+
+func loadTrace(evtFile, workload, class string) (*trace.Trace, error) {
+	switch {
+	case evtFile != "" && workload != "":
+		return nil, fmt.Errorf("use either -events or -workload")
+	case evtFile != "":
+		f, err := os.Open(evtFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAll(f)
+	case workload != "":
+		c, err := workloads.ParseClass(class)
+		if err != nil {
+			return nil, err
+		}
+		prog, input, err := workloads.Build(workload, c)
+		if err != nil {
+			return nil, err
+		}
+		var buf trace.Buffer
+		if _, err := core.Run(prog, core.Options{Events: &buf}, input); err != nil {
+			return nil, err
+		}
+		return trace.FromBuffer(&buf), nil
+	default:
+		return nil, fmt.Errorf("need -events or -workload")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sigil-critpath:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command sigil-report profiles a workload and renders one complete
+// Markdown analysis: communication matrix, data-flow edges, partitioning
+// candidates, re-use characterization and the critical-path study.
+//
+// Usage:
+//
+//	sigil-report -workload dedup [-class simsmall] [-o report.md] [-slots 2,4,8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sigil/internal/cdfg"
+	"sigil/internal/core"
+	"sigil/internal/report"
+	"sigil/internal/trace"
+	"sigil/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "bundled workload name")
+		class    = flag.String("class", "simsmall", "input class")
+		out      = flag.String("o", "", "output file (default stdout)")
+		bus      = flag.Float64("bus", 8, "SoC bus bandwidth, bytes per cycle")
+		slotsArg = flag.String("slots", "2,4,8", "slot counts for the scheduling study")
+		top      = flag.Int("top", 12, "rows per table")
+	)
+	flag.Parse()
+	if *workload == "" {
+		fatal(fmt.Errorf("need -workload (see `sigil -list`)"))
+	}
+	c, err := workloads.ParseClass(*class)
+	if err != nil {
+		fatal(err)
+	}
+	prog, input, err := workloads.Build(*workload, c)
+	if err != nil {
+		fatal(err)
+	}
+
+	// One run collects aggregates + events; a second collects reuse.
+	var buf trace.Buffer
+	res, err := core.Run(prog, core.Options{TrackReuse: true}, input)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := core.Run(prog, core.Options{Events: &buf}, input); err != nil {
+		fatal(err)
+	}
+	tr := trace.FromBuffer(&buf)
+
+	var slots []int
+	for _, s := range strings.Split(*slotsArg, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			fatal(fmt.Errorf("bad slot count %q: %v", s, err))
+		}
+		slots = append(slots, n)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	err = report.Write(dst, res, tr, report.Config{
+		Title:        fmt.Sprintf("Sigil analysis: %s (%s)", *workload, c),
+		TopFunctions: *top,
+		Partition:    cdfg.Config{BytesPerCycle: *bus},
+		Slots:        slots,
+	})
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sigil-report:", err)
+	os.Exit(1)
+}

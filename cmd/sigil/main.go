@@ -1,0 +1,214 @@
+// Command sigil profiles a program — a bundled workload or an assembled
+// .sasm file — and reports the classified function-level communication. It
+// can dump the per-function aggregates (optionally to a reloadable profile
+// file) and the event-file representation.
+//
+// Usage:
+//
+//	sigil -workload dedup [-class simsmall] [-reuse] [-line] [-o out.profile] [-events out.evt]
+//	sigil -asm prog.sasm [-input data.bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sigil/internal/callgrind"
+	"sigil/internal/core"
+	"sigil/internal/trace"
+	"sigil/internal/vm"
+	"sigil/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "bundled workload name (see -list)")
+		class    = flag.String("class", "simsmall", "input class: simsmall, simmedium, simlarge")
+		asmFile  = flag.String("asm", "", "assemble and profile this .sasm file instead")
+		inFile   = flag.String("input", "", "file fed to the program's read syscalls (with -asm)")
+		reuseM   = flag.Bool("reuse", false, "enable re-use mode (counts and lifetimes)")
+		lineM    = flag.Bool("line", false, "line-granularity shadowing")
+		lineSize = flag.Int("linesize", 64, "line size for -line")
+		memLimit = flag.Int("memlimit", 0, "shadow-memory FIFO limit in chunks (0 = unlimited)")
+		outProf  = flag.String("o", "", "write the profile to this file")
+		outEvt   = flag.String("events", "", "write the event file to this path")
+		outCg    = flag.String("callgrind", "", "write the substrate profile in callgrind format")
+		gshare   = flag.Bool("gshare", false, "use a gshare branch predictor in the substrate")
+		prefetch = flag.Bool("prefetch", false, "enable the substrate's next-line prefetcher")
+		top      = flag.Int("top", 15, "functions to print, by unique input bytes")
+		list     = flag.Bool("list", false, "list bundled workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workloads.Names() {
+			s, _ := workloads.Get(name)
+			fmt.Printf("%-15s %s\n", name, s.Description)
+		}
+		return
+	}
+
+	prog, input, err := loadProgram(*workload, *class, *asmFile, *inFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.Options{
+		TrackReuse:      *reuseM,
+		LineGranularity: *lineM,
+		LineSize:        *lineSize,
+		MaxShadowChunks: *memLimit,
+		Substrate: callgrind.Options{
+			Gshare:   *gshare,
+			Prefetch: *prefetch,
+		},
+	}
+	var evtFile *os.File
+	var evtWriter *trace.Writer
+	if *outEvt != "" {
+		evtFile, err = os.Create(*outEvt)
+		if err != nil {
+			fatal(err)
+		}
+		evtWriter = trace.NewWriter(evtFile)
+		opts.Events = evtWriter
+	}
+
+	res, err := core.Run(prog, opts, input)
+	if err != nil {
+		fatal(err)
+	}
+	if evtWriter != nil {
+		if err := evtWriter.Close(); err != nil {
+			fatal(err)
+		}
+		if err := evtFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("event file written to %s\n", *outEvt)
+	}
+	if *outProf != "" {
+		f, err := os.Create(*outProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.WriteProfile(f, res); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile written to %s\n", *outProf)
+	}
+	if *outCg != "" {
+		f, err := os.Create(*outCg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Profile.WriteCallgrindFormat(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("callgrind-format profile written to %s\n", *outCg)
+	}
+
+	printSummary(res, *top)
+}
+
+func loadProgram(workload, class, asmFile, inFile string) (*vm.Program, []byte, error) {
+	switch {
+	case workload != "" && asmFile != "":
+		return nil, nil, fmt.Errorf("use either -workload or -asm, not both")
+	case workload != "":
+		c, err := workloads.ParseClass(class)
+		if err != nil {
+			return nil, nil, err
+		}
+		return workloads.Build(workload, c)
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := vm.Assemble(string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+		var input []byte
+		if inFile != "" {
+			input, err = os.ReadFile(inFile)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return prog, input, nil
+	default:
+		return nil, nil, fmt.Errorf("need -workload or -asm (try -list)")
+	}
+}
+
+func printSummary(res *core.Result, top int) {
+	fmt.Printf("instructions: %d   contexts: %d   shadow peak: %.1f MiB\n",
+		res.Profile.TotalInstrs, len(res.Profile.Nodes),
+		float64(res.Shadow.PeakBytes)/(1<<20))
+	total := res.TotalCommunicated()
+	fmt.Printf("bytes read: %d (unique input %d, non-unique %d, local %d)\n",
+		total.TotalRead(), total.InputUnique, total.InputNonUnique,
+		total.LocalUnique+total.LocalNonUnique)
+	fmt.Printf("program input: %d B   syscalls: %d B in, %d B out\n\n",
+		res.StartupBytes, res.KernelOutBytes, res.KernelInBytes)
+
+	type row struct {
+		name string
+		c    core.CommStats
+	}
+	var rows []row
+	for name, c := range res.CommByFunction() {
+		rows = append(rows, row{name, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].c.InputUnique != rows[j].c.InputUnique {
+			return rows[i].c.InputUnique > rows[j].c.InputUnique
+		}
+		return rows[i].name < rows[j].name
+	})
+	if top > 0 && top < len(rows) {
+		rows = rows[:top]
+	}
+	fmt.Printf("%-32s %12s %12s %12s %12s\n", "function", "in-unique", "in-repeat", "out-unique", "local")
+	for _, r := range rows {
+		fmt.Printf("%-32s %12d %12d %12d %12d\n", clip(r.name, 32),
+			r.c.InputUnique, r.c.InputNonUnique, r.c.OutputUnique,
+			r.c.LocalUnique+r.c.LocalNonUnique)
+	}
+
+	if res.Reuse != nil {
+		var agg core.ReuseStats
+		for i := range res.Reuse {
+			agg.Add(res.Reuse[i])
+		}
+		fmt.Printf("\nreuse episodes: %d (zero %d, 1-9 %d, >9 %d)\n",
+			agg.Episodes, agg.ZeroReuse, agg.Low, agg.High)
+	}
+	if res.Lines != nil {
+		fr := res.Lines.Fractions()
+		fmt.Printf("\nlines touched: %d  reuse buckets <10/<100/<1k/<10k/>=10k: %.1f%% %.1f%% %.1f%% %.1f%% %.1f%%\n",
+			res.Lines.TotalLines, 100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3], 100*fr[4])
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sigil:", err)
+	os.Exit(1)
+}

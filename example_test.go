@@ -1,0 +1,134 @@
+package sigil_test
+
+import (
+	"fmt"
+	"log"
+
+	"sigil"
+)
+
+// Example profiles a two-function pipeline and prints the classified
+// communication: the producer's bytes are the consumer's unique input the
+// first time and non-unique on the re-read.
+func Example() {
+	prog, err := sigil.Assemble(`
+.reserve buf 64
+func main {
+    movi r1, buf
+    call producer
+    call consumer
+    call consumer
+    halt
+}
+func producer {
+    movi r2, 42
+    store8 r1, 0, r2
+    store8 r1, 8, r2
+    ret
+}
+func consumer {
+    load8 r3, r1, 0
+    load8 r4, r1, 8
+    ret
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := sigil.Run(prog, sigil.Options{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := profile.CommByFunction()["consumer"]
+	fmt.Printf("consumer: %d unique input bytes, %d re-read\n",
+		c.InputUnique, c.InputNonUnique)
+	p := profile.CommByFunction()["producer"]
+	fmt.Printf("producer: %d unique output bytes\n", p.OutputUnique)
+	// Output:
+	// consumer: 16 unique input bytes, 16 re-read
+	// producer: 16 unique output bytes
+}
+
+// ExamplePartition ranks acceleration candidates by breakeven speedup over
+// a profile's control data flow graph.
+func ExamplePartition() {
+	prog, err := sigil.Assemble(`
+.reserve buf 32
+func main {
+    movi r1, buf
+    movi r2, 9
+    store8 r1, 0, r2
+    call kernel
+    halt
+}
+func kernel {
+    load8 r3, r1, 0
+    movi r4, 0
+    movi r5, 20000
+k:  addi r4, r4, 1
+    blt r4, r5, k
+    ret
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := sigil.Run(prog, sigil.Options{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := sigil.Partition(profile, sigil.PartitionConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range part.Candidates {
+		fmt.Printf("%s breakeven=%.3f\n", c.Path, c.Breakeven)
+	}
+	// Output:
+	// main/kernel breakeven=1.000
+}
+
+// ExampleAnalyzeCriticalPath computes the function-level parallelism bound
+// from a program's event trace.
+func ExampleAnalyzeCriticalPath() {
+	prog, err := sigil.Assemble(`
+.reserve x 16
+func main {
+    movi r1, x
+    call stage1
+    call stage2
+    halt
+}
+func stage1 {
+    movi r4, 0
+    movi r5, 1000
+a:  addi r4, r4, 1
+    blt r4, r5, a
+    store8 r1, 0, r4
+    ret
+}
+func stage2 {
+    load8 r6, r1, 0
+    movi r4, 0
+    movi r5, 1000
+b:  addi r4, r4, 1
+    blt r4, r5, b
+    ret
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, trace, err := sigil.RunWithTrace(prog, sigil.Options{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := sigil.AnalyzeCriticalPath(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// stage2 consumes stage1's output, so the stages cannot overlap.
+	fmt.Printf("parallelism ≈ %.1f\n", a.Parallelism())
+	// Output:
+	// parallelism ≈ 1.0
+}

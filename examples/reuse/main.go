@@ -1,0 +1,68 @@
+// Reuse: the paper's §IV-B drill-down reproduced on the bundled vips
+// workload. The workload is profiled in re-use mode; the top re-using
+// functions are ranked (Fig 9), and the lifetime histograms of conv_gen
+// (long tail, central peak — poor temporal locality, wants a scratchpad)
+// and imb_XYZ2Lab (peak at zero — good temporal locality) are compared
+// (Figs 10 and 11).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sigil"
+)
+
+func main() {
+	prog, input, err := sigil.BuildWorkload("vips", "simsmall")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := sigil.Run(prog, sigil.Options{TrackReuse: true}, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bd, err := sigil.AnalyzeReuse(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vips re-use: %d episodes — %.1f%% zero, %.1f%% re-used 1-9x, %.1f%% >9x\n\n",
+		bd.Episodes, 100*bd.Zero, 100*bd.Low, 100*bd.High)
+
+	top, err := sigil.TopReuseFunctions(profile, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top functions by reused bytes (Fig 9):")
+	for _, f := range top {
+		fmt.Printf("  %-14s reused=%-7d avg lifetime=%.0f instrs\n",
+			f.Name, f.ReusedBytes, f.AvgLifetime)
+	}
+
+	for _, fn := range []string{"conv_gen", "imb_XYZ2Lab"} {
+		hist, err := sigil.ReuseLifetimeHistogram(profile, fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s lifetime histogram (1000-instr bins):\n", fn)
+		for bin, v := range hist {
+			if v == 0 {
+				continue
+			}
+			bar := 1
+			for x := v; x >= 10; x /= 10 {
+				bar++
+			}
+			fmt.Printf("  %7d %-8d %s\n", bin*1000, v, strings.Repeat("*", bar))
+		}
+	}
+
+	fmt.Println("\nreading the shapes (the paper's conclusion):")
+	fmt.Println("  conv_gen holds pixels across whole region sweeps — large lifetimes,")
+	fmt.Println("  bad temporal locality: cache size governs it; a scratchpad that pins")
+	fmt.Println("  the region until the call returns would serve it better.")
+	fmt.Println("  imb_XYZ2Lab re-reads each pixel immediately — lifetimes near zero,")
+	fmt.Println("  excellent temporal locality: any cache absorbs it.")
+}

@@ -1,0 +1,3 @@
+module sigil
+
+go 1.22

@@ -1,0 +1,74 @@
+package callgrind
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteCallgrindFormat emits the profile in the callgrind file format that
+// tools like kcachegrind and callgrind_annotate consume: a header declaring
+// the event types, then per-function cost lines and call lines. Calling
+// contexts are flattened onto function names (the format has no native
+// context notion); positions are synthetic since the virtual ISA has no
+// source files.
+func (p *Profile) WriteCallgrindFormat(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	pr := func(format string, args ...any) {
+		fmt.Fprintf(bw, format+"\n", args...)
+	}
+	pr("# callgrind format")
+	pr("version: 1")
+	pr("creator: sigil (IISWC'13 reproduction)")
+	pr("positions: line")
+	pr("events: Ir Iops Fops Dr Dw D1mr DLmr Bc Bm SysIn SysOut")
+	pr("summary: %d %d %d %d %d %d %d %d %d %d %d",
+		sumBy(p, func(c Costs) uint64 { return c.Instrs }),
+		sumBy(p, func(c Costs) uint64 { return c.IntOps }),
+		sumBy(p, func(c Costs) uint64 { return c.FPOps }),
+		sumBy(p, func(c Costs) uint64 { return c.Reads }),
+		sumBy(p, func(c Costs) uint64 { return c.Writes }),
+		sumBy(p, func(c Costs) uint64 { return c.L1Misses }),
+		sumBy(p, func(c Costs) uint64 { return c.LLMisses }),
+		sumBy(p, func(c Costs) uint64 { return c.Branches }),
+		sumBy(p, func(c Costs) uint64 { return c.Mispredict }),
+		sumBy(p, func(c Costs) uint64 { return c.SysIn }),
+		sumBy(p, func(c Costs) uint64 { return c.SysOut }))
+	pr("")
+	for _, n := range p.Nodes {
+		pr("fn=%s", contextName(n))
+		c := n.Self
+		pr("1 %d %d %d %d %d %d %d %d %d %d %d",
+			c.Instrs, c.IntOps, c.FPOps, c.Reads, c.Writes,
+			c.L1Misses, c.LLMisses, c.Branches, c.Mispredict,
+			c.SysIn, c.SysOut)
+		for _, ch := range n.Children {
+			inc := p.Inclusive(ch)
+			pr("cfn=%s", contextName(ch))
+			pr("calls=%d 1", ch.Calls)
+			pr("1 %d %d %d %d %d %d %d %d %d %d %d",
+				inc.Instrs, inc.IntOps, inc.FPOps, inc.Reads, inc.Writes,
+				inc.L1Misses, inc.LLMisses, inc.Branches, inc.Mispredict,
+				inc.SysIn, inc.SysOut)
+		}
+		pr("")
+	}
+	return bw.Flush()
+}
+
+// contextName flattens a calling context onto a unique function name by
+// qualifying with the call path (callgrind's "cycle" notation-ish).
+func contextName(n *Node) string {
+	if n.Parent == nil {
+		return n.Name
+	}
+	return n.Name + "'" + fmt.Sprint(n.ID)
+}
+
+func sumBy(p *Profile, f func(Costs) uint64) uint64 {
+	var s uint64
+	for _, n := range p.Nodes {
+		s += f(n.Self)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package callgrind
+
+import (
+	"strings"
+	"testing"
+
+	"sigil/internal/dbi"
+	"sigil/internal/vm"
+)
+
+func TestWriteCallgrindFormat(t *testing.T) {
+	p := runTool(t, buildCallerCallee(t))
+	var sb strings.Builder
+	if err := p.WriteCallgrindFormat(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# callgrind format",
+		"events: Ir Iops Fops",
+		"fn=main",
+		"cfn=a'",
+		"calls=2 1",
+		"summary:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+	// Contexts flatten to distinct names: a is reached from main and b
+	// ("fn=" at line start; "cfn=" references don't count).
+	if strings.Count(out, "\nfn=a'") != 2 {
+		t.Errorf("expected two flattened 'a' contexts:\n%s", out)
+	}
+}
+
+func TestGshareBeatsBimodalOnAlternation(t *testing.T) {
+	// A strictly alternating branch defeats a 2-bit counter but is
+	// perfectly predictable from one bit of history.
+	b := vm.NewBuilder()
+	main := b.Func("main")
+	main.Movi(vm.R1, 0)
+	main.Movi(vm.R2, 2000)
+	skip := main.NewLabel()
+	top := main.Here()
+	main.Andi(vm.R3, vm.R1, 1)
+	main.Movi(vm.R4, 0)
+	main.Beq(vm.R3, vm.R4, skip) // alternates taken/not-taken
+	main.Nop()
+	main.Bind(skip)
+	main.Addi(vm.R1, vm.R1, 1)
+	main.Blt(vm.R1, vm.R2, top)
+	main.Halt()
+	prog := b.MustBuild()
+
+	run := func(opts Options) uint64 {
+		tool := New(opts)
+		if _, err := dbi.Run(prog, tool, nil); err != nil {
+			t.Fatal(err)
+		}
+		return tool.Profile().Root.Self.Mispredict
+	}
+	bimodal := run(Options{})
+	gshare := run(Options{Gshare: true})
+	if gshare*2 >= bimodal {
+		t.Errorf("gshare (%d mispredicts) not clearly better than bimodal (%d)", gshare, bimodal)
+	}
+}
+
+func TestPrefetchHelpsStreaming(t *testing.T) {
+	// Sequential streaming: the next-line prefetcher should turn most
+	// line misses into hits.
+	b := vm.NewBuilder()
+	main := b.Func("main")
+	main.MoviU(vm.R1, vm.HeapBase)
+	main.MoviU(vm.R2, vm.HeapBase+1<<19)
+	top := main.Here()
+	main.Store(vm.R1, 0, vm.R3, 8)
+	main.Addi(vm.R1, vm.R1, 8)
+	main.Bltu(vm.R1, vm.R2, top)
+	main.Halt()
+	prog := b.MustBuild()
+
+	run := func(opts Options) uint64 {
+		tool := New(opts)
+		if _, err := dbi.Run(prog, tool, nil); err != nil {
+			t.Fatal(err)
+		}
+		return tool.Profile().Root.Self.L1Misses
+	}
+	plain := run(Options{})
+	prefetched := run(Options{Prefetch: true})
+	if prefetched*4 >= plain {
+		t.Errorf("prefetch misses %d not well below plain %d", prefetched, plain)
+	}
+}

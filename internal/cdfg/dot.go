@@ -1,0 +1,46 @@
+package cdfg
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the CDFG in Graphviz format in the style of the paper's
+// Figure 1: solid edges are calls, dashed directed edges are data
+// dependencies weighted by unique bytes. When trimmed is non-nil, merged
+// sub-trees are shaded (Figure 2's boxes collapse to shaded candidates).
+func (g *Graph) WriteDOT(w io.Writer, trimmed *Trimmed) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("digraph cdfg {\n  node [shape=box];\n"); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		style := ""
+		if trimmed != nil && trimmed.Merged[n.Ctx] {
+			style = ", style=filled, fillcolor=lightgray"
+		}
+		label := fmt.Sprintf("%s\\nops=%d cyc=%d", n.Name, n.SelfOps, n.SelfCycles)
+		if err := p("  n%d [label=\"%s\"%s];\n", n.Ctx, label, style); err != nil {
+			return err
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Parent != nil {
+			if err := p("  n%d -> n%d;\n", n.Parent.Ctx, n.Ctx); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Src < 0 || e.Dst < 0 || e.Unique == 0 {
+			continue // synthetic producers clutter the picture
+		}
+		if err := p("  n%d -> n%d [style=dashed, label=\"%d\"];\n", e.Src, e.Dst, e.Unique); err != nil {
+			return err
+		}
+	}
+	return p("}\n")
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sigil/internal/callgrind"
+)
+
+// Profile file format: a line-oriented text serialization of a Result, so
+// collected profiles can be post-processed (partitioned, reuse-analyzed)
+// without re-running the workload — the paper's plan to release profile
+// data for common benchmarks, usable without running Sigil. The format is
+// versioned and self-describing; unknown record types are rejected.
+
+const profileMagic = "# sigil profile v1"
+
+// WriteProfile serializes r to w.
+func WriteProfile(w io.Writer, r *Result) error {
+	bw := bufio.NewWriter(w)
+	p := func(format string, args ...any) {
+		fmt.Fprintf(bw, format+"\n", args...)
+	}
+	p(profileMagic)
+	p("total %d", r.Profile.TotalInstrs)
+	if r.Profile.Root != nil {
+		p("root %d", r.Profile.Root.ID)
+	}
+	for _, n := range r.Profile.Nodes {
+		parent := -1
+		if n.Parent != nil {
+			parent = n.Parent.ID
+		}
+		p("ctx %d %d %d %s", n.ID, parent, n.Calls, quote(n.Name))
+		c := n.Self
+		p("cost %d %d %d %d %d %d %d %d %d %d %d %d %d %d",
+			n.ID, c.Instrs, c.IntOps, c.FPOps, c.Reads, c.Writes,
+			c.ReadBytes, c.WriteBytes, c.L1Misses, c.LLMisses,
+			c.Branches, c.Mispredict, c.SysIn, c.SysOut)
+	}
+	for id, c := range r.Comm {
+		if c == (CommStats{}) {
+			continue
+		}
+		p("comm %d %d %d %d %d %d %d", id,
+			c.InputUnique, c.InputNonUnique, c.OutputUnique,
+			c.OutputNonUnique, c.LocalUnique, c.LocalNonUnique)
+	}
+	for _, e := range r.Edges {
+		p("edge %d %d %d %d", e.Src, e.Dst, e.Unique, e.NonUnique)
+	}
+	for id := range r.Reuse {
+		s := &r.Reuse[id]
+		if s.Episodes == 0 {
+			continue
+		}
+		p("reuse %d %d %d %d %d %d %d %d", id, s.Episodes, s.ZeroReuse,
+			s.Low, s.High, s.ReusedBytes, s.SumReuseCount, s.SumLifetime)
+		for bin, v := range s.LifetimeHist {
+			if v != 0 {
+				p("rhist %d %d %d", id, bin, v)
+			}
+		}
+	}
+	if r.Lines != nil {
+		p("lines %d %d %d %d %d %d %d", r.Lines.LineSize, r.Lines.TotalLines,
+			r.Lines.Buckets[0], r.Lines.Buckets[1], r.Lines.Buckets[2],
+			r.Lines.Buckets[3], r.Lines.Buckets[4])
+	}
+	sh := r.Shadow
+	p("shadow %d %d %d %d %d %d", sh.ChunksAllocated, sh.ChunksLive,
+		sh.ChunksEvicted, sh.PeakLiveChunks, sh.BytesPerChunk, sh.GranuleBytes)
+	p("external %d %d %d", r.StartupBytes, r.KernelOutBytes, r.KernelInBytes)
+	return bw.Flush()
+}
+
+func quote(s string) string { return strconv.Quote(s) }
+
+// ReadProfile parses a profile written by WriteProfile. The reconstructed
+// Result carries the full calltree and all statistics; the Program pointer
+// is nil (the binary itself is not part of a profile).
+func ReadProfile(r io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("core: empty profile")
+	}
+	if strings.TrimSpace(sc.Text()) != profileMagic {
+		return nil, fmt.Errorf("core: not a sigil profile (bad header)")
+	}
+	res := &Result{Profile: &callgrind.Profile{}}
+	parents := map[int]int{}
+	rootID := -1
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(err error) error {
+			return fmt.Errorf("core: profile line %d (%s): %v", lineNo, fields[0], err)
+		}
+		nums := func(from, n int) ([]uint64, error) {
+			if len(fields) < from+n {
+				return nil, fmt.Errorf("want %d numbers, got %d fields", n, len(fields)-from)
+			}
+			out := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				v, err := strconv.ParseUint(fields[from+i], 10, 64)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+		ints := func(from, n int) ([]int64, error) {
+			if len(fields) < from+n {
+				return nil, fmt.Errorf("want %d numbers, got %d fields", n, len(fields)-from)
+			}
+			out := make([]int64, n)
+			for i := 0; i < n; i++ {
+				v, err := strconv.ParseInt(fields[from+i], 10, 64)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+
+		switch fields[0] {
+		case "total":
+			v, err := nums(1, 1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			res.Profile.TotalInstrs = v[0]
+		case "root":
+			v, err := ints(1, 1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			rootID = int(v[0])
+		case "ctx":
+			v, err := ints(1, 3)
+			if err != nil {
+				return nil, bad(err)
+			}
+			nameStart := strings.Index(line, `"`)
+			if nameStart < 0 {
+				return nil, bad(fmt.Errorf("missing quoted name"))
+			}
+			name, err := strconv.Unquote(line[nameStart:])
+			if err != nil {
+				return nil, bad(err)
+			}
+			id := int(v[0])
+			for len(res.Profile.Nodes) <= id {
+				res.Profile.Nodes = append(res.Profile.Nodes, nil)
+			}
+			res.Profile.Nodes[id] = &callgrind.Node{
+				ID: id, Name: name, Calls: uint64(v[2]),
+			}
+			parents[id] = int(v[1])
+		case "cost":
+			v, err := nums(1, 14)
+			if err != nil {
+				return nil, bad(err)
+			}
+			id := int(v[0])
+			if id >= len(res.Profile.Nodes) || res.Profile.Nodes[id] == nil {
+				return nil, bad(fmt.Errorf("cost for undeclared context %d", id))
+			}
+			res.Profile.Nodes[id].Self = callgrind.Costs{
+				Instrs: v[1], IntOps: v[2], FPOps: v[3], Reads: v[4],
+				Writes: v[5], ReadBytes: v[6], WriteBytes: v[7],
+				L1Misses: v[8], LLMisses: v[9], Branches: v[10],
+				Mispredict: v[11], SysIn: v[12], SysOut: v[13],
+			}
+		case "comm":
+			v, err := nums(1, 7)
+			if err != nil {
+				return nil, bad(err)
+			}
+			id := int(v[0])
+			for len(res.Comm) <= id {
+				res.Comm = append(res.Comm, CommStats{})
+			}
+			res.Comm[id] = CommStats{
+				InputUnique: v[1], InputNonUnique: v[2],
+				OutputUnique: v[3], OutputNonUnique: v[4],
+				LocalUnique: v[5], LocalNonUnique: v[6],
+			}
+		case "edge":
+			v, err := ints(1, 4)
+			if err != nil {
+				return nil, bad(err)
+			}
+			res.Edges = append(res.Edges, Edge{
+				Src: int32(v[0]), Dst: int32(v[1]),
+				Unique: uint64(v[2]), NonUnique: uint64(v[3]),
+			})
+		case "reuse":
+			v, err := nums(1, 8)
+			if err != nil {
+				return nil, bad(err)
+			}
+			id := int(v[0])
+			for len(res.Reuse) <= id {
+				res.Reuse = append(res.Reuse, ReuseStats{})
+			}
+			res.Reuse[id] = ReuseStats{
+				Episodes: v[1], ZeroReuse: v[2], Low: v[3], High: v[4],
+				ReusedBytes: v[5], SumReuseCount: v[6], SumLifetime: v[7],
+			}
+		case "rhist":
+			v, err := nums(1, 3)
+			if err != nil {
+				return nil, bad(err)
+			}
+			id := int(v[0])
+			if id >= len(res.Reuse) {
+				return nil, bad(fmt.Errorf("rhist for undeclared reuse context %d", id))
+			}
+			bin := int(v[1])
+			h := res.Reuse[id].LifetimeHist
+			for len(h) <= bin {
+				h = append(h, 0)
+			}
+			h[bin] = v[2]
+			res.Reuse[id].LifetimeHist = h
+		case "lines":
+			v, err := nums(1, 7)
+			if err != nil {
+				return nil, bad(err)
+			}
+			res.Lines = &LineReport{LineSize: int(v[0]), TotalLines: v[1]}
+			for i := 0; i < 5; i++ {
+				res.Lines.Buckets[i] = v[2+i]
+			}
+		case "shadow":
+			v, err := nums(1, 6)
+			if err != nil {
+				return nil, bad(err)
+			}
+			res.Shadow = ShadowStats{
+				ChunksAllocated: v[0], ChunksLive: v[1], ChunksEvicted: v[2],
+				PeakLiveChunks: v[3], BytesPerChunk: v[4], GranuleBytes: v[5],
+			}
+			res.Shadow.PeakBytes = res.Shadow.PeakLiveChunks * res.Shadow.BytesPerChunk
+		case "external":
+			v, err := nums(1, 3)
+			if err != nil {
+				return nil, bad(err)
+			}
+			res.StartupBytes, res.KernelOutBytes, res.KernelInBytes = v[0], v[1], v[2]
+		default:
+			return nil, fmt.Errorf("core: profile line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Resolve the tree.
+	for id, n := range res.Profile.Nodes {
+		if n == nil {
+			return nil, fmt.Errorf("core: profile missing context %d", id)
+		}
+		if pid := parents[id]; pid >= 0 {
+			if pid >= len(res.Profile.Nodes) || res.Profile.Nodes[pid] == nil {
+				return nil, fmt.Errorf("core: context %d has unknown parent %d", id, pid)
+			}
+			n.Parent = res.Profile.Nodes[pid]
+			n.Parent.Children = append(n.Parent.Children, n)
+		}
+	}
+	if rootID >= 0 {
+		if rootID >= len(res.Profile.Nodes) {
+			return nil, fmt.Errorf("core: root %d out of range", rootID)
+		}
+		res.Profile.Root = res.Profile.Nodes[rootID]
+	} else if len(res.Profile.Nodes) > 0 {
+		res.Profile.Root = res.Profile.Nodes[0]
+	}
+	for len(res.Comm) < len(res.Profile.Nodes) {
+		res.Comm = append(res.Comm, CommStats{})
+	}
+	if res.Reuse != nil {
+		for len(res.Reuse) < len(res.Profile.Nodes) {
+			res.Reuse = append(res.Reuse, ReuseStats{})
+		}
+	}
+	sortEdges(res.Edges)
+	return res, nil
+}

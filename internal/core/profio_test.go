@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	orig := mustRun(t, producerConsumer(t, 16, 2), Options{TrackReuse: true})
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, orig); err != nil {
+		t.Fatalf("WriteProfile: %v", err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatalf("ReadProfile: %v", err)
+	}
+
+	if got.Profile.TotalInstrs != orig.Profile.TotalInstrs {
+		t.Errorf("total instrs %d != %d", got.Profile.TotalInstrs, orig.Profile.TotalInstrs)
+	}
+	if len(got.Profile.Nodes) != len(orig.Profile.Nodes) {
+		t.Fatalf("nodes %d != %d", len(got.Profile.Nodes), len(orig.Profile.Nodes))
+	}
+	for i, n := range orig.Profile.Nodes {
+		g := got.Profile.Nodes[i]
+		if g.Name != n.Name || g.Calls != n.Calls || g.Self != n.Self {
+			t.Errorf("node %d mismatch: %+v vs %+v", i, g, n)
+		}
+		if n.Parent != nil && g.Parent.ID != n.Parent.ID {
+			t.Errorf("node %d parent mismatch", i)
+		}
+		if g.Path() != n.Path() {
+			t.Errorf("node %d path %q != %q", i, g.Path(), n.Path())
+		}
+	}
+	if !reflect.DeepEqual(got.Comm, orig.Comm) {
+		t.Errorf("comm mismatch:\n%v\nvs\n%v", got.Comm, orig.Comm)
+	}
+	if !reflect.DeepEqual(got.Edges, orig.Edges) {
+		t.Errorf("edges mismatch")
+	}
+	for i := range orig.Reuse {
+		o, g := orig.Reuse[i], got.Reuse[i]
+		// Histograms may differ in trailing-zero padding only.
+		oh, gh := o.LifetimeHist, g.LifetimeHist
+		o.LifetimeHist, g.LifetimeHist = nil, nil
+		if !reflect.DeepEqual(o, g) {
+			t.Errorf("reuse %d mismatch: %+v vs %+v", i, g, o)
+		}
+		if !histEqual(oh, gh) {
+			t.Errorf("reuse %d hist mismatch: %v vs %v", i, gh, oh)
+		}
+	}
+	if got.Shadow.PeakBytes != orig.Shadow.PeakBytes {
+		t.Errorf("shadow peak mismatch")
+	}
+	if got.StartupBytes != orig.StartupBytes {
+		t.Errorf("startup bytes mismatch")
+	}
+}
+
+func histEqual(a, b []uint64) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	at := func(h []uint64, i int) uint64 {
+		if i < len(h) {
+			return h[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if at(a, i) != at(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProfileRoundTripLineMode(t *testing.T) {
+	orig := mustRun(t, producerConsumer(t, 16, 1), Options{LineGranularity: true})
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lines == nil || *got.Lines != *orig.Lines {
+		t.Errorf("line report mismatch: %+v vs %+v", got.Lines, orig.Lines)
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad magic":      "not a profile\n",
+		"unknown record": profileHeader() + "wibble 1 2 3\n",
+		"bad cost ctx":   profileHeader() + "cost 5 1 1 1 1 1 1 1 1 1 1 1 1 1\n",
+		"short cost":     profileHeader() + "ctx 0 -1 1 \"main\"\ncost 0 1 2\n",
+		"bad number":     profileHeader() + "total banana\n",
+		"ctx no name":    profileHeader() + "ctx 0 -1 1\n",
+		"bad parent":     profileHeader() + "ctx 0 7 1 \"main\"\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadProfile(strings.NewReader(src)); err == nil {
+				t.Errorf("accepted %s", name)
+			}
+		})
+	}
+}
+
+func profileHeader() string { return profileMagic + "\n" }
+
+func TestProfileSurvivesAnalyses(t *testing.T) {
+	// A reloaded profile must drive the downstream analyses (no hidden
+	// dependence on the live Program).
+	orig := mustRun(t, producerConsumer(t, 16, 2), Options{TrackReuse: true})
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CtxName(0) != orig.CtxName(0) {
+		t.Errorf("CtxName differs after reload")
+	}
+	byFn := got.CommByFunction()
+	if byFn["consumer"] != orig.CommByFunction()["consumer"] {
+		t.Errorf("CommByFunction differs after reload")
+	}
+	if got.ReuseByFunction()["consumer"].Episodes != orig.ReuseByFunction()["consumer"].Episodes {
+		t.Errorf("ReuseByFunction differs after reload")
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sigil/internal/callgrind"
+	"sigil/internal/dbi"
+	"sigil/internal/trace"
+	"sigil/internal/vm"
+)
+
+// Result is a completed Sigil profile: the substrate's calltree profile plus
+// the communication classification, re-use statistics, and shadow-memory
+// accounting.
+type Result struct {
+	// Profile is the substrate profile: the calltree with per-context
+	// instruction/op/cache/branch costs.
+	Profile *callgrind.Profile
+
+	// Comm holds per-context communication aggregates, indexed by
+	// context ID (same indexing as Profile.Nodes).
+	Comm []CommStats
+
+	// Edges lists producer→consumer aggregates, sorted by (Src, Dst).
+	Edges []Edge
+
+	// Reuse holds per-context re-use statistics (nil unless re-use mode).
+	Reuse []ReuseStats
+
+	// KernelReuse aggregates episodes whose reader was a syscall.
+	KernelReuse ReuseStats
+
+	// Lines is the line-granularity report (nil unless line mode).
+	Lines *LineReport
+
+	// Shadow describes the shadow memory footprint.
+	Shadow ShadowStats
+
+	// StartupBytes counts unique bytes consumed from pre-initialized
+	// data; KernelOutBytes/KernelInBytes count unique bytes crossing the
+	// syscall boundary into and out of the program.
+	StartupBytes   uint64
+	KernelOutBytes uint64
+	KernelInBytes  uint64
+
+	// Wall is the instrumented run's wall-clock duration; Native runs of
+	// the same program are measured separately for slowdown figures.
+	Wall time.Duration
+}
+
+// freeze assembles the Result after ProgramEnd.
+func (t *Tool) freeze() *Result {
+	if !t.finished {
+		return nil
+	}
+	if t.result != nil {
+		return t.result
+	}
+	edges := make([]Edge, 0, len(t.edges))
+	for _, e := range t.edges {
+		edges = append(edges, *e)
+	}
+	sortEdges(edges)
+	granule := uint64(1)
+	if t.opts.LineGranularity {
+		granule = uint64(t.opts.LineSize)
+	}
+	r := &Result{
+		Profile:        t.sub.Profile(),
+		Comm:           t.comm,
+		Edges:          edges,
+		KernelReuse:    t.kernelReuse,
+		Lines:          t.lines,
+		Shadow:         t.shadow.stats(granule),
+		StartupBytes:   t.startupOut,
+		KernelOutBytes: t.kernelOut,
+		KernelInBytes:  t.kernelIn,
+	}
+	if t.opts.TrackReuse {
+		r.Reuse = t.reuse
+	}
+	t.result = r
+	return r
+}
+
+// Result returns the profile after the run has completed, or an error if the
+// tool has not finished observing a program.
+func (t *Tool) Result() (*Result, error) {
+	r := t.freeze()
+	if r == nil {
+		return nil, fmt.Errorf("core: result requested before the run completed")
+	}
+	return r, nil
+}
+
+// CommByFunction aggregates communication across contexts per function name.
+func (r *Result) CommByFunction() map[string]CommStats {
+	out := make(map[string]CommStats)
+	for id, n := range r.Profile.Nodes {
+		if id < len(r.Comm) {
+			s := out[n.Name]
+			s.Add(r.Comm[id])
+			out[n.Name] = s
+		}
+	}
+	return out
+}
+
+// ReuseByFunction aggregates re-use statistics per function name.
+func (r *Result) ReuseByFunction() map[string]ReuseStats {
+	out := make(map[string]ReuseStats)
+	if r.Reuse == nil {
+		return out
+	}
+	for id, n := range r.Profile.Nodes {
+		if id < len(r.Reuse) {
+			s := out[n.Name]
+			s.Add(r.Reuse[id])
+			out[n.Name] = s
+		}
+	}
+	return out
+}
+
+// CtxName names a context ID, covering the synthetic producers.
+func (r *Result) CtxName(ctx int32) string {
+	switch ctx {
+	case trace.CtxStartup:
+		return "@startup"
+	case trace.CtxKernel:
+		return "@kernel"
+	}
+	if int(ctx) < len(r.Profile.Nodes) && ctx >= 0 {
+		return r.Profile.Nodes[ctx].Name
+	}
+	return fmt.Sprintf("<ctx#%d>", ctx)
+}
+
+// CtxPath returns the full calltree path of a context ID.
+func (r *Result) CtxPath(ctx int32) string {
+	if ctx >= 0 && int(ctx) < len(r.Profile.Nodes) {
+		return r.Profile.Nodes[ctx].Path()
+	}
+	return r.CtxName(ctx)
+}
+
+// TotalCommunicated sums all classified bytes across contexts (inputs plus
+// locals; outputs are the same bytes seen from the producer side).
+func (r *Result) TotalCommunicated() CommStats {
+	var total CommStats
+	for _, c := range r.Comm {
+		total.Add(c)
+	}
+	return total
+}
+
+// Run profiles one program under Sigil with a fresh machine and substrate,
+// returning the completed result. It is the package's one-call entry point;
+// callers needing the substrate mid-run (or custom chaining) can assemble
+// the tools themselves.
+func Run(p *vm.Program, opts Options, input []byte) (*Result, error) {
+	sub := callgrind.New(opts.Substrate)
+	tool, err := New(sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dbi.Run(p, dbi.Chain{sub, tool}, input)
+	if err != nil {
+		return nil, err
+	}
+	if err := tool.EventError(); err != nil {
+		return nil, fmt.Errorf("core: event sink failed: %w", err)
+	}
+	out, err := tool.Result()
+	if err != nil {
+		return nil, err
+	}
+	out.Wall = res.Duration
+	return out, nil
+}

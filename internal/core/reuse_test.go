@@ -1,0 +1,348 @@
+package core
+
+import (
+	"testing"
+
+	"sigil/internal/callgrind"
+	"sigil/internal/vm"
+)
+
+func newSubstrate() *callgrind.Tool { return callgrind.New(callgrind.Options{}) }
+
+func reuseOf(t *testing.T, r *Result, name string) ReuseStats {
+	t.Helper()
+	s, ok := r.ReuseByFunction()[name]
+	if !ok {
+		t.Fatalf("no reuse stats for %q", name)
+	}
+	return s
+}
+
+func TestReuseZeroCount(t *testing.T) {
+	// Each byte written once, read once: all episodes have zero re-use.
+	r := mustRun(t, producerConsumer(t, 16, 1), Options{TrackReuse: true})
+	s := reuseOf(t, r, "consumer")
+	if s.Episodes != 128 {
+		t.Errorf("episodes = %d, want 128", s.Episodes)
+	}
+	if s.ZeroReuse != 128 || s.ReusedBytes != 0 {
+		t.Errorf("zero=%d reused=%d, want 128/0", s.ZeroReuse, s.ReusedBytes)
+	}
+}
+
+func TestReuseCountsAndLifetime(t *testing.T) {
+	// Consumer reads each byte 3 times in one call: reuse count 2 per
+	// episode, nonzero lifetime.
+	r := mustRun(t, producerConsumer(t, 8, 3), Options{TrackReuse: true})
+	s := reuseOf(t, r, "consumer")
+	if s.Episodes != 64 {
+		t.Errorf("episodes = %d, want 64", s.Episodes)
+	}
+	if s.ReusedBytes != 64 || s.Low != 64 || s.High != 0 || s.ZeroReuse != 0 {
+		t.Errorf("reuse buckets: %+v", s)
+	}
+	if s.SumReuseCount != 128 { // 2 per episode
+		t.Errorf("sum reuse count = %d, want 128", s.SumReuseCount)
+	}
+	if s.AvgLifetime() <= 0 {
+		t.Errorf("avg lifetime = %v, want > 0", s.AvgLifetime())
+	}
+	// Lifetime histogram integrates to the reused episode count.
+	var histSum uint64
+	for _, v := range s.LifetimeHist {
+		histSum += v
+	}
+	if histSum != s.ReusedBytes {
+		t.Errorf("lifetime hist sum = %d, want %d", histSum, s.ReusedBytes)
+	}
+}
+
+func TestReuseHighBucket(t *testing.T) {
+	// One byte read 20 times within one call lands in the >9 bucket.
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 8)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, 1)
+	main.Store(vm.R1, 0, vm.R2, 1)
+	main.Call("hot")
+	main.Halt()
+	hot := b.Func("hot")
+	hot.Movi(vm.R3, 0)
+	hot.Movi(vm.R4, 20)
+	top := hot.Here()
+	hot.Load(vm.R5, vm.R1, 0, 1)
+	hot.Addi(vm.R3, vm.R3, 1)
+	hot.Blt(vm.R3, vm.R4, top)
+	hot.Ret()
+	r := mustRun(t, b.MustBuild(), Options{TrackReuse: true})
+	s := reuseOf(t, r, "hot")
+	if s.High != 1 || s.Episodes != 1 {
+		t.Errorf("high=%d episodes=%d, want 1/1", s.High, s.Episodes)
+	}
+	if s.SumReuseCount != 19 {
+		t.Errorf("reuse count = %d, want 19", s.SumReuseCount)
+	}
+}
+
+func TestEpisodeSplitsAcrossCalls(t *testing.T) {
+	// Two calls to the same reader, each reading a byte twice: two
+	// episodes with reuse count 1 each, not one with 3.
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 8)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, 1)
+	main.Store(vm.R1, 0, vm.R2, 1)
+	main.Call("twice")
+	main.Call("twice")
+	main.Halt()
+	tw := b.Func("twice")
+	tw.Load(vm.R3, vm.R1, 0, 1)
+	tw.Load(vm.R4, vm.R1, 0, 1)
+	tw.Ret()
+	r := mustRun(t, b.MustBuild(), Options{TrackReuse: true})
+	s := reuseOf(t, r, "twice")
+	if s.Episodes != 2 || s.Low != 2 || s.SumReuseCount != 2 {
+		t.Errorf("episodes=%d low=%d sum=%d, want 2/2/2",
+			s.Episodes, s.Low, s.SumReuseCount)
+	}
+}
+
+func TestLifetimeHistogramBinning(t *testing.T) {
+	// Read a byte, burn > LifetimeBin instructions, read it again: the
+	// episode's lifetime lands beyond bin 0.
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 8)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, 1)
+	main.Store(vm.R1, 0, vm.R2, 1)
+	main.Call("slowreader")
+	main.Halt()
+	sr := b.Func("slowreader")
+	sr.Load(vm.R3, vm.R1, 0, 1)
+	sr.Movi(vm.R4, 0)
+	sr.Movi(vm.R5, 2000)
+	top := sr.Here()
+	sr.Addi(vm.R4, vm.R4, 1)
+	sr.Blt(vm.R4, vm.R5, top)
+	sr.Load(vm.R6, vm.R1, 0, 1)
+	sr.Ret()
+	r := mustRun(t, b.MustBuild(), Options{TrackReuse: true})
+	s := reuseOf(t, r, "slowreader")
+	if s.ReusedBytes != 1 {
+		t.Fatalf("reused = %d, want 1", s.ReusedBytes)
+	}
+	if len(s.LifetimeHist) < 2 || s.LifetimeHist[0] != 0 {
+		t.Errorf("lifetime histogram = %v, want episode beyond bin 0", s.LifetimeHist)
+	}
+}
+
+func TestReuseDisabledByDefault(t *testing.T) {
+	r := mustRun(t, producerConsumer(t, 4, 2), Options{})
+	if r.Reuse != nil {
+		t.Error("reuse stats present without TrackReuse")
+	}
+	if len(r.ReuseByFunction()) != 0 {
+		t.Error("ReuseByFunction nonempty without TrackReuse")
+	}
+}
+
+func TestLineGranularityReport(t *testing.T) {
+	// Touch 4 distinct lines once and 1 line 50 times.
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 64*8)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	for i := int64(0); i < 4; i++ {
+		main.Store(vm.R1, i*64, vm.R2, 1)
+	}
+	main.Movi(vm.R3, 0)
+	main.Movi(vm.R4, 50)
+	top := main.Here()
+	main.Load(vm.R5, vm.R1, 64*5, 1)
+	main.Addi(vm.R3, vm.R3, 1)
+	main.Blt(vm.R3, vm.R4, top)
+	main.Halt()
+	r := mustRun(t, b.MustBuild(), Options{LineGranularity: true})
+	if r.Lines == nil {
+		t.Fatal("no line report")
+	}
+	if r.Lines.TotalLines != 5 {
+		t.Errorf("total lines = %d, want 5", r.Lines.TotalLines)
+	}
+	// 4 lines with 0 reuse (<10) and one with 49 (<100).
+	if r.Lines.Buckets[0] != 4 || r.Lines.Buckets[1] != 1 {
+		t.Errorf("buckets = %v", r.Lines.Buckets)
+	}
+	fr := r.Lines.Fractions()
+	if fr[0] != 0.8 {
+		t.Errorf("fraction <10 = %v, want 0.8", fr[0])
+	}
+}
+
+func TestLineGranularityCoalescesAccesses(t *testing.T) {
+	// An 8-byte access within one line counts as one line-touch, so a
+	// single pass over 2 lines yields 2 touched lines.
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 128)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	for off := int64(0); off < 128; off += 8 {
+		main.Store(vm.R1, off, vm.R2, 8)
+	}
+	main.Halt()
+	r := mustRun(t, b.MustBuild(), Options{LineGranularity: true})
+	if r.Lines.TotalLines != 2 {
+		t.Errorf("lines touched = %d, want 2", r.Lines.TotalLines)
+	}
+	// 8 stores per line → reuse count 7 per line → bucket <10.
+	if r.Lines.Buckets[0] != 2 {
+		t.Errorf("buckets = %v", r.Lines.Buckets)
+	}
+}
+
+func TestLineSizeConfigurable(t *testing.T) {
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 256)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Store(vm.R1, 0, vm.R2, 8)
+	main.Store(vm.R1, 128, vm.R2, 8)
+	main.Halt()
+	r := mustRun(t, b.MustBuild(), Options{LineGranularity: true, LineSize: 128})
+	if r.Lines.LineSize != 128 {
+		t.Errorf("line size = %d", r.Lines.LineSize)
+	}
+	if r.Lines.TotalLines != 2 {
+		t.Errorf("lines = %d, want 2 (128B lines)", r.Lines.TotalLines)
+	}
+}
+
+func TestShadowStatsAccounting(t *testing.T) {
+	r := mustRun(t, producerConsumer(t, 64, 1), Options{})
+	st := r.Shadow
+	if st.ChunksAllocated == 0 || st.PeakLiveChunks == 0 {
+		t.Errorf("shadow stats empty: %+v", st)
+	}
+	if st.PeakBytes != st.PeakLiveChunks*st.BytesPerChunk {
+		t.Errorf("peak bytes inconsistent: %+v", st)
+	}
+	if st.GranuleBytes != 1 {
+		t.Errorf("granule = %d, want 1 (byte mode)", st.GranuleBytes)
+	}
+	// Reuse mode costs more shadow memory per chunk (the paper's ~2x).
+	r2 := mustRun(t, producerConsumer(t, 64, 1), Options{TrackReuse: true})
+	if r2.Shadow.BytesPerChunk <= st.BytesPerChunk {
+		t.Errorf("reuse mode not larger: %d vs %d",
+			r2.Shadow.BytesPerChunk, st.BytesPerChunk)
+	}
+}
+
+func TestFIFOEvictionBoundsMemory(t *testing.T) {
+	// Stream over a large region with a tight chunk budget: allocation
+	// count grows but live chunks stay bounded.
+	b := vm.NewBuilder()
+	main := b.Func("main")
+	main.MoviU(vm.R1, vm.HeapBase)
+	main.MoviU(vm.R2, vm.HeapBase+uint64(8*chunkGranules)) // 8 chunks worth
+	top := main.Here()
+	main.Store(vm.R1, 0, vm.R3, 8)
+	main.Addi(vm.R1, vm.R1, 512)
+	main.Bltu(vm.R1, vm.R2, top)
+	main.Halt()
+	r := mustRun(t, b.MustBuild(), Options{MaxShadowChunks: 3})
+	if r.Shadow.PeakLiveChunks > 3 {
+		t.Errorf("peak live chunks = %d, want <= 3", r.Shadow.PeakLiveChunks)
+	}
+	if r.Shadow.ChunksEvicted == 0 {
+		t.Error("no evictions under a tight limit")
+	}
+	if r.Shadow.ChunksAllocated < 8 {
+		t.Errorf("allocated = %d, want >= 8", r.Shadow.ChunksAllocated)
+	}
+}
+
+func TestFIFOEvictionFlushesEpisodes(t *testing.T) {
+	// With reuse tracking and eviction, episodes from evicted chunks must
+	// still be recorded (the paper reports negligible accuracy loss, not
+	// silent data loss).
+	b := vm.NewBuilder()
+	main := b.Func("main")
+	main.Call("walker")
+	main.Halt()
+	w := b.Func("walker")
+	w.MoviU(vm.R1, vm.HeapBase)
+	w.MoviU(vm.R2, vm.HeapBase+uint64(6*chunkGranules))
+	top := w.Here()
+	w.Store(vm.R1, 0, vm.R3, 8)
+	w.Load(vm.R4, vm.R1, 0, 8)
+	w.Load(vm.R4, vm.R1, 0, 8)
+	w.Addi(vm.R1, vm.R1, 4096)
+	w.Bltu(vm.R1, vm.R2, top)
+	w.Ret()
+	r := mustRun(t, b.MustBuild(), Options{TrackReuse: true, MaxShadowChunks: 2})
+	s := reuseOf(t, r, "walker")
+	wantEpisodes := uint64(6*chunkGranules/4096) * 8 // bytes per load
+	if s.Episodes != wantEpisodes {
+		t.Errorf("episodes = %d, want %d despite eviction", s.Episodes, wantEpisodes)
+	}
+	if s.SumReuseCount != wantEpisodes { // one repeat read per byte
+		t.Errorf("sum reuse = %d, want %d", s.SumReuseCount, wantEpisodes)
+	}
+}
+
+func TestEvictionLosesProducerInfo(t *testing.T) {
+	// After eviction, re-reading an old byte attributes it to @startup
+	// (producer unknown) — the documented accuracy loss.
+	b := vm.NewBuilder()
+	main := b.Func("main")
+	main.Call("writerfn")
+	main.Call("thrash")
+	main.Call("rereader")
+	main.Halt()
+	wf := b.Func("writerfn")
+	wf.MoviU(vm.R1, vm.HeapBase)
+	wf.Movi(vm.R2, 9)
+	wf.Store(vm.R1, 0, vm.R2, 8)
+	wf.Ret()
+	th := b.Func("thrash")
+	th.MoviU(vm.R1, vm.HeapBase+uint64(chunkGranules))
+	th.MoviU(vm.R2, vm.HeapBase+uint64(5*chunkGranules))
+	top := th.Here()
+	th.Store(vm.R1, 0, vm.R3, 8)
+	th.Addi(vm.R1, vm.R1, chunkGranules/2)
+	th.Bltu(vm.R1, vm.R2, top)
+	th.Ret()
+	rr := b.Func("rereader")
+	rr.MoviU(vm.R1, vm.HeapBase)
+	rr.Load(vm.R2, vm.R1, 0, 8)
+	rr.Ret()
+	r := mustRun(t, b.MustBuild(), Options{MaxShadowChunks: 2})
+	if _, ok := edgeBetween(r, "writerfn", "rereader"); ok {
+		t.Error("edge survived eviction; expected producer info loss")
+	}
+	if _, ok := edgeBetween(r, "@startup", "rereader"); !ok {
+		t.Error("evicted byte should read as @startup")
+	}
+}
+
+func TestCtxNamesAndPaths(t *testing.T) {
+	r := mustRun(t, producerConsumer(t, 2, 1), Options{})
+	found := false
+	for id, n := range r.Profile.Nodes {
+		if n.Name == "consumer" {
+			if r.CtxPath(int32(id)) != "main/consumer" {
+				t.Errorf("path = %q", r.CtxPath(int32(id)))
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("consumer context missing")
+	}
+	if r.CtxName(-1) != "@startup" || r.CtxName(-2) != "@kernel" {
+		t.Error("synthetic names wrong")
+	}
+}

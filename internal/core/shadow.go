@@ -1,0 +1,227 @@
+// Package core implements Sigil itself — the paper's primary contribution: a
+// profiling methodology that tracks the producer and all consumers of every
+// data byte a program generates, classifies each communicated byte as
+// input/output/local and unique/non-unique, measures data re-use counts and
+// lifetimes, and emits execution either as per-context aggregates or as a
+// stream of dependent events.
+//
+// The implementation mirrors the paper's structure: a two-level shadow
+// memory (this file) derived from Nethercote and Seward's technique holds a
+// shadow object per data byte (or per cache line in line-granularity mode);
+// the Tool (sigil.go) hooks into the Callgrind-analogue substrate to resolve
+// the executing context and classify every access.
+package core
+
+// shadowObj is the baseline shadow-memory object, one per granule (byte or
+// line). It matches Table I of the paper: last writer, last reader, and the
+// last reader's call number (the writer's call number is kept as well; the
+// event representation needs it to name the producing call).
+//
+// Context identities are stored in an encoded form so the zero value means
+// "invalid" and chunks need no initialization pass:
+//
+//	0              invalid (never written / never read)
+//	1              the kernel side of a syscall
+//	2              program startup (initial data)
+//	c+3            calling-context ID c
+type shadowObj struct {
+	writer     uint32
+	writerCall uint32
+	reader     uint32
+	readerCall uint32
+}
+
+// reuseObj extends a granule's shadow state in re-use mode, matching the
+// "additional variables for Reuse mode" of Table I: the re-use count and the
+// re-use lifetime's first and final access timestamps.
+type reuseObj struct {
+	count uint32
+	_     uint32
+	first uint64
+	last  uint64
+}
+
+// Encoded pseudo-context identities.
+const (
+	encInvalid uint32 = 0
+	encKernel  uint32 = 1
+	encStartup uint32 = 2
+	encBias    uint32 = 3 // real context c encodes as c+encBias
+)
+
+// encodeCtx converts a context ID (or trace.CtxKernel/CtxStartup) into the
+// shadow encoding.
+func encodeCtx(ctx int32) uint32 {
+	switch {
+	case ctx >= 0:
+		return uint32(ctx) + encBias
+	case ctx == -1:
+		return encStartup
+	default:
+		return encKernel
+	}
+}
+
+// decodeCtx is the inverse of encodeCtx; invalid decodes to CtxStartup
+// (never-written memory is program input).
+func decodeCtx(enc uint32) int32 {
+	switch enc {
+	case encInvalid, encStartup:
+		return -1
+	case encKernel:
+		return -2
+	default:
+		return int32(enc - encBias)
+	}
+}
+
+const (
+	// chunkBits sets the second-level chunk size: 2^chunkBits granules.
+	chunkBits     = 14
+	chunkGranules = 1 << chunkBits
+	chunkMask     = chunkGranules - 1
+)
+
+// shadowChunk is one second-level structure: a block of shadow objects
+// created on first touch, exactly like the paper's lazily allocated
+// second-level table. The reuse extension is only allocated in re-use mode,
+// which is what makes re-use monitoring cost extra memory (the paper reports
+// up to 2x).
+type shadowChunk struct {
+	objs  []shadowObj
+	reuse []reuseObj
+}
+
+// shadowBytesPerGranule reports the shadow cost per granule for memory
+// accounting (Fig 6).
+func shadowBytesPerGranule(reuse bool) uint64 {
+	n := uint64(16) // sizeof(shadowObj)
+	if reuse {
+		n += 24 // sizeof(reuseObj)
+	}
+	return n
+}
+
+// shadowTable is the first level: a sparse map from chunk index to chunk,
+// with a one-entry lookup cache and an optional FIFO capacity limit. When
+// the limit is reached the oldest chunk is evicted through the onEvict
+// callback (which flushes its open re-use episodes), trading a small,
+// bounded accuracy loss for bounded memory — the paper's memory-limit
+// command-line option, needed there only for dedup.
+type shadowTable struct {
+	chunks  map[uint64]*shadowChunk
+	order   []uint64 // chunk keys in creation order (FIFO)
+	max     int      // max live chunks; 0 = unlimited
+	reuse   bool
+	onEvict func(key uint64, ch *shadowChunk)
+
+	lastKey uint64
+	last    *shadowChunk
+
+	allocated uint64 // chunks ever created
+	evicted   uint64
+	peakLive  int
+}
+
+func newShadowTable(maxChunks int, reuse bool, onEvict func(uint64, *shadowChunk)) *shadowTable {
+	return &shadowTable{
+		chunks:  make(map[uint64]*shadowChunk),
+		max:     maxChunks,
+		reuse:   reuse,
+		onEvict: onEvict,
+		lastKey: ^uint64(0),
+	}
+}
+
+// get returns the chunk and intra-chunk index for granule g, materializing
+// the chunk on first touch.
+func (t *shadowTable) get(g uint64) (*shadowChunk, uint32) {
+	key := g >> chunkBits
+	if key == t.lastKey {
+		return t.last, uint32(g & chunkMask)
+	}
+	ch := t.chunks[key]
+	if ch == nil {
+		ch = &shadowChunk{objs: make([]shadowObj, chunkGranules)}
+		if t.reuse {
+			ch.reuse = make([]reuseObj, chunkGranules)
+		}
+		if t.max > 0 && len(t.chunks) >= t.max {
+			t.evictOldest()
+		}
+		t.chunks[key] = ch
+		t.order = append(t.order, key)
+		t.allocated++
+		if live := len(t.chunks); live > t.peakLive {
+			t.peakLive = live
+		}
+	}
+	t.lastKey, t.last = key, ch
+	return ch, uint32(g & chunkMask)
+}
+
+// peek returns the chunk for granule g without materializing it.
+func (t *shadowTable) peek(g uint64) (*shadowChunk, uint32) {
+	key := g >> chunkBits
+	if key == t.lastKey {
+		return t.last, uint32(g & chunkMask)
+	}
+	ch := t.chunks[key]
+	if ch != nil {
+		t.lastKey, t.last = key, ch
+	}
+	return ch, uint32(g & chunkMask)
+}
+
+func (t *shadowTable) evictOldest() {
+	for len(t.order) > 0 {
+		key := t.order[0]
+		t.order = t.order[1:]
+		ch, ok := t.chunks[key]
+		if !ok {
+			continue // already evicted
+		}
+		if t.onEvict != nil {
+			t.onEvict(key, ch)
+		}
+		delete(t.chunks, key)
+		if t.lastKey == key {
+			t.lastKey = ^uint64(0)
+			t.last = nil
+		}
+		t.evicted++
+		return
+	}
+}
+
+// forEach visits every live chunk (used for end-of-run flushing).
+func (t *shadowTable) forEach(fn func(key uint64, ch *shadowChunk)) {
+	for key, ch := range t.chunks {
+		fn(key, ch)
+	}
+}
+
+// ShadowStats describes the shadow memory's footprint for the paper's
+// memory-usage characterization (Fig 6).
+type ShadowStats struct {
+	ChunksAllocated uint64 // chunks ever materialized
+	ChunksLive      uint64 // chunks resident at end of run
+	ChunksEvicted   uint64 // chunks dropped by the FIFO limit
+	PeakLiveChunks  uint64
+	BytesPerChunk   uint64
+	PeakBytes       uint64 // peak shadow footprint
+	GranuleBytes    uint64 // data bytes covered per granule (1 or line size)
+}
+
+func (t *shadowTable) stats(granuleBytes uint64) ShadowStats {
+	perChunk := uint64(chunkGranules) * shadowBytesPerGranule(t.reuse)
+	return ShadowStats{
+		ChunksAllocated: t.allocated,
+		ChunksLive:      uint64(len(t.chunks)),
+		ChunksEvicted:   t.evicted,
+		PeakLiveChunks:  uint64(t.peakLive),
+		BytesPerChunk:   perChunk,
+		PeakBytes:       uint64(t.peakLive) * perChunk,
+		GranuleBytes:    granuleBytes,
+	}
+}

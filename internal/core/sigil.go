@@ -1,0 +1,540 @@
+package core
+
+import (
+	"fmt"
+
+	"sigil/internal/callgrind"
+	"sigil/internal/trace"
+	"sigil/internal/vm"
+)
+
+// Options configures a Sigil run.
+type Options struct {
+	// TrackReuse enables re-use mode: shadow objects grow by the re-use
+	// count and lifetime fields of Table I, and per-context re-use
+	// histograms are collected.
+	TrackReuse bool
+
+	// LineGranularity switches shadowing from one object per byte to one
+	// object per cache line of LineSize bytes; output then includes the
+	// per-line re-use report of the paper's Figure 12.
+	LineGranularity bool
+
+	// LineSize is the line size for line-granularity mode (default 64).
+	LineSize int
+
+	// MaxShadowChunks bounds shadow memory via FIFO chunk eviction
+	// (0 = unlimited). The paper needs this only for dedup, with
+	// negligible accuracy loss.
+	MaxShadowChunks int
+
+	// Events, when non-nil, receives the event-file representation: the
+	// execution as a sequence of dependent events.
+	Events trace.Sink
+
+	// Substrate configures the Callgrind-analogue tool Run creates
+	// (cache geometry, branch predictor, prefetcher). Ignored when the
+	// caller assembles its own tool chain via New.
+	Substrate callgrind.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.LineSize == 0 {
+		o.LineSize = 64
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.LineSize < 0 || o.LineSize&(o.LineSize-1) != 0 {
+		return fmt.Errorf("core: line size %d must be a power of two", o.LineSize)
+	}
+	if o.MaxShadowChunks < 0 {
+		return fmt.Errorf("core: negative shadow chunk limit")
+	}
+	if o.TrackReuse && o.LineGranularity {
+		// Line mode reports per-line access counts globally; per-context
+		// re-use episodes are a byte-mode concept (the paper runs them
+		// as separate modes too).
+		return fmt.Errorf("core: TrackReuse and LineGranularity are separate modes; run them as two profiles")
+	}
+	return nil
+}
+
+// Tool is the Sigil instrumentation tool. It must run chained after (and
+// pointed at) a callgrind.Tool, which resolves the executing calling
+// context — mirroring how the paper's Sigil hooks into Callgrind to identify
+// function names and count operations.
+type Tool struct {
+	sub    *callgrind.Tool
+	opts   Options
+	shadow *shadowTable
+	shift  uint // log2 granule size: 0 in byte mode
+
+	comm  []CommStats  // indexed by context ID
+	reuse []ReuseStats // indexed by context ID; nil unless TrackReuse
+
+	edges     map[uint64]*Edge
+	edgeKey   uint64 // one-entry edge cache for runs of same-edge bytes
+	edgeCache *Edge
+
+	// Pseudo-producer aggregate: bytes the program consumed from startup
+	// data and from the kernel, and bytes the kernel consumed.
+	startupOut  uint64
+	kernelOut   uint64
+	kernelIn    uint64
+	kernelReuse ReuseStats // episodes whose reader was the kernel
+
+	lines *LineReport
+
+	stack  []segFrame
+	events trace.Sink
+	evErr  error
+	// defined tracks which contexts have had a KindDefCtx emitted.
+	defined []bool
+
+	finished bool
+	result   *Result
+}
+
+// segFrame mirrors one open function call for event segmentation: ops and
+// per-producer unique bytes accumulate until the segment closes at the next
+// call boundary.
+type segFrame struct {
+	ctx  int32
+	enc  uint32 // encoded ctx, cached for the hot path
+	call uint64
+	ops  uint64
+	comm []commAcc
+}
+
+type commAcc struct {
+	srcEnc  uint32
+	srcCall uint64
+	bytes   uint64
+}
+
+var _ vm.Observer = (*Tool)(nil)
+
+// New returns a Sigil tool observing contexts through sub. Run it with
+// dbi.Chain{sub, sigilTool} so the substrate sees each event first.
+func New(sub *callgrind.Tool, opts Options) (*Tool, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tool{
+		sub:     sub,
+		opts:    opts,
+		edges:   make(map[uint64]*Edge),
+		events:  opts.Events,
+		edgeKey: ^uint64(0),
+	}
+	if opts.LineGranularity {
+		for 1<<t.shift < opts.LineSize {
+			t.shift++
+		}
+		t.lines = &LineReport{LineSize: opts.LineSize}
+	}
+	// Line mode always tracks per-line access counts; byte mode tracks
+	// episodes only when re-use mode is on.
+	wantReuse := opts.TrackReuse || opts.LineGranularity
+	t.shadow = newShadowTable(opts.MaxShadowChunks, wantReuse, t.flushChunk)
+	return t, nil
+}
+
+// MustNew is New for statically valid options.
+func MustNew(sub *callgrind.Tool, opts Options) *Tool {
+	t, err := New(sub, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ProgramStart implements dbi.Tool. The loader's initialized data segments
+// are marked as produced at startup: they are the program's true input.
+func (t *Tool) ProgramStart(p *vm.Program, m *vm.Machine) {
+	for _, s := range p.Segments {
+		if len(s.Data) == 0 {
+			continue
+		}
+		g0 := s.Addr >> t.shift
+		g1 := (s.Addr + uint64(len(s.Data)) - 1) >> t.shift
+		for g := g0; g <= g1; g++ {
+			ch, idx := t.shadow.get(g)
+			ch.objs[idx].writer = encStartup
+			ch.objs[idx].writerCall = 0
+		}
+	}
+}
+
+// FnEnter implements dbi.Tool. The substrate has already pushed the new
+// context; Sigil mirrors it and starts a fresh event segment.
+func (t *Tool) FnEnter(fn int) {
+	node := t.sub.Current()
+	if node == nil {
+		return
+	}
+	call := t.sub.CurrentCall()
+	t.growCtx(node.ID)
+	if t.events != nil {
+		if len(t.stack) > 0 {
+			t.closeSegment(&t.stack[len(t.stack)-1])
+		}
+		t.defineCtx(node)
+		t.emit(trace.Event{Kind: trace.KindEnter, Ctx: int32(node.ID), Call: call, Time: t.sub.Now()})
+	}
+	t.stack = append(t.stack, segFrame{
+		ctx:  int32(node.ID),
+		enc:  encodeCtx(int32(node.ID)),
+		call: call,
+	})
+}
+
+// FnLeave implements dbi.Tool.
+func (t *Tool) FnLeave(fn int) {
+	if len(t.stack) == 0 {
+		return
+	}
+	f := &t.stack[len(t.stack)-1]
+	if t.events != nil {
+		t.closeSegment(f)
+		t.emit(trace.Event{Kind: trace.KindLeave, Ctx: f.ctx, Call: f.call, Time: t.sub.Now()})
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+}
+
+// Op implements dbi.Tool: operations accrue to the open segment for the
+// event representation (the substrate keeps the per-context totals).
+func (t *Tool) Op(class vm.OpClass) {
+	if len(t.stack) > 0 {
+		t.stack[len(t.stack)-1].ops++
+	}
+}
+
+// Branch implements dbi.Tool (no Sigil-specific action; the substrate
+// simulates prediction).
+func (t *Tool) Branch(site uint64, taken bool) {}
+
+// MemRead implements dbi.Tool: every granule of the access is classified.
+func (t *Tool) MemRead(addr uint64, size uint8) {
+	if len(t.stack) == 0 {
+		return
+	}
+	f := &t.stack[len(t.stack)-1]
+	g0 := addr >> t.shift
+	g1 := (addr + uint64(size) - 1) >> t.shift
+	now := t.sub.Now()
+	// Each granule counts one unit: a byte in byte mode (g1-g0+1 == size),
+	// a line-touch in line-granularity mode.
+	for g := g0; g <= g1; g++ {
+		t.readGranule(f, g, now, 1)
+	}
+}
+
+// MemWrite implements dbi.Tool: the writer takes ownership of the granules.
+func (t *Tool) MemWrite(addr uint64, size uint8) {
+	if len(t.stack) == 0 {
+		return
+	}
+	f := &t.stack[len(t.stack)-1]
+	g0 := addr >> t.shift
+	g1 := (addr + uint64(size) - 1) >> t.shift
+	now := t.sub.Now()
+	for g := g0; g <= g1; g++ {
+		t.writeGranule(f.enc, f.call, g, now)
+	}
+}
+
+// Syscall implements dbi.Tool. The calling context consumes the input
+// range (classified like its own reads — the syscall's data-marshalling
+// cost belongs to the caller) and the bytes then leave the program on an
+// explicit edge to the kernel; the output range is produced by the kernel.
+// Per the paper, nothing inside the call is visible.
+func (t *Tool) Syscall(sys vm.Sys, inAddr, inLen, outAddr, outLen uint64) {
+	now := t.sub.Now()
+	if inLen > 0 && len(t.stack) > 0 {
+		f := &t.stack[len(t.stack)-1]
+		g0 := inAddr >> t.shift
+		g1 := (inAddr + inLen - 1) >> t.shift
+		for g := g0; g <= g1; g++ {
+			t.readGranule(f, g, now, 1)
+		}
+		units := g1 - g0 + 1
+		t.kernelIn += units
+		if f.ctx >= 0 {
+			t.comm[f.ctx].OutputUnique += units
+		}
+		t.edge(f.enc, encKernel).Unique += units
+	}
+	if outLen > 0 {
+		g0 := outAddr >> t.shift
+		g1 := (outAddr + outLen - 1) >> t.shift
+		for g := g0; g <= g1; g++ {
+			t.writeGranule(encKernel, 0, g, now)
+		}
+	}
+	if t.events != nil && len(t.stack) > 0 {
+		f := &t.stack[len(t.stack)-1]
+		t.emit(trace.Event{
+			Kind: trace.KindSys, Ctx: f.ctx, Call: f.call,
+			Bytes: inLen, Ops: outLen, Time: now, Name: sys.Name(),
+		})
+	}
+}
+
+// ProgramEnd implements dbi.Tool: remaining segments close, all live shadow
+// chunks flush their open re-use episodes, and the result is frozen.
+func (t *Tool) ProgramEnd() {
+	for len(t.stack) > 0 {
+		f := &t.stack[len(t.stack)-1]
+		if t.events != nil {
+			t.closeSegment(f)
+			t.emit(trace.Event{Kind: trace.KindLeave, Ctx: f.ctx, Call: f.call, Time: t.sub.Now()})
+		}
+		t.stack = t.stack[:len(t.stack)-1]
+	}
+	t.shadow.forEach(t.flushChunk)
+	t.finished = true
+}
+
+// readGranule classifies one granule read by frame f at time now, counting
+// `bytes` toward the communication aggregates.
+func (t *Tool) readGranule(f *segFrame, g, now, bytes uint64) {
+	ch, idx := t.shadow.get(g)
+	obj := &ch.objs[idx]
+	// Unique vs non-unique follows the paper's mechanism exactly: "Sigil
+	// checks if the reading FUNCTION is the last reader and if so counts
+	// the read as non-unique" — the call number is not consulted for
+	// uniqueness (it delimits re-use episodes below). This is what makes
+	// a function's repeated sweeps over the same data count once.
+	sameReader := obj.reader == f.enc
+	sameCall := sameReader && obj.readerCall == uint32(f.call)
+
+	src := obj.writer
+	if src == encInvalid {
+		src = encStartup
+	}
+	if src == f.enc {
+		// Local: produced and read by the same function context.
+		if f.ctx >= 0 {
+			s := &t.comm[f.ctx]
+			if sameReader {
+				s.LocalNonUnique += bytes
+			} else {
+				s.LocalUnique += bytes
+			}
+		}
+	} else {
+		// Input to the reader, output of the producer.
+		if f.ctx >= 0 {
+			s := &t.comm[f.ctx]
+			if sameReader {
+				s.InputNonUnique += bytes
+			} else {
+				s.InputUnique += bytes
+			}
+		} else if f.enc == encKernel {
+			t.kernelIn += bytes
+		}
+		switch src {
+		case encStartup:
+			if !sameReader {
+				t.startupOut += bytes
+			}
+		case encKernel:
+			if !sameReader {
+				t.kernelOut += bytes
+			}
+		default:
+			s := &t.comm[src-encBias]
+			if sameReader {
+				s.OutputNonUnique += bytes
+			} else {
+				s.OutputUnique += bytes
+			}
+		}
+		e := t.edge(src, f.enc)
+		if sameReader {
+			e.NonUnique += bytes
+		} else {
+			e.Unique += bytes
+		}
+		if !sameReader && t.events != nil && f.ctx >= 0 {
+			t.accumulateComm(f, src, uint64(obj.writerCall), bytes)
+		}
+	}
+
+	if ch.reuse != nil {
+		ro := &ch.reuse[idx]
+		if t.opts.LineGranularity {
+			// Line mode: global per-line access counting, no resets.
+			if ro.count == 0 && ro.first == 0 {
+				ro.first = now
+			}
+			ro.count++
+			ro.last = now
+		} else if sameCall {
+			// Same function call re-reading the byte: the episode
+			// continues (re-use lifetimes are per function call).
+			ro.count++
+			ro.last = now
+		} else {
+			if obj.reader != encInvalid {
+				t.flushEpisode(obj.reader, ro)
+			}
+			ro.count = 0
+			ro.first = now
+			ro.last = now
+		}
+	}
+
+	obj.reader = f.enc
+	obj.readerCall = uint32(f.call)
+}
+
+// writeGranule records the producer of one granule.
+func (t *Tool) writeGranule(enc uint32, call uint64, g, now uint64) {
+	ch, idx := t.shadow.get(g)
+	obj := &ch.objs[idx]
+	obj.writer = enc
+	obj.writerCall = uint32(call)
+	if t.opts.LineGranularity && ch.reuse != nil {
+		ro := &ch.reuse[idx]
+		if ro.count == 0 && ro.first == 0 {
+			ro.first = now
+		}
+		ro.count++
+		ro.last = now
+	}
+}
+
+// edge returns (allocating if needed) the aggregate edge src→dst, with a
+// one-entry cache for byte runs along the same edge.
+func (t *Tool) edge(srcEnc, dstEnc uint32) *Edge {
+	key := uint64(srcEnc)<<32 | uint64(dstEnc)
+	if key == t.edgeKey {
+		return t.edgeCache
+	}
+	e := t.edges[key]
+	if e == nil {
+		e = &Edge{Src: decodeCtx(srcEnc), Dst: decodeCtx(dstEnc)}
+		t.edges[key] = e
+	}
+	t.edgeKey, t.edgeCache = key, e
+	return e
+}
+
+// flushEpisode closes one re-use episode attributed to the encoded reader.
+func (t *Tool) flushEpisode(readerEnc uint32, ro *reuseObj) {
+	lifetime := ro.last - ro.first
+	switch {
+	case readerEnc >= encBias:
+		t.reuse[readerEnc-encBias].recordEpisode(ro.count, lifetime)
+	case readerEnc == encKernel:
+		t.kernelReuse.recordEpisode(ro.count, lifetime)
+	}
+}
+
+// flushChunk is the eviction / end-of-run hook: open episodes flush to their
+// readers, and in line mode each touched line joins the global report.
+func (t *Tool) flushChunk(key uint64, ch *shadowChunk) {
+	if ch.reuse == nil {
+		return
+	}
+	if t.opts.LineGranularity {
+		for i := range ch.reuse {
+			ro := &ch.reuse[i]
+			if ro.count > 0 {
+				t.lines.record(uint64(ro.count) - 1)
+			}
+		}
+		return
+	}
+	for i := range ch.objs {
+		if ch.objs[i].reader != encInvalid {
+			t.flushEpisode(ch.objs[i].reader, &ch.reuse[i])
+			ch.objs[i].reader = encInvalid
+		}
+	}
+}
+
+func (t *Tool) growCtx(id int) {
+	for len(t.comm) <= id {
+		t.comm = append(t.comm, CommStats{})
+	}
+	if t.opts.TrackReuse {
+		for len(t.reuse) <= id {
+			t.reuse = append(t.reuse, ReuseStats{})
+		}
+	}
+	if t.events != nil {
+		for len(t.defined) <= id {
+			t.defined = append(t.defined, false)
+		}
+	}
+}
+
+// --- event emission ---
+
+func (t *Tool) accumulateComm(f *segFrame, srcEnc uint32, srcCall, bytes uint64) {
+	for i := range f.comm {
+		if f.comm[i].srcEnc == srcEnc && f.comm[i].srcCall == srcCall {
+			f.comm[i].bytes += bytes
+			return
+		}
+	}
+	f.comm = append(f.comm, commAcc{srcEnc: srcEnc, srcCall: srcCall, bytes: bytes})
+}
+
+// closeSegment emits the open segment's accumulated communication and
+// operation count, then resets the frame for its next segment.
+func (t *Tool) closeSegment(f *segFrame) {
+	if f.ops == 0 && len(f.comm) == 0 {
+		return
+	}
+	now := t.sub.Now()
+	for _, c := range f.comm {
+		t.emit(trace.Event{
+			Kind:    trace.KindComm,
+			Ctx:     f.ctx,
+			Call:    f.call,
+			SrcCtx:  decodeCtx(c.srcEnc),
+			SrcCall: c.srcCall,
+			Bytes:   c.bytes,
+			Time:    now,
+		})
+	}
+	t.emit(trace.Event{Kind: trace.KindOps, Ctx: f.ctx, Call: f.call, Ops: f.ops, Time: now})
+	f.ops = 0
+	f.comm = f.comm[:0]
+}
+
+func (t *Tool) defineCtx(node *callgrind.Node) {
+	if t.defined[node.ID] {
+		return
+	}
+	parent := int32(-1)
+	if node.Parent != nil {
+		if !t.defined[node.Parent.ID] {
+			t.defineCtx(node.Parent)
+		}
+		parent = int32(node.Parent.ID)
+	}
+	t.defined[node.ID] = true
+	t.emit(trace.Event{Kind: trace.KindDefCtx, Ctx: int32(node.ID), SrcCtx: parent, Name: node.Name})
+}
+
+func (t *Tool) emit(e trace.Event) {
+	if t.evErr != nil {
+		return
+	}
+	if err := t.events.Emit(e); err != nil {
+		t.evErr = err
+	}
+}
+
+// EventError returns the first event-sink error, if any (profiling continues
+// past sink failures; aggregates stay valid).
+func (t *Tool) EventError() error { return t.evErr }

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"testing"
+
+	"sigil/internal/trace"
+	"sigil/internal/vm"
+)
+
+// producerConsumer builds the canonical toy: main calls producer (writes N
+// 8-byte values to buf) then consumer (reads them back `passes` times).
+func producerConsumer(t *testing.T, n int64, passes int64) *vm.Program {
+	t.Helper()
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", uint64(n*8))
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, n)
+	main.Movi(vm.R3, passes)
+	main.Call("producer")
+	main.Call("consumer")
+	main.Halt()
+
+	p := b.Func("producer")
+	p.Mov(vm.R4, vm.R1)
+	p.Movi(vm.R5, 0)
+	top := p.Here()
+	p.Store(vm.R4, 0, vm.R5, 8)
+	p.Addi(vm.R4, vm.R4, 8)
+	p.Addi(vm.R5, vm.R5, 1)
+	p.Blt(vm.R5, vm.R2, top)
+	p.Ret()
+
+	c := b.Func("consumer")
+	c.Movi(vm.R6, 0) // pass counter
+	pass := c.Here()
+	c.Mov(vm.R4, vm.R1)
+	c.Movi(vm.R5, 0)
+	inner := c.Here()
+	c.Load(vm.R7, vm.R4, 0, 8)
+	c.Addi(vm.R4, vm.R4, 8)
+	c.Addi(vm.R5, vm.R5, 1)
+	c.Blt(vm.R5, vm.R2, inner)
+	c.Addi(vm.R6, vm.R6, 1)
+	c.Blt(vm.R6, vm.R3, pass)
+	c.Ret()
+	return b.MustBuild()
+}
+
+func mustRun(t *testing.T, p *vm.Program, opts Options) *Result {
+	t.Helper()
+	r, err := Run(p, opts, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func commOf(t *testing.T, r *Result, name string) CommStats {
+	t.Helper()
+	s, ok := r.CommByFunction()[name]
+	if !ok {
+		t.Fatalf("no comm stats for %q", name)
+	}
+	return s
+}
+
+func edgeBetween(r *Result, src, dst string) (Edge, bool) {
+	for _, e := range r.Edges {
+		if r.CtxName(e.Src) == src && r.CtxName(e.Dst) == dst {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+func TestInputOutputClassification(t *testing.T) {
+	r := mustRun(t, producerConsumer(t, 16, 1), Options{})
+	cons := commOf(t, r, "consumer")
+	if cons.InputUnique != 128 {
+		t.Errorf("consumer unique input = %d, want 128", cons.InputUnique)
+	}
+	if cons.InputNonUnique != 0 {
+		t.Errorf("consumer non-unique input = %d, want 0", cons.InputNonUnique)
+	}
+	prod := commOf(t, r, "producer")
+	if prod.OutputUnique != 128 {
+		t.Errorf("producer unique output = %d, want 128", prod.OutputUnique)
+	}
+	e, ok := edgeBetween(r, "producer", "consumer")
+	if !ok {
+		t.Fatal("producer→consumer edge missing")
+	}
+	if e.Unique != 128 || e.NonUnique != 0 {
+		t.Errorf("edge = %+v, want 128 unique", e)
+	}
+}
+
+func TestNonUniqueRepeatReads(t *testing.T) {
+	// Consumer reads the buffer 3 times in a single call: the first pass
+	// is unique, the next two are non-unique (same reader, same call).
+	r := mustRun(t, producerConsumer(t, 16, 3), Options{})
+	cons := commOf(t, r, "consumer")
+	if cons.InputUnique != 128 {
+		t.Errorf("unique input = %d, want 128", cons.InputUnique)
+	}
+	if cons.InputNonUnique != 256 {
+		t.Errorf("non-unique input = %d, want 256", cons.InputNonUnique)
+	}
+	e, _ := edgeBetween(r, "producer", "consumer")
+	if e.Unique != 128 || e.NonUnique != 256 {
+		t.Errorf("edge = %+v", e)
+	}
+}
+
+func TestLocalClassification(t *testing.T) {
+	// One function writes then reads its own scratch: all local.
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 64)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, 7)
+	main.Store(vm.R1, 0, vm.R2, 8)
+	main.Load(vm.R3, vm.R1, 0, 8)
+	main.Load(vm.R4, vm.R1, 0, 8)
+	main.Halt()
+	r := mustRun(t, b.MustBuild(), Options{})
+	m := commOf(t, r, "main")
+	if m.LocalUnique != 8 {
+		t.Errorf("local unique = %d, want 8", m.LocalUnique)
+	}
+	if m.LocalNonUnique != 8 {
+		t.Errorf("local non-unique = %d, want 8", m.LocalNonUnique)
+	}
+	if m.InputUnique != 0 || m.OutputUnique != 0 {
+		t.Errorf("unexpected input/output: %+v", m)
+	}
+}
+
+func TestDistinctCallsReadNonUnique(t *testing.T) {
+	// Two separate calls to the same consumer function each read the
+	// buffer once: the paper's last-reader mechanism consults only the
+	// reading *function*, so the second call's reads are non-unique —
+	// this is what absorbs a function's repeated sweeps over stable data
+	// (the paper's FlexImage::Set discussion).
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 64)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, 1)
+	main.Store(vm.R1, 0, vm.R2, 8)
+	main.Call("reader")
+	main.Call("reader")
+	main.Halt()
+	rd := b.Func("reader")
+	rd.Load(vm.R3, vm.R1, 0, 8)
+	rd.Ret()
+	r := mustRun(t, b.MustBuild(), Options{})
+	s := commOf(t, r, "reader")
+	if s.InputUnique != 8 || s.InputNonUnique != 8 {
+		t.Errorf("two calls: unique=%d nonunique=%d, want 8/8",
+			s.InputUnique, s.InputNonUnique)
+	}
+}
+
+func TestAlternatingReadersStayUnique(t *testing.T) {
+	// Two different functions alternately reading the same byte: the
+	// single last-reader field makes every read unique — the documented
+	// artefact of the paper's mechanism (and the reason shared stack
+	// slots read by many callees keep counting as unique).
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 8)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, 3)
+	main.Store(vm.R1, 0, vm.R2, 8)
+	main.Call("readerA")
+	main.Call("readerB")
+	main.Call("readerA")
+	main.Call("readerB")
+	main.Halt()
+	ra := b.Func("readerA")
+	ra.Load(vm.R3, vm.R1, 0, 8)
+	ra.Ret()
+	rb := b.Func("readerB")
+	rb.Load(vm.R3, vm.R1, 0, 8)
+	rb.Ret()
+	r := mustRun(t, b.MustBuild(), Options{})
+	for _, name := range []string{"readerA", "readerB"} {
+		s := commOf(t, r, name)
+		if s.InputUnique != 16 || s.InputNonUnique != 0 {
+			t.Errorf("%s: unique=%d nonunique=%d, want 16/0 (alternating readers)",
+				name, s.InputUnique, s.InputNonUnique)
+		}
+	}
+}
+
+func TestStartupProducer(t *testing.T) {
+	b := vm.NewBuilder()
+	addr := b.Data("init", []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	main := b.Func("main")
+	main.MoviU(vm.R1, addr)
+	main.Load(vm.R2, vm.R1, 0, 8)
+	main.Halt()
+	r := mustRun(t, b.MustBuild(), Options{})
+	m := commOf(t, r, "main")
+	if m.InputUnique != 8 {
+		t.Errorf("startup input = %d, want 8", m.InputUnique)
+	}
+	if r.StartupBytes != 8 {
+		t.Errorf("StartupBytes = %d, want 8", r.StartupBytes)
+	}
+	if _, ok := edgeBetween(r, "@startup", "main"); !ok {
+		t.Error("@startup edge missing")
+	}
+}
+
+func TestNeverWrittenMemoryIsStartup(t *testing.T) {
+	b := vm.NewBuilder()
+	addr := b.Reserve("zeroes", 64)
+	main := b.Func("main")
+	main.MoviU(vm.R1, addr)
+	main.Load(vm.R2, vm.R1, 0, 4)
+	main.Halt()
+	r := mustRun(t, b.MustBuild(), Options{})
+	if _, ok := edgeBetween(r, "@startup", "main"); !ok {
+		t.Error("never-written read should come from @startup")
+	}
+}
+
+func TestKernelProducerAndConsumer(t *testing.T) {
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 64)
+	main := b.Func("main")
+	// Read 8 bytes from input: kernel produces them.
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, 8)
+	main.Sys(vm.SysRead)
+	// Consume them.
+	main.Load(vm.R3, vm.R1, 0, 8)
+	// Produce 8 new bytes and write them out: kernel consumes.
+	main.Movi(vm.R4, 42)
+	main.Store(vm.R1, 8, vm.R4, 8)
+	main.MoviU(vm.R1, buf)
+	main.Addi(vm.R1, vm.R1, 8)
+	main.Movi(vm.R2, 8)
+	main.Sys(vm.SysWrite)
+	main.Halt()
+	p := b.MustBuild()
+	r, err := Run(p, Options{}, []byte("12345678"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := edgeBetween(r, "@kernel", "main"); !ok || e.Unique != 8 {
+		t.Errorf("kernel→main edge = %+v ok=%v, want 8 unique", e, ok)
+	}
+	if e, ok := edgeBetween(r, "main", "@kernel"); !ok || e.Unique != 8 {
+		t.Errorf("main→kernel edge = %+v ok=%v, want 8 unique", e, ok)
+	}
+	if r.KernelOutBytes != 8 || r.KernelInBytes != 8 {
+		t.Errorf("kernel bytes out=%d in=%d, want 8/8", r.KernelOutBytes, r.KernelInBytes)
+	}
+	m := commOf(t, r, "main")
+	if m.OutputUnique != 8 {
+		t.Errorf("main output to kernel = %d, want 8", m.OutputUnique)
+	}
+}
+
+func TestContextSeparatedComm(t *testing.T) {
+	// The same helper called from two parents gets separate per-context
+	// communication accounting.
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 128)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Movi(vm.R2, 5)
+	main.Store(vm.R1, 0, vm.R2, 8)
+	main.Store(vm.R1, 64, vm.R2, 8)
+	main.Call("a")
+	main.Call("b")
+	main.Halt()
+	fa := b.Func("a")
+	fa.Call("helper")
+	fa.Ret()
+	fb := b.Func("b")
+	fb.Addi(vm.R1, vm.R1, 64)
+	fb.Call("helper")
+	fb.Ret()
+	h := b.Func("helper")
+	h.Load(vm.R3, vm.R1, 0, 8)
+	h.Ret()
+	r := mustRun(t, b.MustBuild(), Options{})
+	var paths []string
+	for id := range r.Profile.Nodes {
+		if r.Comm[id].InputUnique > 0 && r.Profile.Nodes[id].Name == "helper" {
+			paths = append(paths, r.Profile.Nodes[id].Path())
+		}
+	}
+	if len(paths) != 2 {
+		t.Fatalf("helper contexts with input = %v, want 2", paths)
+	}
+	agg := commOf(t, r, "helper")
+	if agg.InputUnique != 16 {
+		t.Errorf("helper aggregate input = %d, want 16", agg.InputUnique)
+	}
+}
+
+func TestOverwriteKeepsLastReaderSemantics(t *testing.T) {
+	// P writes, G reads (unique), P overwrites, G reads again in the same
+	// call: the paper's mechanism only consults the last reader, so the
+	// second read counts as non-unique despite the new value.
+	b := vm.NewBuilder()
+	buf := b.Reserve("buf", 8)
+	main := b.Func("main")
+	main.MoviU(vm.R1, buf)
+	main.Call("writeread")
+	main.Halt()
+	wr := b.Func("writeread")
+	wr.Movi(vm.R2, 1)
+	wr.Store(vm.R1, 0, vm.R2, 8)
+	wr.Call("reader2")
+	wr.Ret()
+	rd := b.Func("reader2")
+	rd.Load(vm.R3, vm.R1, 0, 8)
+	// Overwrite from within the same reader's call via a helper write,
+	// then read again.
+	rd.Movi(vm.R4, 2)
+	rd.Call("rewriter")
+	rd.Load(vm.R5, vm.R1, 0, 8)
+	rd.Ret()
+	rw := b.Func("rewriter")
+	rw.Store(vm.R1, 0, vm.R4, 8)
+	rw.Ret()
+	r := mustRun(t, b.MustBuild(), Options{})
+	s := commOf(t, r, "reader2")
+	if s.InputUnique != 8 || s.InputNonUnique != 8 {
+		t.Errorf("overwrite semantics: unique=%d nonunique=%d, want 8/8",
+			s.InputUnique, s.InputNonUnique)
+	}
+}
+
+func TestTotalCommunicatedAndTotalRead(t *testing.T) {
+	r := mustRun(t, producerConsumer(t, 8, 2), Options{})
+	total := r.TotalCommunicated()
+	if total.TotalRead() != 128 { // 64 unique + 64 repeat
+		t.Errorf("total read = %d, want 128", total.TotalRead())
+	}
+	cons := commOf(t, r, "consumer")
+	if cons.UniqueIn() != 64 {
+		t.Errorf("UniqueIn = %d", cons.UniqueIn())
+	}
+	prod := commOf(t, r, "producer")
+	if prod.UniqueOut() != 64 {
+		t.Errorf("UniqueOut = %d", prod.UniqueOut())
+	}
+}
+
+func TestResultBeforeEndFails(t *testing.T) {
+	sub := newSubstrate()
+	tool := MustNew(sub, Options{})
+	if _, err := tool.Result(); err == nil {
+		t.Error("Result before run accepted")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	sub := newSubstrate()
+	if _, err := New(sub, Options{LineSize: 48}); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	if _, err := New(sub, Options{MaxShadowChunks: -1}); err == nil {
+		t.Error("negative chunk limit accepted")
+	}
+}
+
+func TestEventStreamStructure(t *testing.T) {
+	var buf trace.Buffer
+	p := producerConsumer(t, 4, 1)
+	r, err := Run(p, Options{Events: &buf}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+	tr := trace.FromBuffer(&buf)
+	if len(tr.Contexts) != 3 { // main, main/producer, main/consumer
+		t.Errorf("contexts = %d, want 3", len(tr.Contexts))
+	}
+	// Enter/Leave must nest properly and balance.
+	depth := 0
+	var commBytes uint64
+	opsByCtx := map[int32]uint64{}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindEnter:
+			depth++
+		case trace.KindLeave:
+			depth--
+			if depth < 0 {
+				t.Fatal("unbalanced leave")
+			}
+		case trace.KindComm:
+			if tr.CtxName(e.SrcCtx) == "producer" && tr.CtxName(e.Ctx) == "consumer" {
+				commBytes += e.Bytes
+			}
+		case trace.KindOps:
+			opsByCtx[e.Ctx] += e.Ops
+		}
+	}
+	if depth != 0 {
+		t.Errorf("unbalanced enters: depth %d at end", depth)
+	}
+	if commBytes != 32 {
+		t.Errorf("producer→consumer comm bytes = %d, want 32", commBytes)
+	}
+	// Every context that executed arithmetic has ops events.
+	for ctx, info := range tr.Contexts {
+		if opsByCtx[ctx] == 0 {
+			t.Errorf("context %s has no ops", info.Name)
+		}
+	}
+}
+
+func TestEventTimesMonotonic(t *testing.T) {
+	var buf trace.Buffer
+	if _, err := Run(producerConsumer(t, 4, 2), Options{Events: &buf}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.FromBuffer(&buf)
+	var last uint64
+	for i, e := range tr.Events {
+		if e.Time < last {
+			t.Fatalf("event %d time %d < previous %d", i, e.Time, last)
+		}
+		last = e.Time
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sigil/internal/critpath"
+	"sigil/internal/workloads"
+)
+
+// Figure13Row is one bar of Fig 13 plus the critical-path function chain
+// the paper reports in §IV-C for streamcluster and fluidanimate.
+type Figure13Row struct {
+	Name        string
+	Parallelism float64
+	SerialOps   uint64
+	CriticalOps uint64
+	Chain       []string // main → leaf
+}
+
+// Figure13Result holds the function-level parallelism study.
+type Figure13Result struct {
+	Rows []Figure13Row
+}
+
+// Figure13 analyzes the event traces of the paper's parallelism-study
+// workloads.
+func (s *Suite) Figure13() (*Figure13Result, error) {
+	out := &Figure13Result{}
+	for _, name := range workloads.Fig13Names() {
+		row, err := s.figure13Row(name)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func (s *Suite) figure13Row(name string) (Figure13Row, error) {
+	tr, err := s.Trace(name)
+	if err != nil {
+		return Figure13Row{}, err
+	}
+	a, err := critpath.Analyze(tr)
+	if err != nil {
+		return Figure13Row{}, fmt.Errorf("experiments: critical path of %s: %w", name, err)
+	}
+	return Figure13Row{
+		Name:        name,
+		Parallelism: a.Parallelism(),
+		SerialOps:   a.SerialOps,
+		CriticalOps: a.CriticalOps,
+		Chain:       a.Chain,
+	}, nil
+}
+
+// CriticalPathChains returns the leaf→main chains for the two workloads the
+// paper discusses in §IV-C.
+func (s *Suite) CriticalPathChains() (map[string][]string, error) {
+	out := map[string][]string{}
+	for _, name := range []string{"streamcluster", "fluidanimate"} {
+		row, err := s.figure13Row(name)
+		if err != nil {
+			return nil, err
+		}
+		// Present leaf → main, the paper's direction.
+		chain := make([]string, len(row.Chain))
+		for i, fn := range row.Chain {
+			chain[len(chain)-1-i] = fn
+		}
+		out[name] = chain
+	}
+	return out, nil
+}
+
+// Render prints Fig 13 and the §IV-C chains.
+func (r *Figure13Result) Render() string {
+	tb := &table{
+		title:   "Figure 13: Maximum speedup based on function-level parallelism",
+		headers: []string{"workload", "parallelism", "serial ops", "critical ops"},
+	}
+	for _, row := range r.Rows {
+		tb.add(row.Name, f2(row.Parallelism),
+			fmt.Sprintf("%d", row.SerialOps), fmt.Sprintf("%d", row.CriticalOps))
+	}
+	var sb strings.Builder
+	sb.WriteString(tb.String())
+	for _, row := range r.Rows {
+		if row.Name == "streamcluster" || row.Name == "fluidanimate" {
+			chain := make([]string, len(row.Chain))
+			for i, fn := range row.Chain {
+				chain[len(chain)-1-i] = fn
+			}
+			fmt.Fprintf(&sb, "%s critical path (leaf→main): %s\n",
+				row.Name, strings.Join(chain, " -> "))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sigil/internal/cdfg"
+	"sigil/internal/core"
+	"sigil/internal/critpath"
+	"sigil/internal/workloads"
+)
+
+// The experiments in this file extend the paper rather than reproduce it:
+// §IV-C sketches mapping dependency chains onto a fixed number of
+// scheduling slots and defers communication-aware critical paths; both are
+// implemented in internal/critpath and surfaced here as extra experiments.
+
+// ScheduleRow is one workload's scheduling curve.
+type ScheduleRow struct {
+	Name        string
+	Parallelism float64 // the Fig 13 bound
+	Speedups    []float64
+	CrossBytes  []uint64
+}
+
+// ScheduleResult is the slot-mapping study across the Fig 13 workloads.
+type ScheduleResult struct {
+	Slots []int
+	Rows  []ScheduleRow
+}
+
+// ScheduleCurve maps each parallelism-study workload's chains onto the
+// given slot counts and reports achieved speedups against the theoretical
+// bound.
+func (s *Suite) ScheduleCurve(slots []int) (*ScheduleResult, error) {
+	if len(slots) == 0 {
+		slots = []int{2, 4, 8, 16}
+	}
+	out := &ScheduleResult{Slots: slots}
+	for _, name := range workloads.Fig13Names() {
+		tr, err := s.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		a, err := critpath.Analyze(tr)
+		if err != nil {
+			return nil, err
+		}
+		row := ScheduleRow{Name: name, Parallelism: a.Parallelism()}
+		for _, n := range slots {
+			r, err := critpath.Schedule(tr, n)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedups = append(row.Speedups, r.Speedup())
+			row.CrossBytes = append(row.CrossBytes, r.CrossSlotBytes)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the scheduling study.
+func (r *ScheduleResult) Render() string {
+	headers := []string{"workload", "bound"}
+	for _, s := range r.Slots {
+		headers = append(headers, fmt.Sprintf("%d slots", s))
+	}
+	tb := &table{
+		title:   "Extension: dependency chains scheduled onto bounded slots (speedup vs Fig 13 bound)",
+		headers: headers,
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Name, f2(row.Parallelism)}
+		for _, sp := range row.Speedups {
+			cells = append(cells, f2(sp))
+		}
+		tb.add(cells...)
+	}
+	return tb.String()
+}
+
+// CommAwareRow compares a workload's critical path with and without
+// communication charged.
+type CommAwareRow struct {
+	Name         string
+	Plain        float64 // parallelism, computation-only chains
+	CommCharged  float64 // parallelism with data edges charged
+	ChainChanged bool
+	OpsPerByte   float64
+}
+
+// CommAwareResult is the communication-aware critical-path study.
+type CommAwareResult struct {
+	Rows []CommAwareRow
+}
+
+// CommAwareCurve re-runs the Fig 13 analysis with data-transfer edges
+// charged at opsPerByte (the paper's deferred "more sophisticated critical
+// path analysis ... which also take communication edges into account").
+func (s *Suite) CommAwareCurve(opsPerByte float64) (*CommAwareResult, error) {
+	out := &CommAwareResult{}
+	for _, name := range workloads.Fig13Names() {
+		tr, err := s.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := critpath.Analyze(tr)
+		if err != nil {
+			return nil, err
+		}
+		charged, err := critpath.AnalyzeWithComm(tr, critpath.CommConfig{OpsPerByte: opsPerByte})
+		if err != nil {
+			return nil, err
+		}
+		changed := len(plain.Chain) != len(charged.Chain)
+		if !changed {
+			for i := range plain.Chain {
+				if plain.Chain[i] != charged.Chain[i] {
+					changed = true
+					break
+				}
+			}
+		}
+		out.Rows = append(out.Rows, CommAwareRow{
+			Name:         name,
+			Plain:        plain.Parallelism(),
+			CommCharged:  charged.Parallelism(),
+			ChainChanged: changed,
+			OpsPerByte:   opsPerByte,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the communication-aware study.
+func (r *CommAwareResult) Render() string {
+	tb := &table{
+		title:   "Extension: communication-aware critical paths (data edges charged)",
+		headers: []string{"workload", "plain", "charged", "chain changed"},
+	}
+	for _, row := range r.Rows {
+		tb.add(row.Name, f2(row.Plain), f2(row.CommCharged), fmt.Sprintf("%v", row.ChainChanged))
+	}
+	return tb.String()
+}
+
+// AccuracyRow quantifies the shadow FIFO limit's accuracy cost on one
+// workload: the relative error in classified unique bytes between the
+// limited and unlimited runs (the paper reports the loss is negligible for
+// dedup, the one workload it limits).
+type AccuracyRow struct {
+	Name             string
+	LimitChunks      int
+	UniqueExact      uint64 // unique input bytes, unlimited shadow
+	UniqueLimited    uint64
+	RelativeError    float64
+	PeakBytesExact   uint64
+	PeakBytesLimited uint64
+}
+
+// MemoryLimitAccuracy profiles a workload with and without the FIFO chunk
+// limit and reports the classification drift alongside the memory saved.
+func (s *Suite) MemoryLimitAccuracy(name string, limitChunks int) (*AccuracyRow, error) {
+	prog, input, err := workloads.Build(name, workloads.SimSmall)
+	if err != nil {
+		return nil, err
+	}
+	exact, err := core.Run(prog, core.Options{}, input)
+	if err != nil {
+		return nil, err
+	}
+	prog2, input2, err := workloads.Build(name, workloads.SimSmall)
+	if err != nil {
+		return nil, err
+	}
+	limited, err := core.Run(prog2, core.Options{MaxShadowChunks: limitChunks}, input2)
+	if err != nil {
+		return nil, err
+	}
+	row := &AccuracyRow{
+		Name:             name,
+		LimitChunks:      limitChunks,
+		UniqueExact:      exact.TotalCommunicated().InputUnique,
+		UniqueLimited:    limited.TotalCommunicated().InputUnique,
+		PeakBytesExact:   exact.Shadow.PeakBytes,
+		PeakBytesLimited: limited.Shadow.PeakBytes,
+	}
+	if row.UniqueExact > 0 {
+		diff := float64(row.UniqueLimited) - float64(row.UniqueExact)
+		if diff < 0 {
+			diff = -diff
+		}
+		row.RelativeError = diff / float64(row.UniqueExact)
+	}
+	return row, nil
+}
+
+// Render prints one accuracy row.
+func (r *AccuracyRow) Render() string {
+	return fmt.Sprintf(
+		"Extension: FIFO shadow limit accuracy — %s @ %d chunks\n"+
+			"unique input bytes: exact %d, limited %d (relative error %.4f%%)\n"+
+			"peak shadow: %.1f MiB -> %.1f MiB\n",
+		r.Name, r.LimitChunks, r.UniqueExact, r.UniqueLimited,
+		100*r.RelativeError,
+		float64(r.PeakBytesExact)/(1<<20), float64(r.PeakBytesLimited)/(1<<20))
+}
+
+// OffloadRow is one workload's application-speedup estimate under the
+// early-stage offload model of the paper's follow-up work [23].
+type OffloadRow struct {
+	Name         string
+	Coverage     float64
+	Accelerators int
+	AppSpeedup   float64
+}
+
+// OffloadResult is the offload study across the Table II benchmarks.
+type OffloadResult struct {
+	Speedup float64
+	Rows    []OffloadRow
+}
+
+// OffloadStudy estimates each Table II benchmark's whole-application
+// speedup assuming every selected candidate accelerates by `speedup`.
+func (s *Suite) OffloadStudy(speedup float64) (*OffloadResult, error) {
+	out := &OffloadResult{Speedup: speedup}
+	for _, name := range TableIIBenchmarks {
+		tr, err := s.trimmed(name)
+		if err != nil {
+			return nil, err
+		}
+		est, err := tr.EstimateOffload(cdfg.OffloadConfig{Speedup: speedup})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, OffloadRow{
+			Name:         name,
+			Coverage:     tr.Coverage(),
+			Accelerators: len(est.Selected),
+			AppSpeedup:   est.AppSpeedup,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the offload study.
+func (r *OffloadResult) Render() string {
+	tb := &table{
+		title: fmt.Sprintf(
+			"Extension: application speedup with %gx accelerators (the paper's next-step model [23])",
+			r.Speedup),
+		headers: []string{"workload", "coverage", "accelerators", "app speedup"},
+	}
+	for _, row := range r.Rows {
+		tb.add(row.Name, pct(row.Coverage), fmt.Sprintf("%d", row.Accelerators), f2(row.AppSpeedup))
+	}
+	return tb.String()
+}

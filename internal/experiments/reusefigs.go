@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sigil/internal/core"
+	"sigil/internal/reuse"
+	"sigil/internal/workloads"
+)
+
+// Figure8Result holds per-workload byte-reuse breakdowns.
+type Figure8Result struct {
+	Rows []Figure8Row
+}
+
+// Figure8Row is one stacked bar of Fig 8.
+type Figure8Row struct {
+	Name string
+	reuse.Breakdown
+}
+
+// Figure8 collects the reuse-count breakdown for every workload.
+func (s *Suite) Figure8() (*Figure8Result, error) {
+	out := &Figure8Result{}
+	for _, name := range workloads.Names() {
+		r, err := s.Profile(name, workloads.SimSmall, ModeReuse)
+		if err != nil {
+			return nil, err
+		}
+		b, err := reuse.Analyze(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Figure8Row{Name: name, Breakdown: b})
+	}
+	return out, nil
+}
+
+// Render prints Fig 8.
+func (r *Figure8Result) Render() string {
+	tb := &table{
+		title:   "Figure 8: Breakdown of data bytes based on re-use counts (simsmall)",
+		headers: []string{"workload", "0 re-use", "1-9", ">9", "episodes"},
+	}
+	for _, row := range r.Rows {
+		tb.add(row.Name, pct(row.Zero), pct(row.Low), pct(row.High),
+			fmt.Sprintf("%d", row.Episodes))
+	}
+	return tb.String()
+}
+
+// Figure9Row is one bar of Fig 9: a vips calling context's average re-use
+// lifetime, with contexts of the same function numbered like the paper's
+// conv_gen(1) / conv_gen(2).
+type Figure9Row struct {
+	Label       string
+	AvgLifetime float64
+	ReusedBytes uint64
+	UniqueShare float64
+}
+
+// Figure9Result holds the top-contexts chart.
+type Figure9Result struct {
+	Rows []Figure9Row
+}
+
+// Figure9 ranks vips calling contexts by reused bytes and reports their
+// average re-use lifetimes.
+func (s *Suite) Figure9(k int) (*Figure9Result, error) {
+	r, err := s.Profile("vips", workloads.SimSmall, ModeReuse)
+	if err != nil {
+		return nil, err
+	}
+	if r.Reuse == nil {
+		return nil, fmt.Errorf("experiments: vips reuse profile missing")
+	}
+	var totalUnique uint64
+	for _, c := range r.Comm {
+		totalUnique += c.InputUnique + c.LocalUnique
+	}
+	type ctxRow struct {
+		id int
+		rs core.ReuseStats
+	}
+	var rows []ctxRow
+	for id := range r.Reuse {
+		if r.Reuse[id].ReusedBytes > 0 {
+			rows = append(rows, ctxRow{id, r.Reuse[id]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].rs.ReusedBytes > rows[j].rs.ReusedBytes
+	})
+	if k > 0 && k < len(rows) {
+		rows = rows[:k]
+	}
+	// Number repeated function names by context, like the paper.
+	seen := map[string]int{}
+	out := &Figure9Result{}
+	for _, cr := range rows {
+		name := r.CtxName(int32(cr.id))
+		seen[name]++
+		label := name
+		if seen[name] > 1 || countCtxs(r, name) > 1 {
+			label = fmt.Sprintf("%s(%d)", name, seen[name])
+		}
+		var share float64
+		if totalUnique > 0 && cr.id < len(r.Comm) {
+			share = float64(r.Comm[cr.id].InputUnique+r.Comm[cr.id].LocalUnique) / float64(totalUnique)
+		}
+		out.Rows = append(out.Rows, Figure9Row{
+			Label:       label,
+			AvgLifetime: cr.rs.AvgLifetime(),
+			ReusedBytes: cr.rs.ReusedBytes,
+			UniqueShare: share,
+		})
+	}
+	return out, nil
+}
+
+func countCtxs(r *core.Result, name string) int {
+	n := 0
+	for _, node := range r.Profile.Nodes {
+		if node.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Render prints Fig 9.
+func (r *Figure9Result) Render() string {
+	tb := &table{
+		title:   "Figure 9: Average re-use lifetimes of the top vips functions (by reused bytes)",
+		headers: []string{"function", "avg lifetime (instrs)", "reused bytes", "unique share"},
+	}
+	for _, row := range r.Rows {
+		tb.add(row.Label, f2(row.AvgLifetime), fmt.Sprintf("%d", row.ReusedBytes), pct(row.UniqueShare))
+	}
+	return tb.String()
+}
+
+// HistResult is a lifetime histogram figure (Figs 10 and 11).
+type HistResult struct {
+	Title    string
+	Function string
+	Hist     []uint64
+	Shape    reuse.HistogramShape
+}
+
+// Figure10 returns conv_gen's lifetime histogram (long tail, central peak).
+func (s *Suite) Figure10() (*HistResult, error) {
+	return s.vipsHist("Figure 10: Data re-use distribution of conv_gen in vips", "conv_gen")
+}
+
+// Figure11 returns imb_XYZ2Lab's histogram (peak at 0, short tail).
+func (s *Suite) Figure11() (*HistResult, error) {
+	return s.vipsHist("Figure 11: Data re-use distribution of imb_XYZ2Lab in vips", "imb_XYZ2Lab")
+}
+
+func (s *Suite) vipsHist(title, fn string) (*HistResult, error) {
+	r, err := s.Profile("vips", workloads.SimSmall, ModeReuse)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := reuse.LifetimeHistogram(r, fn)
+	if err != nil {
+		return nil, err
+	}
+	return &HistResult{Title: title, Function: fn, Hist: hist, Shape: reuse.Shape(hist)}, nil
+}
+
+// Render prints a lifetime histogram with log-scaled star bars.
+func (h *HistResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString(h.Title)
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "bins of %d instructions; peak bin %d, tail bin %d, %d reused episodes\n",
+		core.LifetimeBin, h.Shape.PeakBin, h.Shape.TailBin, h.Shape.Episodes)
+	for i, v := range h.Hist {
+		if v == 0 {
+			continue
+		}
+		stars := 1
+		for x := v; x >= 10; x /= 10 {
+			stars++
+		}
+		fmt.Fprintf(&sb, "%8d  %-10d %s\n", i*core.LifetimeBin, v, strings.Repeat("*", stars))
+	}
+	return sb.String()
+}
+
+// Figure12Row is one stacked bar of Fig 12.
+type Figure12Row struct {
+	Name    string
+	Total   uint64
+	Buckets [5]float64
+}
+
+// Figure12Result holds the line-granularity breakdown.
+type Figure12Result struct {
+	Rows []Figure12Row
+}
+
+// Figure12 collects the per-line reuse breakdown for every workload.
+func (s *Suite) Figure12() (*Figure12Result, error) {
+	out := &Figure12Result{}
+	for _, name := range workloads.Names() {
+		r, err := s.Profile(name, workloads.SimSmall, ModeLine)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := reuse.LineBreakdown(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Figure12Row{
+			Name:    name,
+			Total:   lr.TotalLines,
+			Buckets: lr.Fractions(),
+		})
+	}
+	return out, nil
+}
+
+// Render prints Fig 12.
+func (r *Figure12Result) Render() string {
+	tb := &table{
+		title:   "Figure 12: Breakdown of lines in memory based on re-use counts (simsmall)",
+		headers: []string{"workload", "<10", "<100", "<1000", "<10000", ">=10000", "lines"},
+	}
+	for _, row := range r.Rows {
+		tb.add(row.Name, pct(row.Buckets[0]), pct(row.Buckets[1]), pct(row.Buckets[2]),
+			pct(row.Buckets[3]), pct(row.Buckets[4]), fmt.Sprintf("%d", row.Total))
+	}
+	return tb.String()
+}
+
+// Figure8AtClass collects the re-use breakdown at an arbitrary input class.
+// The paper reports that simmedium and simlarge inputs have almost identical
+// distributions to simsmall; Figure8Invariance quantifies that.
+func (s *Suite) Figure8AtClass(class workloads.Class) (*Figure8Result, error) {
+	out := &Figure8Result{}
+	for _, name := range workloads.Names() {
+		r, err := s.Profile(name, class, ModeReuse)
+		if err != nil {
+			return nil, err
+		}
+		b, err := reuse.Analyze(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Figure8Row{Name: name, Breakdown: b})
+	}
+	return out, nil
+}
+
+// Figure8Invariance returns, per workload, the largest absolute difference
+// between the simsmall and simmedium bucket shares — the paper's "almost
+// identical distributions" observation, quantified.
+func (s *Suite) Figure8Invariance() (map[string]float64, error) {
+	small, err := s.Figure8()
+	if err != nil {
+		return nil, err
+	}
+	medium, err := s.Figure8AtClass(workloads.SimMedium)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i := range small.Rows {
+		a, b := small.Rows[i], medium.Rows[i]
+		d := abs(a.Zero - b.Zero)
+		if v := abs(a.Low - b.Low); v > d {
+			d = v
+		}
+		if v := abs(a.High - b.High); v > d {
+			d = v
+		}
+		out[a.Name] = d
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"sigil/internal/core"
+	"sigil/internal/trace"
+	"sigil/internal/workloads"
+)
+
+func buildReport(t *testing.T, name string, cfg Config, withTrace bool) string {
+	t.Helper()
+	prog, input, err := workloads.Build(name, workloads.SimSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.Options{TrackReuse: true}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr *trace.Trace
+	if withTrace {
+		var buf trace.Buffer
+		if _, err := core.Run(prog, core.Options{Events: &buf}, input); err != nil {
+			t.Fatal(err)
+		}
+		tr = trace.FromBuffer(&buf)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, res, tr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestReportSections(t *testing.T) {
+	out := buildReport(t, "streamcluster", Config{Title: "sc", Slots: []int{2, 4}}, true)
+	for _, want := range []string{
+		"# sc",
+		"## Overview",
+		"## Function-level communication",
+		"## Producer → consumer edges",
+		"## HW/SW partitioning",
+		"## Data re-use",
+		"## Critical path",
+		"pkmedian",
+		"| 4 |", // the 4-slot scheduling row
+		"S(breakeven)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportWithoutTrace(t *testing.T) {
+	out := buildReport(t, "canneal", Config{}, false)
+	if strings.Contains(out, "## Critical path") {
+		t.Error("critical path section present without a trace")
+	}
+	if !strings.Contains(out, "## Data re-use") {
+		t.Error("reuse section missing")
+	}
+	if !strings.Contains(out, "# Sigil analysis") {
+		t.Error("default title missing")
+	}
+}
+
+func TestReportLineMode(t *testing.T) {
+	prog, input, err := workloads.Build("vips", workloads.SimSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.Options{LineGranularity: true}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, res, nil, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "## Line-granularity re-use") {
+		t.Error("line section missing")
+	}
+	if !strings.Contains(sb.String(), ">=10000") {
+		t.Error("buckets missing")
+	}
+}
+
+func TestReportTopLimit(t *testing.T) {
+	out := buildReport(t, "dedup", Config{TopFunctions: 3}, false)
+	// The communication table has a header, a separator, and 3 rows.
+	section := out[strings.Index(out, "## Function-level communication"):]
+	section = section[:strings.Index(section, "## ")+3]
+	rows := 0
+	for _, line := range strings.Split(section, "\n") {
+		if strings.HasPrefix(line, "| ") && !strings.HasPrefix(line, "| function") {
+			rows++
+		}
+	}
+	if rows > 3 {
+		t.Errorf("communication rows = %d, want <= 3", rows)
+	}
+}

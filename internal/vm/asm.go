@@ -1,0 +1,557 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a textual virtual-ISA program. The syntax:
+//
+//	; comment (also #)
+//	.entry main          ; entry function (default "main")
+//	.data name "text"    ; initialized segment from a quoted string
+//	.data name 01 ff 7e  ; initialized segment from hex bytes
+//	.reserve name 4096   ; uninitialized region, returns its address
+//
+//	func main {
+//	    movi  r1, 100
+//	    movi  r2, name   ; segment symbols are immediates
+//	loop:
+//	    addi  r1, r1, -1
+//	    bne   r1, r0, loop
+//	    load4 r3, r2, 8  ; rd, base, offset (1/2/4/8-byte widths)
+//	    store4 r2, 8, r3 ; base, offset, src
+//	    fmovi f1, 2.5
+//	    call  helper
+//	    sys   write      ; read | write | rand | time
+//	    halt
+//	}
+//
+// Instructions use the builder's mnemonics lowercased; loads/stores carry
+// their width as a suffix (load1..load8, loads1..loads8, store1..store8,
+// fload, fstore).
+func Assemble(src string) (*Program, error) {
+	a := &assembler{b: NewBuilder(), syms: map[string]uint64{}}
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("vm: asm line %d: %w", i+1, err)
+		}
+	}
+	if a.cur != nil {
+		return nil, fmt.Errorf("vm: asm: unterminated function %q", a.cur.Name())
+	}
+	return a.b.Build()
+}
+
+type assembler struct {
+	b      *Builder
+	cur    *FuncBuilder
+	labels map[string]Label
+	syms   map[string]uint64 // data/reserve symbols
+}
+
+func (a *assembler) line(raw string) error {
+	line := raw
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+
+	switch {
+	case strings.HasPrefix(line, "."):
+		return a.directive(line)
+	case strings.HasPrefix(line, "func "):
+		if a.cur != nil {
+			return fmt.Errorf("nested function")
+		}
+		name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "func "), "{"))
+		if name == "" {
+			return fmt.Errorf("function needs a name")
+		}
+		a.cur = a.b.Func(name)
+		a.labels = map[string]Label{}
+		return nil
+	case line == "}":
+		if a.cur == nil {
+			return fmt.Errorf("stray closing brace")
+		}
+		a.cur = nil
+		return nil
+	case strings.HasSuffix(line, ":"):
+		if a.cur == nil {
+			return fmt.Errorf("label outside function")
+		}
+		name := strings.TrimSuffix(line, ":")
+		a.cur.Bind(a.label(name))
+		return nil
+	default:
+		if a.cur == nil {
+			return fmt.Errorf("instruction outside function")
+		}
+		// Inline label: "name: instr ..." binds the label and
+		// continues with the instruction.
+		if i := strings.Index(line, ":"); i > 0 && isIdent(line[:i]) {
+			a.cur.Bind(a.label(line[:i]))
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				return nil
+			}
+		}
+		return a.instr(line)
+	}
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".entry":
+		if len(fields) != 2 {
+			return fmt.Errorf(".entry needs a function name")
+		}
+		a.b.SetEntry(fields[1])
+		return nil
+	case ".reserve":
+		if len(fields) != 3 {
+			return fmt.Errorf(".reserve needs name and size")
+		}
+		size, err := strconv.ParseUint(fields[2], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad size %q: %v", fields[2], err)
+		}
+		a.syms[fields[1]] = a.b.Reserve(fields[1], size)
+		return nil
+	case ".data":
+		if len(fields) < 3 {
+			return fmt.Errorf(".data needs name and contents")
+		}
+		rest := strings.TrimSpace(line[len(fields[0]):]) // after ".data"
+		rest = strings.TrimSpace(rest[len(fields[1]):])  // after the name
+		var data []byte
+		if strings.HasPrefix(rest, `"`) {
+			s, err := strconv.Unquote(rest)
+			if err != nil {
+				return fmt.Errorf("bad string literal: %v", err)
+			}
+			data = []byte(s)
+		} else {
+			for _, h := range strings.Fields(rest) {
+				v, err := strconv.ParseUint(h, 16, 8)
+				if err != nil {
+					return fmt.Errorf("bad hex byte %q: %v", h, err)
+				}
+				data = append(data, byte(v))
+			}
+		}
+		if len(data) == 0 {
+			return fmt.Errorf(".data %s is empty", fields[1])
+		}
+		a.syms[fields[1]] = a.b.Data(fields[1], data)
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", fields[0])
+}
+
+func (a *assembler) label(name string) Label {
+	if l, ok := a.labels[name]; ok {
+		return l
+	}
+	l := a.cur.NewLabel()
+	a.labels[name] = l
+	return l
+}
+
+// operand parsing ------------------------------------------------------
+
+func parseReg(tok string) (Reg, error) {
+	if len(tok) >= 2 && (tok[0] == 'r' || tok[0] == 'R') {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad integer register %q", tok)
+}
+
+func parseFReg(tok string) (FReg, error) {
+	if len(tok) >= 2 && (tok[0] == 'f' || tok[0] == 'F') {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < NumFRegs {
+			return FReg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad fp register %q", tok)
+}
+
+func (a *assembler) parseImm(tok string) (int64, error) {
+	if addr, ok := a.syms[tok]; ok {
+		return int64(addr), nil
+	}
+	if len(tok) >= 3 && tok[0] == '\'' && tok[len(tok)-1] == '\'' {
+		s, err := strconv.Unquote(tok)
+		if err != nil || len(s) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", tok)
+		}
+		return int64(s[0]), nil
+	}
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		// Permit full-range unsigned (addresses).
+		u, uerr := strconv.ParseUint(tok, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", tok)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+// instr assembles one instruction line.
+func (a *assembler) instr(line string) error {
+	mnem, rest, _ := strings.Cut(line, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	var ops []string
+	for _, o := range strings.Split(rest, ",") {
+		o = strings.TrimSpace(o)
+		if o != "" {
+			ops = append(ops, o)
+		}
+	}
+	f := a.cur
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	r := func(i int) (Reg, error) { return parseReg(ops[i]) }
+	fr := func(i int) (FReg, error) { return parseFReg(ops[i]) }
+	imm := func(i int) (int64, error) { return a.parseImm(ops[i]) }
+
+	// Three-register integer ops.
+	rrr := map[string]func(Reg, Reg, Reg) *FuncBuilder{
+		"add": f.Add, "sub": f.Sub, "mul": f.Mul, "div": f.Div, "rem": f.Rem,
+		"and": f.And, "or": f.Or, "xor": f.Xor,
+		"shl": f.Shl, "shr": f.Shr, "sar": f.Sar,
+		"slt": f.Slt, "sltu": f.Sltu, "seq": f.Seq,
+	}
+	if fn, ok := rrr[mnem]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := r(0)
+		ra, err2 := r(1)
+		rb, err3 := r(2)
+		if err := first(err1, err2, err3); err != nil {
+			return err
+		}
+		fn(rd, ra, rb)
+		return nil
+	}
+
+	// Register-register-immediate ops.
+	rri := map[string]func(Reg, Reg, int64) *FuncBuilder{
+		"addi": f.Addi, "muli": f.Muli, "andi": f.Andi, "ori": f.Ori,
+		"xori": f.Xori, "shli": f.Shli, "shri": f.Shri,
+	}
+	if fn, ok := rri[mnem]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := r(0)
+		ra, err2 := r(1)
+		v, err3 := imm(2)
+		if err := first(err1, err2, err3); err != nil {
+			return err
+		}
+		fn(rd, ra, v)
+		return nil
+	}
+
+	// FP three-register ops.
+	fff := map[string]func(FReg, FReg, FReg) *FuncBuilder{
+		"fadd": f.FAdd, "fsub": f.FSub, "fmul": f.FMul, "fdiv": f.FDiv,
+		"fmin": f.FMin, "fmax": f.FMax,
+	}
+	if fn, ok := fff[mnem]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		fd, err1 := fr(0)
+		fa, err2 := fr(1)
+		fb, err3 := fr(2)
+		if err := first(err1, err2, err3); err != nil {
+			return err
+		}
+		fn(fd, fa, fb)
+		return nil
+	}
+
+	// FP two-register ops.
+	ff := map[string]func(FReg, FReg) *FuncBuilder{
+		"fmov": f.FMov, "fneg": f.FNeg, "fabs": f.FAbs, "fsqrt": f.FSqrt,
+	}
+	if fn, ok := ff[mnem]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, err1 := fr(0)
+		fa, err2 := fr(1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		fn(fd, fa)
+		return nil
+	}
+
+	// Conditional branches.
+	branches := map[string]func(Reg, Reg, Label) *FuncBuilder{
+		"beq": f.Beq, "bne": f.Bne, "blt": f.Blt, "bge": f.Bge,
+		"bltu": f.Bltu, "bgeu": f.Bgeu,
+	}
+	if fn, ok := branches[mnem]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err1 := r(0)
+		rb, err2 := r(1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		fn(ra, rb, a.label(ops[2]))
+		return nil
+	}
+
+	// Loads and stores with width suffixes.
+	if size, sign, ok := loadMnemonic(mnem); ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := r(0)
+		ra, err2 := r(1)
+		off, err3 := imm(2)
+		if err := first(err1, err2, err3); err != nil {
+			return err
+		}
+		if sign {
+			f.LoadS(rd, ra, off, size)
+		} else {
+			f.Load(rd, ra, off, size)
+		}
+		return nil
+	}
+	if size, ok := storeMnemonic(mnem); ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err1 := r(0)
+		off, err2 := imm(1)
+		rb, err3 := r(2)
+		if err := first(err1, err2, err3); err != nil {
+			return err
+		}
+		f.Store(ra, off, rb, size)
+		return nil
+	}
+
+	switch mnem {
+	case "nop":
+		f.Nop()
+	case "halt":
+		f.Halt()
+	case "ret":
+		f.Ret()
+	case "movi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := r(0)
+		v, err2 := imm(1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		f.Movi(rd, v)
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := r(0)
+		ra, err2 := r(1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		f.Mov(rd, ra)
+	case "fmovi":
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, err1 := fr(0)
+		if err1 != nil {
+			return err1
+		}
+		v, err := strconv.ParseFloat(ops[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad float immediate %q", ops[1])
+		}
+		f.FMovi(fd, v)
+	case "itof":
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, err1 := fr(0)
+		ra, err2 := r(1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		f.ItoF(fd, ra)
+	case "ftoi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := r(0)
+		fa, err2 := fr(1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		f.FtoI(rd, fa)
+	case "fcmp":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := r(0)
+		fa, err2 := fr(1)
+		fb, err3 := fr(2)
+		if err := first(err1, err2, err3); err != nil {
+			return err
+		}
+		f.FCmp(rd, fa, fb)
+	case "fload":
+		if err := need(3); err != nil {
+			return err
+		}
+		fd, err1 := fr(0)
+		ra, err2 := r(1)
+		off, err3 := imm(2)
+		if err := first(err1, err2, err3); err != nil {
+			return err
+		}
+		f.FLoad(fd, ra, off)
+	case "fstore":
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err1 := r(0)
+		off, err2 := imm(1)
+		fa, err3 := fr(2)
+		if err := first(err1, err2, err3); err != nil {
+			return err
+		}
+		f.FStore(ra, off, fa)
+	case "br":
+		if err := need(1); err != nil {
+			return err
+		}
+		f.Br(a.label(ops[0]))
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		f.Call(ops[0])
+	case "alloc":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := r(0)
+		ra, err2 := r(1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		f.Alloc(rd, ra)
+	case "sys":
+		if err := need(1); err != nil {
+			return err
+		}
+		switch strings.ToLower(ops[0]) {
+		case "read":
+			f.Sys(SysRead)
+		case "write":
+			f.Sys(SysWrite)
+		case "rand":
+			f.Sys(SysRand)
+		case "time":
+			f.Sys(SysTime)
+		default:
+			return fmt.Errorf("unknown syscall %q", ops[0])
+		}
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+func loadMnemonic(m string) (size uint8, sign, ok bool) {
+	base := m
+	if strings.HasPrefix(m, "loads") {
+		sign = true
+		base = "loads"
+	} else if strings.HasPrefix(m, "load") {
+		base = "load"
+	} else {
+		return 0, false, false
+	}
+	n, err := strconv.Atoi(m[len(base):])
+	if err != nil {
+		return 0, false, false
+	}
+	switch n {
+	case 1, 2, 4, 8:
+		return uint8(n), sign, true
+	}
+	return 0, false, false
+}
+
+func storeMnemonic(m string) (uint8, bool) {
+	if !strings.HasPrefix(m, "store") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(m[len("store"):])
+	if err != nil {
+		return 0, false
+	}
+	switch n {
+	case 1, 2, 4, 8:
+		return uint8(n), true
+	}
+	return 0, false
+}
+
+// isIdent reports whether s is a plausible label name (letters, digits,
+// underscores and dots, not starting with a digit).
+func isIdent(s string) bool {
+	if s == "" || (s[0] >= '0' && s[0] <= '9') {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func first(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialArithmetic generates random straight-line arithmetic
+// programs and checks the machine against an independent Go evaluation of
+// the same instruction sequence — a differential test of the interpreter's
+// arithmetic, conversion and memory semantics.
+func TestDifferentialArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20130915)) // the paper's conference month
+	for trial := 0; trial < 200; trial++ {
+		prog, model := randomProgram(rng)
+		m := NewMachine()
+		if _, err := m.Run(prog, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for r := 0; r < NumRegs; r++ {
+			if m.Regs[r] != model.regs[r] {
+				t.Fatalf("trial %d: r%d = %d, model %d", trial, r, m.Regs[r], model.regs[r])
+			}
+		}
+		for f := 0; f < NumFRegs; f++ {
+			got, want := m.FRegs[f], model.fregs[f]
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("trial %d: f%d = %v, model %v", trial, f, got, want)
+			}
+		}
+	}
+}
+
+type model struct {
+	regs  [NumRegs]int64
+	fregs [NumFRegs]float64
+	mem   map[uint64]byte
+}
+
+func (mo *model) load(addr uint64, size uint8) uint64 {
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(mo.mem[addr+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+func (mo *model) store(addr uint64, size uint8, v uint64) {
+	for i := uint8(0); i < size; i++ {
+		mo.mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// randomProgram emits a random straight-line program and the model's final
+// state after evaluating the same sequence.
+func randomProgram(rng *rand.Rand) (*Program, *model) {
+	b := NewBuilder()
+	base := b.Reserve("scratch", 4096)
+	f := b.Func("main")
+	mo := &model{mem: map[uint64]byte{}}
+
+	reg := func() Reg { return Reg(rng.Intn(NumRegs)) }
+	freg := func() FReg { return FReg(rng.Intn(NumFRegs)) }
+	sizes := []uint8{1, 2, 4, 8}
+
+	n := 30 + rng.Intn(120)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(14) {
+		case 0:
+			rd, imm := reg(), rng.Int63()-rng.Int63()
+			f.Movi(rd, imm)
+			mo.regs[rd] = imm
+		case 1:
+			rd, ra, rb := reg(), reg(), reg()
+			f.Add(rd, ra, rb)
+			mo.regs[rd] = mo.regs[ra] + mo.regs[rb]
+		case 2:
+			rd, ra, rb := reg(), reg(), reg()
+			f.Sub(rd, ra, rb)
+			mo.regs[rd] = mo.regs[ra] - mo.regs[rb]
+		case 3:
+			rd, ra, rb := reg(), reg(), reg()
+			f.Mul(rd, ra, rb)
+			mo.regs[rd] = mo.regs[ra] * mo.regs[rb]
+		case 4:
+			rd, ra, rb := reg(), reg(), reg()
+			f.Xor(rd, ra, rb)
+			mo.regs[rd] = mo.regs[ra] ^ mo.regs[rb]
+		case 5:
+			rd, ra := reg(), reg()
+			sh := int64(rng.Intn(64))
+			f.Shli(rd, ra, sh)
+			mo.regs[rd] = mo.regs[ra] << uint(sh)
+		case 6:
+			rd, ra := reg(), reg()
+			sh := int64(rng.Intn(64))
+			f.Shri(rd, ra, sh)
+			mo.regs[rd] = int64(uint64(mo.regs[ra]) >> uint(sh))
+		case 7:
+			rd, ra, rb := reg(), reg(), reg()
+			f.Sar(rd, ra, rb)
+			mo.regs[rd] = mo.regs[ra] >> (uint64(mo.regs[rb]) & 63)
+		case 8:
+			fd := freg()
+			v := (rng.Float64() - 0.5) * 1e6
+			f.FMovi(fd, v)
+			mo.fregs[fd] = v
+		case 9:
+			fd, fa, fb := freg(), freg(), freg()
+			f.FMul(fd, fa, fb)
+			mo.fregs[fd] = mo.fregs[fa] * mo.fregs[fb]
+		case 10:
+			fd, fa, fb := freg(), freg(), freg()
+			f.FAdd(fd, fa, fb)
+			mo.fregs[fd] = mo.fregs[fa] + mo.fregs[fb]
+		case 11:
+			fd, ra := freg(), reg()
+			f.ItoF(fd, ra)
+			mo.fregs[fd] = float64(mo.regs[ra])
+		case 12:
+			// Store then reload somewhere nearby.
+			ra, rb := reg(), reg()
+			off := int64(rng.Intn(1024))
+			size := sizes[rng.Intn(4)]
+			f.MoviU(ra, base)
+			mo.regs[ra] = int64(base)
+			f.Store(ra, off, rb, size)
+			mo.store(base+uint64(off), size, uint64(mo.regs[rb]))
+		case 13:
+			rd, ra := reg(), reg()
+			off := int64(rng.Intn(1024))
+			size := sizes[rng.Intn(4)]
+			f.MoviU(ra, base)
+			mo.regs[ra] = int64(base)
+			if rng.Intn(2) == 0 {
+				f.Load(rd, ra, off, size)
+				mo.regs[rd] = int64(mo.load(base+uint64(off), size))
+			} else {
+				f.LoadS(rd, ra, off, size)
+				v := mo.load(base+uint64(off), size)
+				switch size {
+				case 1:
+					mo.regs[rd] = int64(int8(v))
+				case 2:
+					mo.regs[rd] = int64(int16(v))
+				case 4:
+					mo.regs[rd] = int64(int32(v))
+				default:
+					mo.regs[rd] = int64(v)
+				}
+			}
+		}
+	}
+	f.Halt()
+	return b.MustBuild(), mo
+}

@@ -1,0 +1,104 @@
+package vm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Disassemble renders an instruction in the assembler's syntax, resolving
+// branch targets to pc-relative labels and call targets to function names
+// when a program is provided (p may be nil).
+func (in Instr) Disassemble(p *Program) string {
+	r := func(x Reg) string { return fmt.Sprintf("r%d", x) }
+	f := func(x Reg) string { return fmt.Sprintf("f%d", x) }
+	switch in.Op {
+	case OpNop, OpRet, OpHalt:
+		return in.Op.String()
+	case OpMovi:
+		return fmt.Sprintf("movi %s, %d", r(in.Rd), in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", r(in.Rd), r(in.Ra))
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpSar, OpSlt, OpSltu, OpSeq:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Ra), r(in.Rb))
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Ra), in.Imm)
+	case OpFMovi:
+		return fmt.Sprintf("fmovi %s, %v", f(in.Rd), math.Float64frombits(uint64(in.Imm)))
+	case OpFMov, OpFNeg, OpFAbs, OpFSqrt:
+		return fmt.Sprintf("%s %s, %s", in.Op, f(in.Rd), f(in.Ra))
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFMin, OpFMax:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, f(in.Rd), f(in.Ra), f(in.Rb))
+	case OpItoF:
+		return fmt.Sprintf("itof %s, %s", f(in.Rd), r(in.Ra))
+	case OpFtoI:
+		return fmt.Sprintf("ftoi %s, %s", r(in.Rd), f(in.Ra))
+	case OpFCmp:
+		return fmt.Sprintf("fcmp %s, %s, %s", r(in.Rd), f(in.Ra), f(in.Rb))
+	case OpLoad:
+		return fmt.Sprintf("load%d %s, %s, %d", in.Size, r(in.Rd), r(in.Ra), in.Imm)
+	case OpLoadS:
+		return fmt.Sprintf("loads%d %s, %s, %d", in.Size, r(in.Rd), r(in.Ra), in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store%d %s, %d, %s", in.Size, r(in.Ra), in.Imm, r(in.Rb))
+	case OpFLoad:
+		return fmt.Sprintf("fload %s, %s, %d", f(in.Rd), r(in.Ra), in.Imm)
+	case OpFStore:
+		return fmt.Sprintf("fstore %s, %d, %s", r(in.Ra), in.Imm, f(in.Rb))
+	case OpBr:
+		return fmt.Sprintf("br L%d", in.Target)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s %s, %s, L%d", in.Op, r(in.Ra), r(in.Rb), in.Target)
+	case OpCall:
+		if p != nil {
+			return fmt.Sprintf("call %s", p.FuncName(int(in.Target)))
+		}
+		return fmt.Sprintf("call #%d", in.Target)
+	case OpAlloc:
+		return fmt.Sprintf("alloc %s, %s", r(in.Rd), r(in.Ra))
+	case OpSys:
+		return fmt.Sprintf("sys %s", Sys(in.Imm).Name())
+	}
+	return fmt.Sprintf("?%d", uint8(in.Op))
+}
+
+// WriteListing renders the whole program as annotated assembler text: data
+// segments, then every function with labels at branch targets.
+func (p *Program) WriteListing(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	pr := func(format string, args ...any) {
+		fmt.Fprintf(bw, format+"\n", args...)
+	}
+	pr("; %d functions, %d instructions, entry %s",
+		len(p.Funcs), p.NumInstrs(), p.FuncName(p.Entry))
+	for _, s := range p.Segments {
+		pr(".data %s  ; %d bytes at %#x", s.Name, len(s.Data), s.Addr)
+	}
+	for _, fn := range p.Funcs {
+		pr("")
+		pr("func %s {", fn.Name)
+		// Collect branch targets for labels.
+		targets := map[int32]bool{}
+		for _, in := range fn.Code {
+			if in.IsBranch() || in.Op == OpBr {
+				targets[in.Target] = true
+			}
+		}
+		for pc, in := range fn.Code {
+			if targets[int32(pc)] {
+				pr("L%d:", pc)
+			}
+			pr("    %-30s ; +%d", in.Disassemble(p), pc)
+		}
+		pr("}")
+	}
+	return bw.Flush()
+}
+
+// String renders a one-line instruction (without program context).
+func (in Instr) String() string {
+	return strings.TrimSpace(in.Disassemble(nil))
+}

@@ -1,0 +1,39 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that anything it
+// accepts validates and disassembles cleanly.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"func main {\n halt\n}",
+		".entry start\nfunc start {\n ret\n}",
+		".data d \"hi\"\n.reserve r 64\nfunc main {\n movi r1, d\n load1 r2, r1, 0\n halt\n}",
+		"func main {\nl: addi r1, r1, 1\n blt r1, r2, l\n halt\n}",
+		"func main {\n fmovi f1, 1.5\n fsqrt f2, f1\n halt\n}",
+		"func main {\n sys read\n sys write\n halt\n}",
+		"; comment only",
+		"func main {\n movi r1, 'x'\n store1 r1, 0, r1\n halt\n}",
+		".data x 01 02\nfunc main { halt }",
+		"func a {\n call b\n ret\n}\nfunc b {\n ret\n}\n.entry a",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource:\n%s", err, src)
+		}
+		var sb strings.Builder
+		if err := p.WriteListing(&sb); err != nil {
+			t.Fatalf("listing failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sigil/internal/vm"
+)
+
+// blackscholes reproduces the PARSEC option-pricing workload's skeleton:
+// option parameters are parsed from a text input with strtof (via the stdio
+// path IO_file_xsgetn / IO_sputbackc), then every option is priced NUM_RUNS
+// times with a Black-Scholes kernel whose transcendental math goes through
+// the libm entry points the paper's Table II surfaces (_ieee754_exp,
+// _ieee754_expf, _ieee754_logf) and a compatibility bignum multiply
+// (__mpn_mul). dl_addr, free and isnan provide the Table III utility tail.
+func init() {
+	register(&Spec{
+		Name:        "blackscholes",
+		Description: "Black-Scholes option pricing (PARSEC): parse, then price every option repeatedly",
+		InFig13:     true,
+		Build:       buildBlackscholes,
+	})
+}
+
+func buildBlackscholes(c Class) (*vm.Program, []byte, error) {
+	nopts := scale(c, 48)
+	const runs = 40 // NUM_RUNS: the benchmark re-prices every option
+
+	// Textual input: five 7-byte fields per option ("123.456"), one
+	// option per 36-byte record (5*7 + separators).
+	const fieldLen = 7
+	const recLen = 5*fieldLen + 1
+	input := make([]byte, 0, nopts*recLen)
+	for i := int64(0); i < nopts; i++ {
+		for fld := 0; fld < 5; fld++ {
+			v := 10 + (i*7+int64(fld)*13)%90
+			frac := (i*31 + int64(fld)*17) % 1000
+			input = append(input, []byte(fmt.Sprintf("%03d.%03d", v, frac))...)
+		}
+		input = append(input, '\n')
+	}
+
+	b := vm.NewBuilder()
+	textBuf := b.Reserve("textbuf", uint64(len(input))+64)
+	opts := b.Reserve("options", uint64(nopts*5*8))
+	spill := b.Reserve("fpspill", 64)
+	limbs := b.Reserve("limbs", 8*8*3)
+	stdioState := b.Reserve("stdio", 64)
+
+	// Per-(run, option) market state: each pricing call consumes a fresh
+	// 48-byte record (rates/volatility marks), so the pricing kernel has
+	// genuine per-call unique input on top of the amortized option data.
+	market := make([]byte, runs*nopts*48)
+	for i := range market {
+		market[i] = byte((i*73 + 19) % 251)
+	}
+	marketAddr := b.Data("market", market)
+
+	// Symbol table for the startup dl_addr scan: 16-byte records.
+	const nsyms = 192
+	symtab := make([]byte, nsyms*16)
+	for i := range symtab {
+		symtab[i] = byte(i * 7)
+	}
+	symAddr := b.Data("symtab", symtab)
+
+	addStrtof(b)
+	addIOFileXsgetn(b)
+	addIOSputbackc(b)
+	addMathExp(b, "_ieee754_exp", 14)
+	addMathExp(b, "_ieee754_expf", 8)
+	addMathLog(b, "_ieee754_logf", 8)
+	addMpnMul(b)
+	addDlAddr(b)
+	addIsnan(b)
+	addFree(b)
+	addVectorCtor(b)
+
+	// BlkSchlsEqEuroNoDiv(option=R1 -> 5 float64s, priceOut=R2,
+	// market=R3 -> fresh 48-byte record):
+	// d1 = (logf(S/K) + T*v)/sqrt(T); price = S*exp(-d1) - K*expf(-d1*r),
+	// adjusted by the run's market marks.
+	bs := b.Func("BlkSchlsEqEuroNoDiv")
+	// Fold the six market marks into a drift adjustment.
+	bs.FMovi(vm.F15, 0)
+	for i := int64(0); i < 6; i++ {
+		bs.FLoad(vm.F14, vm.R3, i*8)
+		bs.FAdd(vm.F15, vm.F15, vm.F14)
+	}
+	bs.FMovi(vm.F14, 1e20)
+	bs.FDiv(vm.F15, vm.F15, vm.F14) // tiny drift term
+	bs.FLoad(vm.F1, vm.R1, 0)       // S
+	bs.FLoad(vm.F2, vm.R1, 8)       // K
+	bs.FLoad(vm.F3, vm.R1, 16)      // r
+	bs.FLoad(vm.F4, vm.R1, 24)      // v
+	bs.FLoad(vm.F5, vm.R1, 32)      // T
+	bs.FDiv(vm.F6, vm.F1, vm.F2)
+	bs.FMov(vm.F10, vm.F1) // save S
+	bs.FMov(vm.F11, vm.F2) // save K
+	bs.FMov(vm.F12, vm.F3) // save r
+	// logf(S/K) with the argument passed through memory, the spill slot
+	// the libm entry points load from.
+	bs.MoviU(vm.R4, spill)
+	bs.FStore(vm.R4, 0, vm.F6)
+	bs.Mov(vm.R1, vm.R4)
+	bs.Call("_ieee754_logf")
+	bs.FMul(vm.F7, vm.F5, vm.F4)
+	bs.FAdd(vm.F7, vm.F0, vm.F7)
+	bs.FSqrt(vm.F8, vm.F5)
+	bs.FDiv(vm.F7, vm.F7, vm.F8) // d1
+	// exp(-d1)
+	bs.FNeg(vm.F9, vm.F7)
+	bs.FMovi(vm.F13, 4.0)
+	bs.FDiv(vm.F9, vm.F9, vm.F13) // keep the series in range
+	bs.FStore(vm.R4, 0, vm.F9)
+	bs.Call("_ieee754_exp")
+	bs.FMul(vm.F14, vm.F10, vm.F0)
+	// expf(-d1*r)
+	bs.FMul(vm.F9, vm.F9, vm.F12)
+	bs.FStore(vm.R4, 0, vm.F9)
+	bs.Call("_ieee754_expf")
+	bs.FMul(vm.F13, vm.F11, vm.F0)
+	bs.FSub(vm.F0, vm.F14, vm.F13)
+	bs.FAdd(vm.F0, vm.F0, vm.F15) // market drift
+	bs.FStore(vm.R2, 0, vm.F0)
+	bs.Ret()
+
+	main := b.Func("main")
+	// Startup: resolve a symbol, stdio init.
+	main.MoviU(vm.R1, 0x1234)
+	main.MoviU(vm.R2, symAddr)
+	main.Movi(vm.R3, nsyms)
+	main.Call("dl_addr")
+	main.MoviU(vm.R1, stdioState)
+	main.Movi(vm.R2, 32)
+	main.Store(vm.R1, 0, vm.R2, 8)
+
+	// Price buffer via std::vector, released with free at the end.
+	main.Movi(vm.R1, nopts)
+	main.Call("std::vector")
+	main.Mov(vm.R28, vm.R0) // prices base
+
+	// Read the whole input through the stdio path.
+	main.MoviU(vm.R1, textBuf)
+	main.Movi(vm.R2, int64(len(input)))
+	main.Call("IO_file_xsgetn")
+
+	// Parse: 5 strtof calls per option; a putback per record separator.
+	main.MoviU(vm.R20, textBuf) // cursor
+	main.MoviU(vm.R21, opts)    // out cursor
+	main.Movi(vm.R22, 0)        // option index
+	parseTop := main.Here()
+	for fld := int64(0); fld < 5; fld++ {
+		main.Mov(vm.R1, vm.R20)
+		main.Movi(vm.R2, fieldLen)
+		main.Call("strtof")
+		main.FStore(vm.R21, fld*8, vm.F0)
+		main.Addi(vm.R20, vm.R20, fieldLen)
+	}
+	main.MoviU(vm.R1, stdioState)
+	main.Movi(vm.R2, '\n')
+	main.Call("IO_sputbackc")
+	main.Addi(vm.R20, vm.R20, 1) // skip separator
+	main.Addi(vm.R21, vm.R21, 40)
+	main.Addi(vm.R22, vm.R22, 1)
+	main.Movi(vm.R23, nopts)
+	main.Blt(vm.R22, vm.R23, parseTop)
+
+	// Pricing: NUM_RUNS passes over every option.
+	main.Movi(vm.R24, 0) // run
+	runTop := main.Here()
+	main.MoviU(vm.R25, opts)
+	main.Mov(vm.R26, vm.R28) // price cursor
+	main.Movi(vm.R22, 0)
+	optTop := main.Here()
+	main.Mov(vm.R1, vm.R25)
+	main.Mov(vm.R2, vm.R26)
+	main.Muli(vm.R3, vm.R24, nopts)
+	main.Add(vm.R3, vm.R3, vm.R22)
+	main.Muli(vm.R3, vm.R3, 48)
+	main.MoviU(vm.R4, marketAddr)
+	main.Add(vm.R3, vm.R3, vm.R4)
+	main.Call("BlkSchlsEqEuroNoDiv")
+	main.Mov(vm.R1, vm.R26) // &price just stored
+	main.Call("isnan")
+	main.Addi(vm.R25, vm.R25, 40)
+	main.Addi(vm.R26, vm.R26, 8)
+	main.Addi(vm.R22, vm.R22, 1)
+	main.Movi(vm.R23, nopts)
+	main.Blt(vm.R22, vm.R23, optTop)
+	// Compatibility bignum multiply once per run.
+	main.MoviU(vm.R1, limbs)
+	main.MoviU(vm.R2, limbs+64)
+	main.Movi(vm.R3, 8)
+	main.MoviU(vm.R4, limbs+128)
+	main.Call("__mpn_mul")
+	main.Addi(vm.R24, vm.R24, 1)
+	main.Movi(vm.R23, runs)
+	main.Blt(vm.R24, vm.R23, runTop)
+
+	// Teardown.
+	main.Mov(vm.R1, vm.R28)
+	main.Call("free")
+	main.Halt()
+
+	p, err := b.Build()
+	return p, input, err
+}

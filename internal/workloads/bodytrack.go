@@ -1,0 +1,208 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// bodytrack reproduces the body-tracking workload's skeleton: per frame and
+// per camera, an image is initialized (FlexImage::Set — memcpy-composed, the
+// paper's example of a function that wants communication acceleration rather
+// than compute) and a particle-filter weight is computed by
+// ImageMeasurements::ImageErrorInside — the fp-heavy silhouette-error kernel
+// of Table II — with _ieee754_log normalizing the likelihood. DMatrix
+// construction, std::vector and memcpy fill the utility tail.
+func init() {
+	register(&Spec{
+		Name:        "bodytrack",
+		Description: "particle-filter body tracking (PARSEC): image init + silhouette error per camera",
+		InFig13:     true,
+		Build:       buildBodytrack,
+	})
+}
+
+func buildBodytrack(c Class) (*vm.Program, []byte, error) {
+	frames := scale(c, 10)
+	const cameras = 3
+	const imgW, imgH = 64, 24 // bytes x rows per camera image
+	imgBytes := int64(imgW * imgH)
+
+	b := vm.NewBuilder()
+	// Source frames arrive as initialized data (the benchmark's input
+	// sequence); each camera has a live image buffer.
+	src := make([]byte, imgBytes)
+	for i := range src {
+		src[i] = byte((i*29 + 7) % 251)
+	}
+	srcAddr := b.Data("framesrc", src)
+	images := b.Reserve("images", uint64(cameras*imgBytes))
+	spill := b.Reserve("fpspill", 64)
+	weights := b.Reserve("weights", uint64(frames*8))
+	pose := b.Reserve("pose", 8)
+	errBuf := b.Reserve("camerr", cameras*8)
+	labels := make([]byte, 64)
+	for i := range labels {
+		labels[i] = byte('A' + i%26)
+	}
+	labelSrc := b.Data("labelsrc", labels)
+	labelBuf := b.Reserve("labelbuf", 128)
+
+	addMemcpy(b)
+	addMathLog(b, "_ieee754_log", 14)
+	addVectorCtor(b)
+	addMemset(b)
+	addOperatorNew(b)
+	addFree(b)
+	addStringAssign(b)
+	addGnuCxxIter(b)
+
+	// DMatrix(out=R1, n=R2): a small dense-matrix constructor — touches
+	// n*n cells with index arithmetic, little real compute.
+	dm := b.Func("DMatrix")
+	dm.Mul(vm.R6, vm.R2, vm.R2)
+	dm.Movi(vm.R7, 0)
+	dmTop := dm.Here()
+	dmDone := dm.NewLabel()
+	dm.Bge(vm.R7, vm.R6, dmDone)
+	dm.Shli(vm.R8, vm.R7, 3)
+	dm.Add(vm.R8, vm.R1, vm.R8)
+	dm.Store(vm.R8, 0, vm.R7, 8)
+	dm.Addi(vm.R7, vm.R7, 1)
+	dm.Br(dmTop)
+	dm.Bind(dmDone)
+	dm.Ret()
+
+	// FlexImage::Set(dst=R1, src=R2, n=R3): image initialization — mostly
+	// a memcpy plus a tiny header update.
+	set := b.Func("FlexImage::Set")
+	set.Store(vm.R1, -8, vm.R3, 8)
+	set.Call("memcpy")
+	set.Ret()
+
+	// ImageMeasurements::ImageErrorInside(img=R1, n=R2 bytes, errOut=R3):
+	// the silhouette error: per-pixel fp accumulation with an inner
+	// refinement loop, so compute dominates the bytes read. The result is
+	// written through memory (the benchmark's per-camera error array).
+	ie := b.Func("ImageMeasurements::ImageErrorInside")
+	// The silhouette projection starts from the current pose estimate.
+	ie.MoviU(vm.R10, pose)
+	ie.FLoad(vm.F0, vm.R10, 0)
+	ie.Movi(vm.R6, 0)
+	ieDone := ie.NewLabel()
+	ieTop := ie.Here()
+	ie.Bge(vm.R6, vm.R2, ieDone)
+	ie.Add(vm.R7, vm.R1, vm.R6)
+	ie.Load(vm.R8, vm.R7, 0, 1)
+	ie.ItoF(vm.F4, vm.R8)
+	// Refinement: 6 fp steps per pixel.
+	ie.FMovi(vm.F5, 0.5)
+	for i := 0; i < 3; i++ {
+		ie.FMul(vm.F4, vm.F4, vm.F5)
+		ie.FAdd(vm.F0, vm.F0, vm.F4)
+	}
+	ie.Addi(vm.R6, vm.R6, 1)
+	ie.Br(ieTop)
+	ie.Bind(ieDone)
+	ie.FStore(vm.R3, 0, vm.F0)
+	ie.Ret()
+
+	// TrackingModel::Update(spill=R1): the second _ieee754_log calling
+	// context — the pose-update correction applied after the weight
+	// normalization (the paper's tables show the same functions through
+	// multiple contexts).
+	tm := b.Func("TrackingModel::Update")
+	tm.Call("_ieee754_log")
+	tm.FMovi(vm.F4, 0.5)
+	tm.FMul(vm.F0, vm.F0, vm.F4)
+	// The updated pose is what the next frame's measurement starts from —
+	// the frame-to-frame dependency of a particle filter.
+	tm.MoviU(vm.R5, pose)
+	tm.FStore(vm.R5, 0, vm.F0)
+	tm.Ret()
+
+	main := b.Func("main")
+	// Pose matrices via DMatrix and a particle vector.
+	main.Movi(vm.R1, 64)
+	main.Call("std::vector")
+	main.Mov(vm.R27, vm.R0)
+	main.Mov(vm.R1, vm.R27)
+	main.Movi(vm.R2, 6)
+	main.Call("DMatrix")
+	// Pose setup in main consumes the constructed matrix and particle
+	// vector (their outputs are real communication).
+	main.Movi(vm.R6, 0)
+	main.Movi(vm.R7, 0)
+	poseInit := main.Here()
+	main.Shli(vm.R8, vm.R7, 3)
+	main.Add(vm.R8, vm.R27, vm.R8)
+	main.Load(vm.R9, vm.R8, 0, 8)
+	main.Add(vm.R6, vm.R6, vm.R9)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R10, 36) // DMatrix cells (6x6) live at the vector base
+	main.Blt(vm.R7, vm.R10, poseInit)
+
+	main.Movi(vm.R20, 0) // frame
+	frameTop := main.Here()
+	// Per-frame allocation churn: a label string and its release.
+	main.Movi(vm.R1, 64)
+	main.Call("operator new")
+	main.Mov(vm.R29, vm.R0)
+	main.MoviU(vm.R1, labelBuf)
+	main.MoviU(vm.R2, labelSrc)
+	main.Movi(vm.R3, 48)
+	main.Call("std::string::assign")
+	main.MoviU(vm.R1, labelBuf)
+	main.Call("__gnu_cxx::__normal_iterator")
+	// main checks the label too, so the buffer's readers alternate and
+	// the iterator's input stays unique call over call.
+	main.MoviU(vm.R11, labelBuf)
+	for w := int64(0); w < 8; w++ {
+		main.Load(vm.R12, vm.R11, w*8, 8)
+	}
+	main.MoviU(vm.R21, images)
+	main.Movi(vm.R22, 0)    // camera
+	main.FMovi(vm.F10, 1.0) // likelihood accumulator
+	// main folds in the previous frame's pose, keeping the pose buffer's
+	// readers alternating (main / ImageErrorInside).
+	main.MoviU(vm.R14, pose)
+	main.FLoad(vm.F9, vm.R14, 0)
+	main.FAdd(vm.F10, vm.F10, vm.F9)
+	camTop := main.Here()
+	// FlexImage::Set: copy the source frame into the camera buffer.
+	main.Mov(vm.R1, vm.R21)
+	main.MoviU(vm.R2, srcAddr)
+	main.Movi(vm.R3, imgBytes)
+	main.Call("FlexImage::Set")
+	// Silhouette error for this camera, returned through the error array.
+	main.Mov(vm.R1, vm.R21)
+	main.Movi(vm.R2, imgBytes)
+	main.MoviU(vm.R3, errBuf)
+	main.Shli(vm.R15, vm.R22, 3)
+	main.Add(vm.R3, vm.R3, vm.R15)
+	main.Call("ImageMeasurements::ImageErrorInside")
+	main.FLoad(vm.F11, vm.R3, 0)
+	main.FAdd(vm.F10, vm.F10, vm.F11)
+	main.Addi(vm.R21, vm.R21, imgBytes)
+	main.Addi(vm.R22, vm.R22, 1)
+	main.Movi(vm.R23, cameras)
+	main.Blt(vm.R22, vm.R23, camTop)
+	// Normalize the frame's weight through libm's log.
+	main.MoviU(vm.R4, spill)
+	main.FStore(vm.R4, 0, vm.F10)
+	main.Mov(vm.R1, vm.R4)
+	main.Call("_ieee754_log")
+	main.MoviU(vm.R5, weights)
+	main.Shli(vm.R6, vm.R20, 3)
+	main.Add(vm.R5, vm.R5, vm.R6)
+	main.FStore(vm.R5, 0, vm.F0)
+	// Pose correction through the second log context.
+	main.Mov(vm.R1, vm.R4) // spill still holds the frame weight
+	main.Call("TrackingModel::Update")
+	// Release the frame's label allocation.
+	main.Mov(vm.R1, vm.R29)
+	main.Call("free")
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R23, frames)
+	main.Blt(vm.R20, vm.R23, frameTop)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

@@ -1,0 +1,217 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// canneal reproduces the simulated-annealing routing workload's skeleton:
+// the main loop itself carries most of the work (temperature schedule,
+// random element selection, accept/reject bookkeeping — which is why the
+// paper's Figure 7 shows low candidate coverage for canneal), delegating to
+// the small functions Table II lists: a multiplication helper ("mul"), the
+// netlist location swap (netlist::swap_locations), memchr scans of the net
+// name pool, memmove compaction and std::string::compare.
+func init() {
+	register(&Spec{
+		Name:        "canneal",
+		Description: "simulated-annealing routing (PARSEC): swap-and-evaluate loop over a netlist",
+		InFig13:     true,
+		Build:       buildCanneal,
+	})
+}
+
+func buildCanneal(c Class) (*vm.Program, []byte, error) {
+	steps := scale(c, 2500)
+	const nelems = 256 // netlist elements, each an (x, y) location pair
+
+	b := vm.NewBuilder()
+	locs := b.Reserve("locations", nelems*16)
+	names := make([]byte, nelems*8)
+	for i := range names {
+		names[i] = byte('a' + i%23)
+	}
+	nameAddr := b.Data("netnames", names)
+	randState := b.Reserve("randstate", 8)
+	scratch := b.Reserve("scratch", 64)
+
+	addMemchr(b)
+	addMemmove(b)
+	addStringCompare(b)
+	addRandChain(b, randState)
+	addMpnShift(b, "_mpn_lshift", true)
+	addMpnShift(b, "_mpn_rshift", false)
+	addFree(b)
+	addOperatorNew(b)
+
+	// mul(a=R1, b=R2 pointers to 8-byte operands, out=R3): the math
+	// library multiply — a software shift-add multiply over the loaded
+	// operands (heavy compute against 24 communicated bytes, the near-1
+	// breakeven Table II reports).
+	mul := b.Func("mul")
+	mul.Load(vm.R6, vm.R1, 0, 8)
+	mul.Load(vm.R7, vm.R2, 0, 8)
+	mul.Movi(vm.R8, 0) // product
+	mul.Movi(vm.R9, 0) // bit index
+	mul.Movi(vm.R10, 16)
+	mulTop := mul.Here()
+	mul.Shr(vm.R11, vm.R7, vm.R9)
+	mul.Andi(vm.R11, vm.R11, 1)
+	mul.Movi(vm.R12, 0)
+	skipAdd := mul.NewLabel()
+	mul.Beq(vm.R11, vm.R12, skipAdd)
+	mul.Shl(vm.R13, vm.R6, vm.R9)
+	mul.Add(vm.R8, vm.R8, vm.R13)
+	mul.Bind(skipAdd)
+	mul.Addi(vm.R9, vm.R9, 1)
+	mul.Blt(vm.R9, vm.R10, mulTop)
+	mul.Store(vm.R3, 0, vm.R8, 8)
+	mul.Mov(vm.R0, vm.R8)
+	mul.Ret()
+
+	// netlist::swap_locations(a=R1, b=R2): swap two 16-byte location
+	// records — pure data movement.
+	sw := b.Func("netlist::swap_locations")
+	sw.Load(vm.R6, vm.R1, 0, 8)
+	sw.Load(vm.R7, vm.R1, 8, 8)
+	sw.Load(vm.R8, vm.R2, 0, 8)
+	sw.Load(vm.R9, vm.R2, 8, 8)
+	sw.Store(vm.R1, 0, vm.R8, 8)
+	sw.Store(vm.R1, 8, vm.R9, 8)
+	sw.Store(vm.R2, 0, vm.R6, 8)
+	sw.Store(vm.R2, 8, vm.R7, 8)
+	sw.Ret()
+
+	main := b.Func("main")
+	// Initialize locations inline (netlist load).
+	main.MoviU(vm.R20, locs)
+	main.Movi(vm.R21, 0)
+	initTop := main.Here()
+	main.Shli(vm.R22, vm.R21, 4)
+	main.Add(vm.R22, vm.R20, vm.R22)
+	main.Muli(vm.R23, vm.R21, 37)
+	main.Store(vm.R22, 0, vm.R23, 8)
+	main.Muli(vm.R23, vm.R21, 91)
+	main.Store(vm.R22, 8, vm.R23, 8)
+	main.Addi(vm.R21, vm.R21, 1)
+	main.Movi(vm.R24, nelems)
+	main.Blt(vm.R21, vm.R24, initTop)
+
+	// Annealing loop: most of the algorithm stays in main.
+	main.Movi(vm.R25, 0)     // step
+	main.Movi(vm.R26, 1<<20) // temperature (fixed point)
+	main.Movi(vm.R27, 0)     // accepted count
+	stepTop := main.Here()
+	// Pick two random elements.
+	main.Call("lrand48")
+	main.Movi(vm.R6, nelems)
+	main.Rem(vm.R28, vm.R0, vm.R6) // elem a
+	main.Call("lrand48")
+	main.Rem(vm.R29, vm.R0, vm.R6) // elem b
+	// Routing-cost delta, computed inline in main: Manhattan distance
+	// arithmetic over the two records plus the temperature schedule.
+	main.MoviU(vm.R20, locs)
+	main.Shli(vm.R7, vm.R28, 4)
+	main.Add(vm.R7, vm.R20, vm.R7) // &a
+	main.Shli(vm.R8, vm.R29, 4)
+	main.Add(vm.R8, vm.R20, vm.R8) // &b
+	main.Load(vm.R9, vm.R7, 0, 8)
+	main.Load(vm.R10, vm.R8, 0, 8)
+	main.Sub(vm.R11, vm.R9, vm.R10)
+	main.Load(vm.R12, vm.R7, 8, 8)
+	main.Load(vm.R13, vm.R8, 8, 8)
+	main.Sub(vm.R14, vm.R12, vm.R13)
+	// |dx| + |dy| with branchless abs, then the schedule arithmetic.
+	main.Movi(vm.R16, 63)
+	main.Sar(vm.R15, vm.R11, vm.R16)
+	main.Xor(vm.R11, vm.R11, vm.R15)
+	main.Sub(vm.R11, vm.R11, vm.R15)
+	main.Sar(vm.R15, vm.R14, vm.R16)
+	main.Xor(vm.R14, vm.R14, vm.R15)
+	main.Sub(vm.R14, vm.R14, vm.R15)
+	main.Add(vm.R11, vm.R11, vm.R14) // delta
+	main.Muli(vm.R26, vm.R26, 999)
+	main.Movi(vm.R16, 1000)
+	main.Div(vm.R26, vm.R26, vm.R16) // cool
+	// mul helper refines the delta against the temperature.
+	main.MoviU(vm.R1, scratch)
+	main.Store(vm.R1, 0, vm.R11, 8)
+	main.MoviU(vm.R2, scratch)
+	main.Addi(vm.R2, vm.R2, 8)
+	main.Store(vm.R2, 0, vm.R26, 8)
+	main.MoviU(vm.R3, scratch)
+	main.Addi(vm.R3, vm.R3, 16)
+	main.Call("mul")
+	// main folds the refined delta and its operands back into the
+	// annealing accumulator (the operands' readers alternate between
+	// main and mul, so mul's inputs stay unique).
+	main.MoviU(vm.R18, scratch)
+	main.Load(vm.R19, vm.R18, 0, 8)
+	main.Load(vm.R30, vm.R18, 8, 8)
+	main.Add(vm.R19, vm.R19, vm.R30)
+	main.Load(vm.R30, vm.R18, 16, 8)
+	main.Xor(vm.R19, vm.R19, vm.R30)
+	// Inline acceptance bookkeeping: temperature-weighted cost history
+	// smoothing, kept in main like the real benchmark's annealer.
+	main.Movi(vm.R30, 0)
+	smooth := main.Here()
+	main.Muli(vm.R19, vm.R19, 6364136223846793005)
+	main.Addi(vm.R19, vm.R19, 1442695040888963407)
+	main.Shri(vm.R18, vm.R19, 33)
+	main.Xor(vm.R19, vm.R19, vm.R18)
+	main.Addi(vm.R30, vm.R30, 1)
+	main.Movi(vm.R18, 48)
+	main.Blt(vm.R30, vm.R18, smooth)
+	// Accept when the refined delta is "negative enough": swap.
+	main.Movi(vm.R16, 0)
+	reject := main.NewLabel()
+	main.Andi(vm.R17, vm.R0, 1)
+	main.Beq(vm.R17, vm.R16, reject)
+	main.Mov(vm.R1, vm.R7)
+	main.Mov(vm.R2, vm.R8)
+	main.Call("netlist::swap_locations")
+	main.Addi(vm.R27, vm.R27, 1)
+	main.Bind(reject)
+	// Every 16th step: scan the name pool and compare two names.
+	main.Andi(vm.R17, vm.R25, 15)
+	skip := main.NewLabel()
+	main.Bne(vm.R17, vm.R16, skip)
+	main.MoviU(vm.R1, nameAddr)
+	main.Movi(vm.R2, 'q')
+	main.Movi(vm.R3, 64)
+	main.Call("memchr")
+	main.MoviU(vm.R1, nameAddr)
+	main.Shli(vm.R2, vm.R28, 3)
+	main.Add(vm.R2, vm.R1, vm.R2)
+	main.Movi(vm.R3, 8)
+	main.Call("std::string::compare")
+	// Compact a name-pool slice with memmove.
+	main.MoviU(vm.R1, nameAddr)
+	main.Addi(vm.R1, vm.R1, 8)
+	main.MoviU(vm.R2, nameAddr)
+	main.Movi(vm.R3, 24)
+	main.Call("memmove")
+	// Multi-precision renormalization of the cost accumulator through
+	// the gmp shift helpers, plus element churn through new/free.
+	main.MoviU(vm.R1, scratch)
+	main.Movi(vm.R2, 4)
+	main.Movi(vm.R3, 5)
+	main.MoviU(vm.R4, scratch)
+	main.Addi(vm.R4, vm.R4, 32)
+	main.Call("_mpn_lshift")
+	main.MoviU(vm.R1, scratch)
+	main.Addi(vm.R1, vm.R1, 32)
+	main.Movi(vm.R2, 4)
+	main.Movi(vm.R3, 5)
+	main.MoviU(vm.R4, scratch)
+	main.Call("_mpn_rshift")
+	main.Movi(vm.R1, 32)
+	main.Call("operator new")
+	main.Mov(vm.R1, vm.R0)
+	main.Call("free")
+	main.Bind(skip)
+	main.Addi(vm.R25, vm.R25, 1)
+	main.Movi(vm.R24, steps)
+	main.Blt(vm.R25, vm.R24, stepTop)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

@@ -1,0 +1,170 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// dedup reproduces the deduplication/compression pipeline's skeleton: the
+// input stream is chunked with a rolling hash, each chunk is fingerprinted
+// with sha1_block_data_order, looked up in a hash table (hashtable_search),
+// and new chunks are compressed by _tr_flush_block, checksummed with
+// adler32 and written out through write_file (a real syscall). dedup is the
+// paper's one workload that needs the shadow-memory FIFO limit: it streams
+// a large one-touch address range.
+func init() {
+	register(&Spec{
+		Name:        "dedup",
+		Description: "dedup/compress pipeline (PARSEC): chunk, fingerprint, dedupe, compress, write",
+		InFig13:     false,
+		Build:       buildDedup,
+	})
+}
+
+func buildDedup(c Class) (*vm.Program, []byte, error) {
+	inputLen := scale(c, 96*1024)
+	const blockLen = 64
+	const htBuckets = 1024
+
+	// Pseudo-compressible input with repeated regions so the dedupe hit
+	// path executes.
+	input := make([]byte, inputLen)
+	for i := range input {
+		switch {
+		case (i/512)%3 == 0:
+			input[i] = byte(i % 7) // repetitive: dedupe hits
+		default:
+			input[i] = byte((i*131 + i/13) % 251)
+		}
+	}
+
+	b := vm.NewBuilder()
+	inBuf := b.Reserve("inbuf", uint64(inputLen)+64)
+	outBuf := b.Reserve("outbuf", uint64(inputLen)+64)
+	shaState := b.Reserve("shastate", 32)
+	freq := b.Reserve("freq", 256*8)
+	htable := b.Reserve("htable", htBuckets*8)
+
+	addSHA1(b)
+	addAdler32(b)
+	addTrFlushBlock(b)
+	addHashtableSearch(b)
+	addMemcpy(b)
+	addOperatorNew(b)
+	addFree(b)
+
+	// write_file(buf=R1, n=R2): container framing over the compressed
+	// block (length fields, escape scan) followed by the output syscall —
+	// Table II's dedup entry with real kernel communication.
+	wf := b.Func("write_file")
+	wf.Store(vm.R1, -8, vm.R2, 8)
+	// Escape scan: framing must know whether the payload contains the
+	// frame marker.
+	wf.Movi(vm.R6, 0)
+	wf.Movi(vm.R7, 0) // marker count
+	wfDone := wf.NewLabel()
+	wfTop := wf.Here()
+	wf.Bge(vm.R6, vm.R2, wfDone)
+	wf.Add(vm.R8, vm.R1, vm.R6)
+	wf.Load(vm.R9, vm.R8, 0, 1)
+	wf.Movi(vm.R10, 0x7E)
+	notMarker := wf.NewLabel()
+	wf.Bne(vm.R9, vm.R10, notMarker)
+	wf.Addi(vm.R7, vm.R7, 1)
+	wf.Bind(notMarker)
+	wf.Muli(vm.R7, vm.R7, 3)
+	wf.Andi(vm.R7, vm.R7, 0xFFFF)
+	wf.Addi(vm.R6, vm.R6, 1)
+	wf.Br(wfTop)
+	wf.Bind(wfDone)
+	wf.Sys(vm.SysWrite)
+	wf.Ret()
+
+	main := b.Func("main")
+	// Read the whole input.
+	main.MoviU(vm.R1, inBuf)
+	main.Movi(vm.R2, inputLen)
+	main.Sys(vm.SysRead)
+	// Chunking state.
+	main.MoviU(vm.R20, inBuf) // cursor
+	main.MoviU(vm.R21, inBuf)
+	main.Addi(vm.R21, vm.R21, inputLen) // end
+	main.Movi(vm.R22, 0)                // rolling hash
+	main.MoviU(vm.R23, outBuf)          // out cursor
+
+	chunkLoop := main.Here()
+	endAll := main.NewLabel()
+	main.Bgeu(vm.R20, vm.R21, endAll)
+	// Rolling hash over one block: h = h*31 + byte, per byte.
+	main.Movi(vm.R24, 0)
+	rollTop := main.Here()
+	main.Add(vm.R25, vm.R20, vm.R24)
+	main.Load(vm.R26, vm.R25, 0, 1)
+	main.Muli(vm.R22, vm.R22, 31)
+	main.Add(vm.R22, vm.R22, vm.R26)
+	main.Addi(vm.R24, vm.R24, 1)
+	main.Movi(vm.R25, blockLen)
+	main.Blt(vm.R24, vm.R25, rollTop)
+	// Fingerprint the block.
+	main.Mov(vm.R1, vm.R20)
+	main.MoviU(vm.R2, shaState)
+	main.Call("sha1_block_data_order")
+	// Dedupe lookup keyed by the rolled hash.
+	main.MoviU(vm.R1, htable)
+	main.Movi(vm.R2, htBuckets)
+	main.Mov(vm.R3, vm.R22)
+	main.Call("hashtable_search")
+	// Hit when the probe found the key; otherwise insert + compress.
+	dup := main.NewLabel()
+	advance := main.NewLabel()
+	main.Beq(vm.R0, vm.R22, dup)
+	// Insert: store the key in its bucket.
+	main.Muli(vm.R4, vm.R22, 0x9E3779B1)
+	main.Shri(vm.R4, vm.R4, 16)
+	main.Andi(vm.R4, vm.R4, htBuckets-1)
+	main.Shli(vm.R4, vm.R4, 3)
+	main.MoviU(vm.R5, htable)
+	main.Add(vm.R4, vm.R5, vm.R4)
+	main.Store(vm.R4, 0, vm.R22, 8)
+	// Fresh metadata + staging record for the new chunk (dedup keeps
+	// unique chunks alive, which is why it is the paper's big-footprint
+	// workload needing the shadow FIFO limit).
+	main.Movi(vm.R1, blockLen+32)
+	main.Call("operator new")
+	main.Store(vm.R0, 0, vm.R22, 8) // fingerprint
+	main.Mov(vm.R30, vm.R0)
+	// Stage the chunk into its record, then compress the staged copy.
+	main.Addi(vm.R1, vm.R30, 32)
+	main.Mov(vm.R2, vm.R20)
+	main.Movi(vm.R3, blockLen)
+	main.Call("memcpy")
+	main.Addi(vm.R1, vm.R30, 32)
+	main.Movi(vm.R2, blockLen)
+	main.Mov(vm.R3, vm.R23)
+	main.MoviU(vm.R4, freq)
+	main.Call("_tr_flush_block")
+	main.Mov(vm.R28, vm.R0) // emitted bytes
+	// Checksum and write the compressed block.
+	main.Mov(vm.R1, vm.R23)
+	main.Mov(vm.R2, vm.R28)
+	main.Call("adler32")
+	main.Mov(vm.R1, vm.R23)
+	main.Mov(vm.R2, vm.R28)
+	main.Call("write_file")
+	main.Add(vm.R23, vm.R23, vm.R28)
+	main.Br(advance)
+	main.Bind(dup)
+	// Duplicate chunk: checksum the prefix and release the probe record.
+	main.Mov(vm.R1, vm.R20)
+	main.Movi(vm.R2, 16)
+	main.Call("adler32")
+	main.Movi(vm.R1, 32)
+	main.Call("operator new")
+	main.Mov(vm.R1, vm.R0)
+	main.Call("free")
+	main.Bind(advance)
+	main.Addi(vm.R20, vm.R20, blockLen)
+	main.Br(chunkLoop)
+	main.Bind(endAll)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, input, err
+}

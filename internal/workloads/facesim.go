@@ -1,0 +1,150 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// facesim reproduces the deformable-face simulation's skeleton as its
+// computational core: an iterative conjugate-gradient-style solve over a
+// large stiffness matrix — matrix_vector_multiply streams the big matrix
+// every iteration (the large, constant memory footprint the paper notes),
+// with short vector kernels (dot_product, saxpy) between sweeps.
+func init() {
+	register(&Spec{
+		Name:        "facesim",
+		Description: "face simulation (PARSEC): iterative solver over a large stiffness matrix",
+		InFig13:     false,
+		Build:       buildFacesim,
+	})
+}
+
+func buildFacesim(c Class) (*vm.Program, []byte, error) {
+	n := scale(c, 48) // matrix dimension
+	const iters = 6
+
+	b := vm.NewBuilder()
+	mat := b.Reserve("stiffness", uint64(n*n*8))
+	x := b.Reserve("x", uint64(n*8))
+	y := b.Reserve("y", uint64(n*8))
+	r := b.Reserve("r", uint64(n*8))
+
+	// matrix_vector_multiply(mat=R1, x=R2, y=R3, n=R4): dense n x n sweep.
+	mv := b.Func("matrix_vector_multiply")
+	mv.Movi(vm.R6, 0) // row
+	mvDone := mv.NewLabel()
+	mvRow := mv.Here()
+	mv.Bge(vm.R6, vm.R4, mvDone)
+	mv.FMovi(vm.F0, 0)
+	mv.Movi(vm.R7, 0) // col
+	mvCol := mv.Here()
+	mv.Mul(vm.R8, vm.R6, vm.R4)
+	mv.Add(vm.R8, vm.R8, vm.R7)
+	mv.Shli(vm.R8, vm.R8, 3)
+	mv.Add(vm.R8, vm.R1, vm.R8)
+	mv.FLoad(vm.F4, vm.R8, 0)
+	mv.Shli(vm.R9, vm.R7, 3)
+	mv.Add(vm.R9, vm.R2, vm.R9)
+	mv.FLoad(vm.F5, vm.R9, 0)
+	mv.FMul(vm.F4, vm.F4, vm.F5)
+	mv.FAdd(vm.F0, vm.F0, vm.F4)
+	mv.Addi(vm.R7, vm.R7, 1)
+	mv.Blt(vm.R7, vm.R4, mvCol)
+	mv.Shli(vm.R10, vm.R6, 3)
+	mv.Add(vm.R10, vm.R3, vm.R10)
+	mv.FStore(vm.R10, 0, vm.F0)
+	mv.Addi(vm.R6, vm.R6, 1)
+	mv.Br(mvRow)
+	mv.Bind(mvDone)
+	mv.Ret()
+
+	// dot_product(a=R1, b=R2, n=R3) -> F0.
+	dp := b.Func("dot_product")
+	dp.FMovi(vm.F0, 0)
+	dp.Movi(vm.R6, 0)
+	dpDone := dp.NewLabel()
+	dpTop := dp.Here()
+	dp.Bge(vm.R6, vm.R3, dpDone)
+	dp.Shli(vm.R7, vm.R6, 3)
+	dp.Add(vm.R8, vm.R1, vm.R7)
+	dp.FLoad(vm.F4, vm.R8, 0)
+	dp.Add(vm.R8, vm.R2, vm.R7)
+	dp.FLoad(vm.F5, vm.R8, 0)
+	dp.FMul(vm.F4, vm.F4, vm.F5)
+	dp.FAdd(vm.F0, vm.F0, vm.F4)
+	dp.Addi(vm.R6, vm.R6, 1)
+	dp.Br(dpTop)
+	dp.Bind(dpDone)
+	dp.Ret()
+
+	// saxpy(y=R1, x=R2, n=R3, alpha=F1): y += alpha*x.
+	sx := b.Func("saxpy")
+	sx.Movi(vm.R6, 0)
+	sxDone := sx.NewLabel()
+	sxTop := sx.Here()
+	sx.Bge(vm.R6, vm.R3, sxDone)
+	sx.Shli(vm.R7, vm.R6, 3)
+	sx.Add(vm.R8, vm.R2, vm.R7)
+	sx.FLoad(vm.F4, vm.R8, 0)
+	sx.FMul(vm.F4, vm.F4, vm.F1)
+	sx.Add(vm.R8, vm.R1, vm.R7)
+	sx.FLoad(vm.F5, vm.R8, 0)
+	sx.FAdd(vm.F5, vm.F5, vm.F4)
+	sx.FStore(vm.R8, 0, vm.F5)
+	sx.Addi(vm.R6, vm.R6, 1)
+	sx.Br(sxTop)
+	sx.Bind(sxDone)
+	sx.Ret()
+
+	main := b.Func("main")
+	// Stiffness matrix and initial vectors.
+	main.MoviU(vm.R6, mat)
+	main.Movi(vm.R7, 0)
+	mi := main.Here()
+	main.Muli(vm.R8, vm.R7, 7)
+	main.Andi(vm.R8, vm.R8, 63)
+	main.Addi(vm.R8, vm.R8, 1)
+	main.ItoF(vm.F4, vm.R8)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, n*n)
+	main.Blt(vm.R7, vm.R9, mi)
+	main.MoviU(vm.R6, x)
+	main.Movi(vm.R7, 0)
+	xi := main.Here()
+	main.FMovi(vm.F4, 1.0)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, n)
+	main.Blt(vm.R7, vm.R9, xi)
+	// Solver iterations.
+	main.Movi(vm.R20, 0)
+	it := main.Here()
+	main.MoviU(vm.R1, mat)
+	main.MoviU(vm.R2, x)
+	main.MoviU(vm.R3, y)
+	main.Movi(vm.R4, n)
+	main.Call("matrix_vector_multiply")
+	main.MoviU(vm.R1, y)
+	main.MoviU(vm.R2, x)
+	main.Movi(vm.R3, n)
+	main.Call("dot_product")
+	// alpha = 1/(dot+1); r and x updates via saxpy.
+	main.FMovi(vm.F4, 1.0)
+	main.FAdd(vm.F5, vm.F0, vm.F4)
+	main.FDiv(vm.F1, vm.F4, vm.F5)
+	main.MoviU(vm.R1, r)
+	main.MoviU(vm.R2, y)
+	main.Movi(vm.R3, n)
+	main.Call("saxpy")
+	main.MoviU(vm.R1, x)
+	main.MoviU(vm.R2, r)
+	main.Movi(vm.R3, n)
+	main.Call("saxpy")
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R21, iters)
+	main.Blt(vm.R20, vm.R21, it)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

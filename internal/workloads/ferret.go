@@ -1,0 +1,193 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// ferret reproduces the content-based similarity-search pipeline's
+// skeleton: per query image, the stages load → segment/extract → index
+// query → rank pass large vectors between them with little compute per
+// byte, so most stage sub-trees are communication-dominated — the reason
+// ferret's candidate coverage is among the lowest in the paper's Fig 7.
+func init() {
+	register(&Spec{
+		Name:        "ferret",
+		Description: "content-based image search (PARSEC): four-stage pipeline over query images",
+		InFig13:     false,
+		Build:       buildFerret,
+	})
+}
+
+func buildFerret(c Class) (*vm.Program, []byte, error) {
+	queries := scale(c, 6)
+	const imgBytes = 4096
+	const featDims = 64
+	const tableSlots = 4096
+	const candidates = 24
+
+	b := vm.NewBuilder()
+	// One fresh image per query: the pipeline streams new data, it does
+	// not re-process a cached picture.
+	imgs := make([]byte, queries*imgBytes)
+	for i := range imgs {
+		imgs[i] = byte((i*37 + 11) % 253)
+	}
+	imgData := b.Data("querypool", imgs)
+	imgBuf := b.Reserve("imgbuf", imgBytes)
+	features := b.Reserve("features", featDims*8)
+	// The on-disk index: a large initialized table the query stage scans.
+	index := make([]byte, tableSlots*8)
+	for i := range index {
+		index[i] = byte(i * 13)
+	}
+	indexAddr := b.Data("index", index)
+	ranks := b.Reserve("ranks", candidates*8)
+
+	addMemcpy(b)
+	addHashtableSearch(b)
+	addStringCompare(b)
+
+	// image_load(dst=R1, src=R2, n=R3): staging copy of the query image.
+	il := b.Func("image_load")
+	il.Call("memcpy")
+	il.Ret()
+
+	// extract_features(img=R1, out=R2): reduce the image to featDims
+	// accumulators — one pass, a couple of ops per byte.
+	ef := b.Func("extract_features")
+	ef.Movi(vm.R6, 0) // dim
+	efDimDone := ef.NewLabel()
+	efDim := ef.Here()
+	ef.Movi(vm.R7, featDims)
+	ef.Bge(vm.R6, vm.R7, efDimDone)
+	ef.Mov(vm.R8, vm.R6) // byte index walks dim, dim+4*featDims, ...
+	ef.Movi(vm.R9, 0)    // accumulator
+	efAcc := ef.Here()
+	ef.Add(vm.R10, vm.R1, vm.R8)
+	ef.Load(vm.R11, vm.R10, 0, 1)
+	ef.Add(vm.R9, vm.R9, vm.R11)
+	ef.Addi(vm.R8, vm.R8, 4*featDims) // sparse sampling
+	ef.Movi(vm.R12, imgBytes)
+	ef.Blt(vm.R8, vm.R12, efAcc)
+	ef.Shli(vm.R13, vm.R6, 3)
+	ef.Add(vm.R13, vm.R2, vm.R13)
+	ef.Store(vm.R13, 0, vm.R9, 8)
+	ef.Addi(vm.R6, vm.R6, 1)
+	ef.Br(efDim)
+	ef.Bind(efDimDone)
+	ef.Ret()
+
+	// query_index(features=R1, index=R2): for each feature, probe the
+	// index and scan a candidate neighbourhood — data movement with
+	// almost no arithmetic, the pipeline's bandwidth hog.
+	qi := b.Func("query_index")
+	qi.Movi(vm.R20, 0)
+	qiDone := qi.NewLabel()
+	qiTop := qi.Here()
+	qi.Movi(vm.R21, featDims)
+	qi.Bge(vm.R20, vm.R21, qiDone)
+	qi.Shli(vm.R22, vm.R20, 3)
+	qi.Add(vm.R22, vm.R1, vm.R22)
+	qi.Load(vm.R3, vm.R22, 0, 8) // feature value = key
+	qi.Mov(vm.R6, vm.R2)
+	qi.Mov(vm.R1, vm.R2)
+	qi.Movi(vm.R2, tableSlots)
+	qi.Call("hashtable_search")
+	// Scan a 32-slot neighbourhood around the probe result.
+	qi.Andi(vm.R7, vm.R0, tableSlots-33)
+	qi.Shli(vm.R7, vm.R7, 3)
+	qi.Add(vm.R7, vm.R6, vm.R7)
+	qi.Movi(vm.R8, 0)
+	scan := qi.Here()
+	qi.Load(vm.R9, vm.R7, 0, 8)
+	qi.Addi(vm.R7, vm.R7, 8)
+	qi.Addi(vm.R8, vm.R8, 1)
+	qi.Movi(vm.R10, 32)
+	qi.Blt(vm.R8, vm.R10, scan)
+	// Restore the loop's argument registers for the next probe.
+	qi.Mov(vm.R2, vm.R6)
+	qi.MoviU(vm.R1, features)
+	qi.Addi(vm.R20, vm.R20, 1)
+	qi.Br(qiTop)
+	qi.Bind(qiDone)
+	qi.Ret()
+
+	// rank_candidates(ranks=R1): short insertion pass over candidates.
+	rk := b.Func("rank_candidates")
+	rk.Movi(vm.R6, 1)
+	rkDone := rk.NewLabel()
+	rkTop := rk.Here()
+	rk.Movi(vm.R7, candidates)
+	rk.Bge(vm.R6, vm.R7, rkDone)
+	rk.Shli(vm.R8, vm.R6, 3)
+	rk.Add(vm.R8, vm.R1, vm.R8)
+	rk.Load(vm.R9, vm.R8, 0, 8)
+	rk.Load(vm.R10, vm.R8, -8, 8)
+	swap := rk.NewLabel()
+	next := rk.NewLabel()
+	rk.Blt(vm.R9, vm.R10, swap)
+	rk.Br(next)
+	rk.Bind(swap)
+	rk.Store(vm.R8, 0, vm.R10, 8)
+	rk.Store(vm.R8, -8, vm.R9, 8)
+	rk.Bind(next)
+	rk.Addi(vm.R6, vm.R6, 1)
+	rk.Br(rkTop)
+	rk.Bind(rkDone)
+	rk.Ret()
+
+	main := b.Func("main")
+	main.Movi(vm.R20, 0) // query index
+	qTop := main.Here()
+	main.MoviU(vm.R28, imgData)
+	main.Muli(vm.R29, vm.R20, imgBytes)
+	main.Add(vm.R28, vm.R28, vm.R29) // this query's image
+	// Inline decode in main: entropy-decode-style per-byte arithmetic
+	// over the raw query image before it enters the pipeline. Like the
+	// real benchmark's driver, this keeps a large share of the work in
+	// code that is not a clean offload candidate (low Fig 7 coverage).
+	main.Movi(vm.R21, 0)
+	main.Movi(vm.R22, 0x9E)
+	decode := main.Here()
+	main.Add(vm.R23, vm.R28, vm.R21)
+	main.Load(vm.R24, vm.R23, 0, 1)
+	main.Xor(vm.R24, vm.R24, vm.R22)
+	main.Muli(vm.R22, vm.R22, 33)
+	main.Addi(vm.R22, vm.R22, 7)
+	main.Andi(vm.R22, vm.R22, 0xFF)
+	main.Shli(vm.R25, vm.R24, 1)
+	main.Xor(vm.R22, vm.R22, vm.R25)
+	main.Addi(vm.R21, vm.R21, 1)
+	main.Movi(vm.R26, imgBytes)
+	main.Blt(vm.R21, vm.R26, decode)
+	main.MoviU(vm.R1, imgBuf)
+	main.Mov(vm.R2, vm.R28)
+	main.Movi(vm.R3, imgBytes)
+	main.Call("image_load")
+	main.MoviU(vm.R1, imgBuf)
+	main.MoviU(vm.R2, features)
+	main.Call("extract_features")
+	main.MoviU(vm.R1, features)
+	main.MoviU(vm.R2, indexAddr)
+	main.Call("query_index")
+	// Seed the rank list from features and rank.
+	main.Movi(vm.R6, 0)
+	seed := main.Here()
+	main.Shli(vm.R7, vm.R6, 3)
+	main.MoviU(vm.R8, features)
+	main.Add(vm.R8, vm.R8, vm.R7)
+	main.Load(vm.R9, vm.R8, 0, 8)
+	main.MoviU(vm.R10, ranks)
+	main.Add(vm.R10, vm.R10, vm.R7)
+	main.Store(vm.R10, 0, vm.R9, 8)
+	main.Addi(vm.R6, vm.R6, 1)
+	main.Movi(vm.R11, candidates)
+	main.Blt(vm.R6, vm.R11, seed)
+	main.MoviU(vm.R1, ranks)
+	main.Call("rank_candidates")
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R21, queries)
+	main.Blt(vm.R20, vm.R21, qTop)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

@@ -1,0 +1,159 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// fluidanimate reproduces the SPH fluid simulation's skeleton: per
+// timestep, RebuildGrid bins particles, ComputeForces does the neighbour
+// interactions (close to 90% of the workload's operations, matching §IV-C),
+// ProcessCollisions clips against the domain and AdvanceParticles
+// integrates. Every timestep's ComputeForces reads positions written by the
+// previous step's AdvanceParticles, so the dependency chain runs straight
+// through ComputeForces — the paper's example of a workload with essentially
+// no function-level parallelism.
+func init() {
+	register(&Spec{
+		Name:        "fluidanimate",
+		Description: "SPH fluid simulation (PARSEC): ComputeForces-dominated timestep loop",
+		InFig13:     true,
+		Build:       buildFluidanimate,
+	})
+}
+
+func buildFluidanimate(c Class) (*vm.Program, []byte, error) {
+	steps := scale(c, 5)
+	const nparticles = 64
+	const neighbours = 12 // interactions evaluated per particle
+
+	b := vm.NewBuilder()
+	pos := b.Reserve("positions", nparticles*8)
+	vel := b.Reserve("velocities", nparticles*8)
+	force := b.Reserve("forces", nparticles*8)
+	grid := b.Reserve("grid", 256*8)
+
+	// RebuildGrid(): bin particles by quantized position.
+	rg := b.Func("RebuildGrid")
+	rg.MoviU(vm.R6, pos)
+	rg.MoviU(vm.R7, grid)
+	rg.Movi(vm.R8, 0)
+	top := rg.Here()
+	rg.FLoad(vm.F4, vm.R6, 0)
+	rg.FtoI(vm.R9, vm.F4)
+	rg.Andi(vm.R9, vm.R9, 255)
+	rg.Shli(vm.R9, vm.R9, 3)
+	rg.Add(vm.R10, vm.R7, vm.R9)
+	rg.Store(vm.R10, 0, vm.R8, 8)
+	rg.Addi(vm.R6, vm.R6, 8)
+	rg.Addi(vm.R8, vm.R8, 1)
+	rg.Movi(vm.R11, nparticles)
+	rg.Blt(vm.R8, vm.R11, top)
+	rg.Ret()
+
+	// ComputeForces(): for every particle, evaluate `neighbours` pairwise
+	// SPH kernels — the dominant cost.
+	cf := b.Func("ComputeForces")
+	cf.Movi(vm.R8, 0) // particle
+	pTop := cf.Here()
+	cf.MoviU(vm.R6, pos)
+	cf.Shli(vm.R9, vm.R8, 3)
+	cf.Add(vm.R10, vm.R6, vm.R9)
+	cf.FLoad(vm.F4, vm.R10, 0) // my position
+	cf.FMovi(vm.F0, 0)         // accumulated force
+	cf.Movi(vm.R11, 0)         // neighbour
+	nTop := cf.Here()
+	cf.Add(vm.R12, vm.R8, vm.R11)
+	cf.Addi(vm.R12, vm.R12, 1)
+	cf.Movi(vm.R13, nparticles)
+	cf.Rem(vm.R12, vm.R12, vm.R13)
+	cf.Shli(vm.R12, vm.R12, 3)
+	cf.Add(vm.R12, vm.R6, vm.R12)
+	cf.FLoad(vm.F5, vm.R12, 0) // neighbour position
+	// SPH-style kernel: w = (d^2+eps); f += d / (w * sqrt(w)).
+	cf.FSub(vm.F6, vm.F5, vm.F4)
+	cf.FMul(vm.F7, vm.F6, vm.F6)
+	cf.FMovi(vm.F8, 0.01)
+	cf.FAdd(vm.F7, vm.F7, vm.F8)
+	cf.FSqrt(vm.F9, vm.F7)
+	cf.FMul(vm.F9, vm.F9, vm.F7)
+	cf.FDiv(vm.F6, vm.F6, vm.F9)
+	cf.FAdd(vm.F0, vm.F0, vm.F6)
+	cf.Addi(vm.R11, vm.R11, 1)
+	cf.Movi(vm.R13, neighbours)
+	cf.Blt(vm.R11, vm.R13, nTop)
+	cf.MoviU(vm.R14, force)
+	cf.Add(vm.R14, vm.R14, vm.R9)
+	cf.FStore(vm.R14, 0, vm.F0)
+	cf.Addi(vm.R8, vm.R8, 1)
+	cf.Movi(vm.R13, nparticles)
+	cf.Blt(vm.R8, vm.R13, pTop)
+	cf.Ret()
+
+	// ProcessCollisions(): clamp forces at the domain boundary.
+	pc := b.Func("ProcessCollisions")
+	pc.MoviU(vm.R6, force)
+	pc.Movi(vm.R7, 0)
+	pcTop := pc.Here()
+	pc.FLoad(vm.F4, vm.R6, 0)
+	pc.FMovi(vm.F5, 50.0)
+	pc.FMin(vm.F4, vm.F4, vm.F5)
+	pc.FNeg(vm.F5, vm.F5)
+	pc.FMax(vm.F4, vm.F4, vm.F5)
+	pc.FStore(vm.R6, 0, vm.F4)
+	pc.Addi(vm.R6, vm.R6, 8)
+	pc.Addi(vm.R7, vm.R7, 1)
+	pc.Movi(vm.R8, nparticles)
+	pc.Blt(vm.R7, vm.R8, pcTop)
+	pc.Ret()
+
+	// AdvanceParticles(): integrate velocities and positions from forces.
+	ap := b.Func("AdvanceParticles")
+	ap.MoviU(vm.R6, pos)
+	ap.MoviU(vm.R7, vel)
+	ap.MoviU(vm.R8, force)
+	ap.Movi(vm.R9, 0)
+	apTop := ap.Here()
+	ap.FLoad(vm.F4, vm.R8, 0)
+	ap.FLoad(vm.F5, vm.R7, 0)
+	ap.FMovi(vm.F6, 0.01)
+	ap.FMul(vm.F4, vm.F4, vm.F6)
+	ap.FAdd(vm.F5, vm.F5, vm.F4)
+	ap.FStore(vm.R7, 0, vm.F5)
+	ap.FLoad(vm.F7, vm.R6, 0)
+	ap.FMul(vm.F5, vm.F5, vm.F6)
+	ap.FAdd(vm.F7, vm.F7, vm.F5)
+	ap.FStore(vm.R6, 0, vm.F7)
+	ap.Addi(vm.R6, vm.R6, 8)
+	ap.Addi(vm.R7, vm.R7, 8)
+	ap.Addi(vm.R8, vm.R8, 8)
+	ap.Addi(vm.R9, vm.R9, 1)
+	ap.Movi(vm.R10, nparticles)
+	ap.Blt(vm.R9, vm.R10, apTop)
+	ap.Ret()
+
+	main := b.Func("main")
+	// Initial particle positions.
+	main.MoviU(vm.R6, pos)
+	main.Movi(vm.R7, 0)
+	init := main.Here()
+	main.Muli(vm.R8, vm.R7, 3)
+	main.Andi(vm.R8, vm.R8, 127)
+	main.ItoF(vm.F4, vm.R8)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, nparticles)
+	main.Blt(vm.R7, vm.R9, init)
+	// Timestep loop.
+	main.Movi(vm.R20, 0)
+	stepTop := main.Here()
+	main.Call("RebuildGrid")
+	main.Call("ComputeForces")
+	main.Call("ProcessCollisions")
+	main.Call("AdvanceParticles")
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R21, steps)
+	main.Blt(vm.R20, vm.R21, stepTop)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

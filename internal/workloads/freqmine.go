@@ -1,0 +1,141 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// freqmine reproduces the frequent-itemset mining workload's skeleton: a
+// counting pass over the transaction database (scan_db), an FP-tree-style
+// structure build (insert_tree, pointer-heavy writes), and a conditional
+// mining pass (fp_growth) that repeatedly walks item chains.
+func init() {
+	register(&Spec{
+		Name:        "freqmine",
+		Description: "frequent itemset mining (PARSEC): count, build FP-tree, mine",
+		InFig13:     false,
+		Build:       buildFreqmine,
+	})
+}
+
+func buildFreqmine(c Class) (*vm.Program, []byte, error) {
+	transactions := scale(c, 512)
+	const itemsPerTx = 8
+	const nitems = 128
+	const mineRounds = 24
+
+	// Transaction database as initialized bytes: item ids.
+	db := make([]byte, transactions*itemsPerTx)
+	for i := range db {
+		db[i] = byte((i*31 + i/itemsPerTx*7) % nitems)
+	}
+
+	b := vm.NewBuilder()
+	dbAddr := b.Data("txdb", db)
+	counts := b.Reserve("counts", nitems*8)
+	tree := b.Reserve("fptree", 4096*16) // node pool: (item, parent) pairs
+	header := b.Reserve("header", nitems*8)
+
+	// scan_db(db=R1, n=R2 bytes, counts=R3): item frequency pass.
+	sd := b.Func("scan_db")
+	sd.Movi(vm.R6, 0)
+	sdDone := sd.NewLabel()
+	sdTop := sd.Here()
+	sd.Bge(vm.R6, vm.R2, sdDone)
+	sd.Add(vm.R7, vm.R1, vm.R6)
+	sd.Load(vm.R8, vm.R7, 0, 1)
+	sd.Shli(vm.R8, vm.R8, 3)
+	sd.Add(vm.R8, vm.R3, vm.R8)
+	sd.Load(vm.R9, vm.R8, 0, 8)
+	sd.Addi(vm.R9, vm.R9, 1)
+	sd.Store(vm.R8, 0, vm.R9, 8)
+	sd.Addi(vm.R6, vm.R6, 1)
+	sd.Br(sdTop)
+	sd.Bind(sdDone)
+	sd.Ret()
+
+	// insert_tree(tx=R1 -> itemsPerTx bytes, pool=R2, slot=R3) -> R0 =
+	// next free slot: append the transaction's path into the node pool
+	// and link the header table.
+	it := b.Func("insert_tree")
+	it.Movi(vm.R6, 0)
+	it.Movi(vm.R7, -1) // parent
+	itDone := it.NewLabel()
+	itTop := it.Here()
+	it.Movi(vm.R8, itemsPerTx)
+	it.Bge(vm.R6, vm.R8, itDone)
+	it.Add(vm.R9, vm.R1, vm.R6)
+	it.Load(vm.R10, vm.R9, 0, 1) // item
+	it.Muli(vm.R11, vm.R3, 16)
+	it.Add(vm.R11, vm.R2, vm.R11)
+	it.Store(vm.R11, 0, vm.R10, 8) // node.item
+	it.Store(vm.R11, 8, vm.R7, 8)  // node.parent
+	it.MoviU(vm.R12, header)
+	it.Shli(vm.R13, vm.R10, 3)
+	it.Add(vm.R12, vm.R12, vm.R13)
+	it.Store(vm.R12, 0, vm.R3, 8) // header[item] = slot
+	it.Mov(vm.R7, vm.R3)
+	it.Addi(vm.R3, vm.R3, 1)
+	it.Andi(vm.R3, vm.R3, 4095) // pool wraps
+	it.Addi(vm.R6, vm.R6, 1)
+	it.Br(itTop)
+	it.Bind(itDone)
+	it.Mov(vm.R0, vm.R3)
+	it.Ret()
+
+	// fp_growth(item=R1, pool=R2) -> R0 = support: walk the item's chain
+	// through parent links accumulating counts.
+	fg := b.Func("fp_growth")
+	fg.MoviU(vm.R6, header)
+	fg.Shli(vm.R7, vm.R1, 3)
+	fg.Add(vm.R6, vm.R6, vm.R7)
+	fg.Load(vm.R8, vm.R6, 0, 8) // chain head slot
+	fg.Movi(vm.R0, 0)
+	fg.Movi(vm.R9, 0) // hops
+	fgDone := fg.NewLabel()
+	fgTop := fg.Here()
+	fg.Movi(vm.R10, 0)
+	fg.Blt(vm.R8, vm.R10, fgDone) // parent -1 terminates
+	fg.Movi(vm.R11, 64)
+	fg.Bge(vm.R9, vm.R11, fgDone) // bounded walk
+	fg.Muli(vm.R12, vm.R8, 16)
+	fg.Add(vm.R12, vm.R2, vm.R12)
+	fg.Load(vm.R13, vm.R12, 0, 8) // item at node
+	fg.Add(vm.R0, vm.R0, vm.R13)
+	fg.Load(vm.R8, vm.R12, 8, 8) // parent
+	fg.Addi(vm.R9, vm.R9, 1)
+	fg.Br(fgTop)
+	fg.Bind(fgDone)
+	fg.Ret()
+
+	main := b.Func("main")
+	main.MoviU(vm.R1, dbAddr)
+	main.Movi(vm.R2, transactions*itemsPerTx)
+	main.MoviU(vm.R3, counts)
+	main.Call("scan_db")
+	// Build the tree transaction by transaction.
+	main.Movi(vm.R20, 0) // tx
+	main.Movi(vm.R21, 0) // pool slot
+	btTop := main.Here()
+	main.MoviU(vm.R1, dbAddr)
+	main.Muli(vm.R22, vm.R20, itemsPerTx)
+	main.Add(vm.R1, vm.R1, vm.R22)
+	main.MoviU(vm.R2, tree)
+	main.Mov(vm.R3, vm.R21)
+	main.Call("insert_tree")
+	main.Mov(vm.R21, vm.R0)
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R23, transactions)
+	main.Blt(vm.R20, vm.R23, btTop)
+	// Mining rounds over the most frequent items.
+	main.Movi(vm.R20, 0)
+	mnTop := main.Here()
+	main.Movi(vm.R24, nitems)
+	main.Rem(vm.R1, vm.R20, vm.R24)
+	main.MoviU(vm.R2, tree)
+	main.Call("fp_growth")
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R23, mineRounds)
+	main.Blt(vm.R20, vm.R23, mnTop)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

@@ -1,0 +1,709 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// This file implements the shared "runtime library" the workloads link
+// against: the libc, libm, libstdc++ and zlib/openssl-style utility
+// functions the paper's Tables II and III surface as acceleration
+// candidates (good and bad). Functions follow one calling convention:
+// arguments in R1..R5 / F1..F3, results in R0 / F0. The machine snapshots
+// the register file around calls, so callees clobber freely.
+//
+// Each adder is idempotent per builder: the function body is emitted once
+// no matter how many workload components request it.
+
+// defineOnce returns the function builder and whether its body still needs
+// to be emitted.
+func defineOnce(b *vm.Builder, name string) (*vm.FuncBuilder, bool) {
+	f := b.Func(name)
+	return f, f.Len() == 0
+}
+
+// addMemcpy emits memcpy(dst=R1, src=R2, n=R3 bytes). Copies 8-byte words
+// then a byte tail; returns dst in R0.
+func addMemcpy(b *vm.Builder) {
+	f, need := defineOnce(b, "memcpy")
+	if !need {
+		return
+	}
+	f.Mov(vm.R0, vm.R1)
+	f.Movi(vm.R6, 8)
+	tail := f.NewLabel()
+	done := f.NewLabel()
+	words := f.Here()
+	f.Blt(vm.R3, vm.R6, tail)
+	f.Load(vm.R7, vm.R2, 0, 8)
+	f.Store(vm.R1, 0, vm.R7, 8)
+	f.Addi(vm.R1, vm.R1, 8)
+	f.Addi(vm.R2, vm.R2, 8)
+	f.Addi(vm.R3, vm.R3, -8)
+	f.Br(words)
+	f.Bind(tail)
+	f.Movi(vm.R6, 0)
+	bt := f.Here()
+	f.Bge(vm.R6, vm.R3, done)
+	f.Load(vm.R7, vm.R2, 0, 1)
+	f.Store(vm.R1, 0, vm.R7, 1)
+	f.Addi(vm.R1, vm.R1, 1)
+	f.Addi(vm.R2, vm.R2, 1)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(bt)
+	f.Bind(done)
+	f.Ret()
+}
+
+// addMemset emits memset(dst=R1, val=R2, n=R3 bytes).
+func addMemset(b *vm.Builder) {
+	f, need := defineOnce(b, "memset")
+	if !need {
+		return
+	}
+	// Replicate the low byte across a word.
+	f.Andi(vm.R6, vm.R2, 0xFF)
+	f.Mov(vm.R7, vm.R6)
+	f.Movi(vm.R8, 1)
+	spread := f.Here()
+	f.Shli(vm.R9, vm.R7, 8)
+	f.Or(vm.R7, vm.R9, vm.R6)
+	f.Addi(vm.R8, vm.R8, 1)
+	f.Movi(vm.R9, 8)
+	f.Blt(vm.R8, vm.R9, spread)
+	f.Movi(vm.R6, 8)
+	tail := f.NewLabel()
+	done := f.NewLabel()
+	words := f.Here()
+	f.Blt(vm.R3, vm.R6, tail)
+	f.Store(vm.R1, 0, vm.R7, 8)
+	f.Addi(vm.R1, vm.R1, 8)
+	f.Addi(vm.R3, vm.R3, -8)
+	f.Br(words)
+	f.Bind(tail)
+	f.Movi(vm.R6, 0)
+	bt := f.Here()
+	f.Bge(vm.R6, vm.R3, done)
+	f.Store(vm.R1, 0, vm.R7, 1)
+	f.Addi(vm.R1, vm.R1, 1)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(bt)
+	f.Bind(done)
+	f.Ret()
+}
+
+// addMemmove emits memmove(dst=R1, src=R2, n=R3): copies backward when the
+// ranges could overlap with dst above src, forward otherwise.
+func addMemmove(b *vm.Builder) {
+	addMemcpy(b)
+	f, need := defineOnce(b, "memmove")
+	if !need {
+		return
+	}
+	backward := f.NewLabel()
+	done := f.NewLabel()
+	f.Bltu(vm.R2, vm.R1, backward)
+	f.Call("memcpy")
+	f.Ret()
+	f.Bind(backward)
+	// Byte copy from the end.
+	f.Add(vm.R1, vm.R1, vm.R3)
+	f.Add(vm.R2, vm.R2, vm.R3)
+	f.Movi(vm.R6, 0)
+	bt := f.Here()
+	f.Bge(vm.R6, vm.R3, done)
+	f.Addi(vm.R1, vm.R1, -1)
+	f.Addi(vm.R2, vm.R2, -1)
+	f.Load(vm.R7, vm.R2, 0, 1)
+	f.Store(vm.R1, 0, vm.R7, 1)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(bt)
+	f.Bind(done)
+	f.Ret()
+}
+
+// addMemchr emits memchr(ptr=R1, ch=R2, n=R3) -> R0 = index of first match
+// or -1.
+func addMemchr(b *vm.Builder) {
+	f, need := defineOnce(b, "memchr")
+	if !need {
+		return
+	}
+	f.Movi(vm.R6, 0)
+	miss := f.NewLabel()
+	hit := f.NewLabel()
+	top := f.Here()
+	f.Bge(vm.R6, vm.R3, miss)
+	f.Load(vm.R7, vm.R1, 0, 1)
+	f.Beq(vm.R7, vm.R2, hit)
+	f.Addi(vm.R1, vm.R1, 1)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(top)
+	f.Bind(hit)
+	f.Mov(vm.R0, vm.R6)
+	f.Ret()
+	f.Bind(miss)
+	f.Movi(vm.R0, -1)
+	f.Ret()
+}
+
+// addStrtof emits strtof(ptr=R1, len=R2) -> F0: parses an ASCII decimal of
+// the form digits[.digits].
+func addStrtof(b *vm.Builder) {
+	f, need := defineOnce(b, "strtof")
+	if !need {
+		return
+	}
+	f.Movi(vm.R6, 0) // index
+	f.Movi(vm.R7, 0) // integer accumulator
+	f.Movi(vm.R8, 1) // fraction divisor
+	f.Movi(vm.R9, 0) // in-fraction flag
+	f.Movi(vm.R10, '.')
+	f.Movi(vm.R11, '0')
+	done := f.NewLabel()
+	dot := f.NewLabel()
+	next := f.NewLabel()
+	top := f.Here()
+	f.Bge(vm.R6, vm.R2, done)
+	f.Load(vm.R13, vm.R1, 0, 1)
+	f.Beq(vm.R13, vm.R10, dot)
+	f.Blt(vm.R13, vm.R11, done)
+	f.Movi(vm.R14, '9'+1)
+	f.Bge(vm.R13, vm.R14, done)
+	f.Sub(vm.R13, vm.R13, vm.R11)
+	f.Muli(vm.R7, vm.R7, 10)
+	f.Add(vm.R7, vm.R7, vm.R13)
+	f.Movi(vm.R14, 0)
+	f.Beq(vm.R9, vm.R14, next)
+	f.Muli(vm.R8, vm.R8, 10)
+	f.Br(next)
+	f.Bind(dot)
+	f.Movi(vm.R9, 1)
+	f.Bind(next)
+	f.Addi(vm.R1, vm.R1, 1)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(top)
+	f.Bind(done)
+	f.ItoF(vm.F0, vm.R7)
+	f.ItoF(vm.F4, vm.R8)
+	f.FDiv(vm.F0, vm.F0, vm.F4)
+	f.Ret()
+}
+
+// addIsnan emits isnan(value at [R1]) -> R0 (1 when NaN), by inspecting the
+// IEEE-754 bit pattern of the in-memory value (the VM's FCmp reports NaN
+// pairs as "equal", so self-comparison cannot detect them).
+func addIsnan(b *vm.Builder) {
+	f, need := defineOnce(b, "isnan")
+	if !need {
+		return
+	}
+	f.Load(vm.R8, vm.R1, 0, 8)
+	f.Shli(vm.R9, vm.R8, 1)  // drop the sign bit
+	f.Shri(vm.R9, vm.R9, 53) // exponent field
+	f.Movi(vm.R10, 0x7FF)
+	f.Movi(vm.R0, 0)
+	done := f.NewLabel()
+	f.Bne(vm.R9, vm.R10, done) // exponent not all-ones: finite
+	f.Shli(vm.R11, vm.R8, 12)  // mantissa bits
+	f.Movi(vm.R12, 0)
+	f.Beq(vm.R11, vm.R12, done) // zero mantissa: infinity
+	f.Movi(vm.R0, 1)
+	f.Bind(done)
+	f.Ret()
+}
+
+// addMathExp emits a libm-style exponential: name(arg at [R1]) -> F0
+// computed by a `terms`-term Taylor series. The argument is loaded from
+// memory like an x87 stack argument, so the call has real communication.
+// More terms = the double-precision entry points, fewer = the float
+// variants.
+func addMathExp(b *vm.Builder, name string, terms int64) {
+	f, need := defineOnce(b, name)
+	if !need {
+		return
+	}
+	f.FLoad(vm.F1, vm.R1, 0)
+	f.FMovi(vm.F0, 1.0) // sum
+	f.FMovi(vm.F4, 1.0) // term
+	f.Movi(vm.R6, 1)
+	f.Movi(vm.R7, terms)
+	top := f.Here()
+	f.ItoF(vm.F5, vm.R6)
+	f.FMul(vm.F4, vm.F4, vm.F1)
+	f.FDiv(vm.F4, vm.F4, vm.F5)
+	f.FAdd(vm.F0, vm.F0, vm.F4)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Blt(vm.R6, vm.R7, top)
+	f.Ret()
+}
+
+// addMathLog emits a libm-style logarithm: name(arg at [R1]) -> F0 via the
+// atanh series around 1; the argument is loaded from memory like addMathExp.
+func addMathLog(b *vm.Builder, name string, terms int64) {
+	f, need := defineOnce(b, name)
+	if !need {
+		return
+	}
+	f.FLoad(vm.F1, vm.R1, 0)
+	// z = (x-1)/(x+1); log x = 2*(z + z^3/3 + z^5/5 + ...)
+	f.FMovi(vm.F4, 1.0)
+	f.FSub(vm.F5, vm.F1, vm.F4) // x-1
+	f.FAdd(vm.F6, vm.F1, vm.F4) // x+1
+	f.FDiv(vm.F5, vm.F5, vm.F6) // z
+	f.FMul(vm.F6, vm.F5, vm.F5) // z^2
+	f.FMov(vm.F7, vm.F5)        // power
+	f.FMovi(vm.F0, 0)
+	f.Movi(vm.R6, 0)
+	f.Movi(vm.R7, terms)
+	top := f.Here()
+	f.Muli(vm.R8, vm.R6, 2)
+	f.Addi(vm.R8, vm.R8, 1)
+	f.ItoF(vm.F8, vm.R8)
+	f.FDiv(vm.F9, vm.F7, vm.F8)
+	f.FAdd(vm.F0, vm.F0, vm.F9)
+	f.FMul(vm.F7, vm.F7, vm.F6)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Blt(vm.R6, vm.R7, top)
+	f.FAdd(vm.F0, vm.F0, vm.F0)
+	f.Ret()
+}
+
+// addMpnMul emits __mpn_mul(a=R1, b=R2, limbs=R3, out=R4): the classic
+// O(n^2) multi-precision multiply over 8-byte limbs.
+func addMpnMul(b *vm.Builder) {
+	f, need := defineOnce(b, "__mpn_mul")
+	if !need {
+		return
+	}
+	f.Movi(vm.R6, 0) // i
+	outer := f.Here()
+	doneOuter := f.NewLabel()
+	f.Bge(vm.R6, vm.R3, doneOuter)
+	f.Shli(vm.R8, vm.R6, 3)
+	f.Add(vm.R8, vm.R1, vm.R8)
+	f.Load(vm.R9, vm.R8, 0, 8) // a[i]
+	f.Movi(vm.R7, 0)           // j
+	inner := f.Here()
+	doneInner := f.NewLabel()
+	f.Bge(vm.R7, vm.R3, doneInner)
+	f.Shli(vm.R10, vm.R7, 3)
+	f.Add(vm.R10, vm.R2, vm.R10)
+	f.Load(vm.R11, vm.R10, 0, 8) // b[j]
+	f.Mul(vm.R12, vm.R9, vm.R11)
+	f.Add(vm.R13, vm.R6, vm.R7)
+	f.Shli(vm.R13, vm.R13, 3)
+	f.Add(vm.R13, vm.R4, vm.R13)
+	f.Load(vm.R14, vm.R13, 0, 8)
+	f.Add(vm.R14, vm.R14, vm.R12)
+	f.Store(vm.R13, 0, vm.R14, 8)
+	f.Addi(vm.R7, vm.R7, 1)
+	f.Br(inner)
+	f.Bind(doneInner)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(outer)
+	f.Bind(doneOuter)
+	f.Ret()
+}
+
+// addMpnShift emits _mpn_lshift / _mpn_rshift (ptr=R1, limbs=R2, sh=R3,
+// out=R4): limb-wise shifts with carry propagation.
+func addMpnShift(b *vm.Builder, name string, left bool) {
+	f, need := defineOnce(b, name)
+	if !need {
+		return
+	}
+	f.Movi(vm.R6, 0)
+	f.Movi(vm.R7, 0) // carry
+	f.Movi(vm.R8, 64)
+	f.Sub(vm.R8, vm.R8, vm.R3) // complement shift
+	done := f.NewLabel()
+	top := f.Here()
+	f.Bge(vm.R6, vm.R2, done)
+	f.Shli(vm.R9, vm.R6, 3)
+	f.Add(vm.R10, vm.R1, vm.R9)
+	f.Load(vm.R11, vm.R10, 0, 8)
+	if left {
+		f.Shl(vm.R12, vm.R11, vm.R3)
+		f.Shr(vm.R13, vm.R11, vm.R8)
+	} else {
+		f.Shr(vm.R12, vm.R11, vm.R3)
+		f.Shl(vm.R13, vm.R11, vm.R8)
+	}
+	f.Or(vm.R12, vm.R12, vm.R7)
+	f.Mov(vm.R7, vm.R13)
+	f.Add(vm.R14, vm.R4, vm.R9)
+	f.Store(vm.R14, 0, vm.R12, 8)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(top)
+	f.Bind(done)
+	f.Ret()
+}
+
+// addSHA1 emits sha1_block_data_order(block=R1 [64 bytes], state=R2
+// [5 words]): a faithful-in-shape 80-round compression loop — heavy integer
+// compute over a tiny input, the paper's archetypal good candidate.
+func addSHA1(b *vm.Builder) {
+	f, need := defineOnce(b, "sha1_block_data_order")
+	if !need {
+		return
+	}
+	// Load state a..e into R10..R14.
+	for i := int64(0); i < 5; i++ {
+		f.Load(vm.Reg(vm.R10+vm.Reg(i)), vm.R2, i*4, 4)
+	}
+	f.Movi(vm.R6, 0)  // round
+	f.Movi(vm.R7, 80) // rounds
+	top := f.Here()
+	// w = block[(round & 15)*4], mixed with the round counter.
+	f.Andi(vm.R8, vm.R6, 15)
+	f.Shli(vm.R8, vm.R8, 2)
+	f.Add(vm.R8, vm.R1, vm.R8)
+	f.Load(vm.R9, vm.R8, 0, 4)
+	f.Xor(vm.R9, vm.R9, vm.R6)
+	// f = (b & c) | (~b & d)  (choice); tmp = rotl5(a)+f+e+w+K
+	f.And(vm.R15, vm.R11, vm.R12)
+	f.Xori(vm.R16, vm.R11, -1)
+	f.And(vm.R16, vm.R16, vm.R13)
+	f.Or(vm.R15, vm.R15, vm.R16)
+	f.Shli(vm.R16, vm.R10, 5)
+	f.Shri(vm.R17, vm.R10, 27)
+	f.Or(vm.R16, vm.R16, vm.R17)
+	f.Add(vm.R15, vm.R15, vm.R16)
+	f.Add(vm.R15, vm.R15, vm.R14)
+	f.Add(vm.R15, vm.R15, vm.R9)
+	f.Addi(vm.R15, vm.R15, 0x5A827999)
+	// e=d, d=c, c=rotl30(b), b=a, a=tmp
+	f.Mov(vm.R14, vm.R13)
+	f.Mov(vm.R13, vm.R12)
+	f.Shli(vm.R16, vm.R11, 30)
+	f.Shri(vm.R17, vm.R11, 2)
+	f.Or(vm.R12, vm.R16, vm.R17)
+	f.Mov(vm.R11, vm.R10)
+	f.Mov(vm.R10, vm.R15)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Blt(vm.R6, vm.R7, top)
+	// Fold back into state.
+	for i := int64(0); i < 5; i++ {
+		f.Load(vm.R8, vm.R2, i*4, 4)
+		f.Add(vm.R8, vm.R8, vm.Reg(vm.R10+vm.Reg(i)))
+		f.Store(vm.R2, i*4, vm.R8, 4)
+	}
+	f.Ret()
+}
+
+// addAdler32 emits adler32(buf=R1, n=R2) -> R0: the byte-wise checksum —
+// light compute per byte, speed-over-accuracy by design.
+func addAdler32(b *vm.Builder) {
+	f, need := defineOnce(b, "adler32")
+	if !need {
+		return
+	}
+	f.Movi(vm.R6, 1)     // a
+	f.Movi(vm.R7, 0)     // b
+	f.Movi(vm.R8, 0)     // i
+	f.Movi(vm.R9, 65521) // MOD_ADLER
+	done := f.NewLabel()
+	top := f.Here()
+	f.Bge(vm.R8, vm.R2, done)
+	f.Load(vm.R10, vm.R1, 0, 1)
+	f.Add(vm.R6, vm.R6, vm.R10)
+	f.Rem(vm.R6, vm.R6, vm.R9)
+	f.Add(vm.R7, vm.R7, vm.R6)
+	f.Rem(vm.R7, vm.R7, vm.R9)
+	f.Addi(vm.R1, vm.R1, 1)
+	f.Addi(vm.R8, vm.R8, 1)
+	f.Br(top)
+	f.Bind(done)
+	f.Shli(vm.R0, vm.R7, 16)
+	f.Or(vm.R0, vm.R0, vm.R6)
+	f.Ret()
+}
+
+// addTrFlushBlock emits _tr_flush_block(buf=R1, n=R2, out=R3, freq=R4) ->
+// R0 = emitted bytes: zlib's block flush — a frequency pass over the block
+// and an output pass writing "compressed" bytes.
+func addTrFlushBlock(b *vm.Builder) {
+	f, need := defineOnce(b, "_tr_flush_block")
+	if !need {
+		return
+	}
+	// Frequency pass: freq[256] counters (caller-provided scratch).
+	f.Movi(vm.R6, 0)
+	countDone := f.NewLabel()
+	count := f.Here()
+	f.Bge(vm.R6, vm.R2, countDone)
+	f.Add(vm.R8, vm.R1, vm.R6)
+	f.Load(vm.R9, vm.R8, 0, 1)
+	f.Shli(vm.R9, vm.R9, 3)
+	f.Add(vm.R9, vm.R4, vm.R9)
+	f.Load(vm.R10, vm.R9, 0, 8)
+	f.Addi(vm.R10, vm.R10, 1)
+	f.Store(vm.R9, 0, vm.R10, 8)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(count)
+	f.Bind(countDone)
+	// Output pass: xor-fold pairs of input bytes (half-size output).
+	f.Movi(vm.R6, 0)
+	f.Movi(vm.R7, 0) // out index
+	emitDone := f.NewLabel()
+	emit := f.Here()
+	f.Addi(vm.R8, vm.R6, 1)
+	f.Bge(vm.R8, vm.R2, emitDone)
+	f.Add(vm.R9, vm.R1, vm.R6)
+	f.Load(vm.R10, vm.R9, 0, 1)
+	f.Load(vm.R11, vm.R9, 1, 1)
+	f.Shli(vm.R11, vm.R11, 4)
+	f.Xor(vm.R10, vm.R10, vm.R11)
+	f.Add(vm.R12, vm.R3, vm.R7)
+	f.Store(vm.R12, 0, vm.R10, 1)
+	f.Addi(vm.R7, vm.R7, 1)
+	f.Addi(vm.R6, vm.R6, 2)
+	f.Br(emit)
+	f.Bind(emitDone)
+	f.Mov(vm.R0, vm.R7)
+	f.Ret()
+}
+
+// addHashtableSearch emits hashtable_search(table=R1, buckets=R2 (power of
+// two), key=R3) -> R0 = bucket value: a hash probe with a short linear scan
+// — pointer chasing with almost no compute.
+func addHashtableSearch(b *vm.Builder) {
+	f, need := defineOnce(b, "hashtable_search")
+	if !need {
+		return
+	}
+	f.Muli(vm.R6, vm.R3, 0x9E3779B1)
+	f.Shri(vm.R6, vm.R6, 16)
+	f.Addi(vm.R7, vm.R2, -1)
+	f.And(vm.R6, vm.R6, vm.R7) // bucket index
+	f.Movi(vm.R8, 0)           // probes
+	f.Movi(vm.R9, 4)           // max probes
+	found := f.NewLabel()
+	top := f.Here()
+	f.Shli(vm.R10, vm.R6, 3)
+	f.Add(vm.R10, vm.R1, vm.R10)
+	f.Load(vm.R0, vm.R10, 0, 8)
+	f.Beq(vm.R0, vm.R3, found) // slot holds the key: hit
+	f.Addi(vm.R6, vm.R6, 1)
+	f.And(vm.R6, vm.R6, vm.R7)
+	f.Addi(vm.R8, vm.R8, 1)
+	f.Blt(vm.R8, vm.R9, top)
+	f.Bind(found)
+	f.Ret()
+}
+
+// addStringCompare emits std::string::compare(a=R1, b=R2, n=R3) -> R0.
+func addStringCompare(b *vm.Builder) {
+	f, need := defineOnce(b, "std::string::compare")
+	if !need {
+		return
+	}
+	f.Movi(vm.R6, 0)
+	equal := f.NewLabel()
+	differ := f.NewLabel()
+	top := f.Here()
+	f.Bge(vm.R6, vm.R3, equal)
+	f.Add(vm.R7, vm.R1, vm.R6)
+	f.Add(vm.R8, vm.R2, vm.R6)
+	f.Load(vm.R9, vm.R7, 0, 1)
+	f.Load(vm.R10, vm.R8, 0, 1)
+	f.Bne(vm.R9, vm.R10, differ)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(top)
+	f.Bind(differ)
+	f.Sub(vm.R0, vm.R9, vm.R10)
+	f.Ret()
+	f.Bind(equal)
+	f.Movi(vm.R0, 0)
+	f.Ret()
+}
+
+// addStringAssign emits std::string::assign(dst=R1, src=R2, n=R3): a header
+// update plus a copy — allocation-ish overhead with little compute.
+func addStringAssign(b *vm.Builder) {
+	addMemcpy(b)
+	f, need := defineOnce(b, "std::string::assign")
+	if !need {
+		return
+	}
+	f.Store(vm.R1, -8, vm.R3, 8) // length header
+	f.Call("memcpy")
+	f.Ret()
+}
+
+// addVectorCtor emits std::vector(n=R1 elements) -> R0 = base: allocation
+// plus zero-initialization, Table III's archetypal constructor.
+func addVectorCtor(b *vm.Builder) {
+	addMemset(b)
+	f, need := defineOnce(b, "std::vector")
+	if !need {
+		return
+	}
+	f.Shli(vm.R6, vm.R1, 3)
+	f.Alloc(vm.R7, vm.R6)
+	f.Mov(vm.R15, vm.R7)
+	f.Mov(vm.R1, vm.R7)
+	f.Movi(vm.R2, 0)
+	f.Mov(vm.R3, vm.R6)
+	f.Call("memset")
+	f.Mov(vm.R0, vm.R15)
+	f.Ret()
+}
+
+// addOperatorNew emits "operator new"(size=R1) -> R0: allocation with a
+// touched header.
+func addOperatorNew(b *vm.Builder) {
+	f, need := defineOnce(b, "operator new")
+	if !need {
+		return
+	}
+	f.Addi(vm.R6, vm.R1, 16)
+	f.Alloc(vm.R7, vm.R6)
+	f.Store(vm.R7, 0, vm.R1, 8) // size header
+	f.Movi(vm.R8, 0xA110C)
+	f.Store(vm.R7, 8, vm.R8, 8) // magic
+	f.Addi(vm.R0, vm.R7, 16)
+	f.Ret()
+}
+
+// addFree emits free(ptr=R1): reads the header and poisons it — pure
+// data movement, no useful compute (a classic Table III resident).
+func addFree(b *vm.Builder) {
+	f, need := defineOnce(b, "free")
+	if !need {
+		return
+	}
+	f.Load(vm.R6, vm.R1, -16, 8) // size header
+	f.Load(vm.R7, vm.R1, -8, 8)  // magic
+	f.Xor(vm.R6, vm.R6, vm.R7)
+	f.Movi(vm.R8, 0xDEAD)
+	f.Store(vm.R1, -8, vm.R8, 8)
+	f.Movi(vm.R0, 0)
+	f.Ret()
+}
+
+// addDlAddr emits dl_addr(addr=R1, symtab=R2, nsyms=R3) -> R0: a linear
+// scan over a symbol table — heavy input, nearly zero compute, making it
+// the worst blackscholes candidate in Table III.
+func addDlAddr(b *vm.Builder) {
+	f, need := defineOnce(b, "dl_addr")
+	if !need {
+		return
+	}
+	f.Movi(vm.R6, 0)
+	f.Movi(vm.R0, -1)
+	done := f.NewLabel()
+	top := f.Here()
+	f.Bge(vm.R6, vm.R3, done)
+	f.Shli(vm.R7, vm.R6, 4) // 16-byte symbol records
+	f.Add(vm.R7, vm.R2, vm.R7)
+	f.Load(vm.R8, vm.R7, 0, 8) // sym start
+	f.Load(vm.R9, vm.R7, 8, 8) // sym end
+	keep := f.NewLabel()
+	f.Bltu(vm.R1, vm.R8, keep)
+	f.Bgeu(vm.R1, vm.R9, keep)
+	f.Mov(vm.R0, vm.R6)
+	f.Bind(keep)
+	f.Addi(vm.R6, vm.R6, 1)
+	f.Br(top)
+	f.Bind(done)
+	f.Ret()
+}
+
+// addIOFileXsgetn emits IO_file_xsgetn(dst=R1, n=R2) -> R0 = bytes read:
+// the stdio buffered read path — a syscall plus a buffer copy.
+func addIOFileXsgetn(b *vm.Builder) {
+	f, need := defineOnce(b, "IO_file_xsgetn")
+	if !need {
+		return
+	}
+	f.Sys(vm.SysRead) // reads R2 bytes to R1; R0 = n
+	// Touch the delivered bytes (stdio re-reads its buffer).
+	f.Mov(vm.R6, vm.R0)
+	f.Movi(vm.R7, 0)
+	done := f.NewLabel()
+	top := f.Here()
+	f.Bge(vm.R7, vm.R6, done)
+	f.Add(vm.R8, vm.R1, vm.R7)
+	f.Load(vm.R9, vm.R8, 0, 1)
+	f.Addi(vm.R7, vm.R7, 1)
+	f.Br(top)
+	f.Bind(done)
+	f.Mov(vm.R0, vm.R6)
+	f.Ret()
+}
+
+// addIOSputbackc emits IO_sputbackc(buf=R1, ch=R2): pushes a character back
+// into the stdio buffer — two memory touches, no compute.
+func addIOSputbackc(b *vm.Builder) {
+	f, need := defineOnce(b, "IO_sputbackc")
+	if !need {
+		return
+	}
+	f.Load(vm.R6, vm.R1, 0, 8) // current position
+	f.Addi(vm.R6, vm.R6, -1)
+	f.Store(vm.R1, 0, vm.R6, 8)
+	f.Add(vm.R7, vm.R1, vm.R6)
+	f.Store(vm.R7, 8, vm.R2, 1)
+	f.Movi(vm.R0, 0)
+	f.Ret()
+}
+
+// addGnuCxxIter emits "__gnu_cxx::__normal_iterator"(buf=R1) -> R0: the
+// libstdc++ iterator plumbing — a run of pointer-sized loads with almost no
+// arithmetic, the worst-ratio utility in the paper's bodytrack column.
+func addGnuCxxIter(b *vm.Builder) {
+	f, need := defineOnce(b, "__gnu_cxx::__normal_iterator")
+	if !need {
+		return
+	}
+	f.Movi(vm.R0, 0)
+	for i := int64(0); i < 8; i++ {
+		f.Load(vm.R6, vm.R1, i*8, 8)
+		f.Or(vm.R0, vm.R0, vm.R6)
+	}
+	f.Ret()
+}
+
+// addRandChain emits the drand48 family exactly as the paper's
+// streamcluster critical path names it: lrand48 -> nrand48_r ->
+// drand48_iterate, iterating a 48-bit LCG state kept at stateAddr.
+func addRandChain(b *vm.Builder, stateAddr uint64) {
+	it, need := defineOnce(b, "drand48_iterate")
+	if need {
+		it.MoviU(vm.R6, stateAddr)
+		it.Load(vm.R7, vm.R6, 0, 8)
+		// The 48-bit LCG step, done limb-wise like the portable glibc
+		// implementation (several mixing rounds rather than one mul).
+		it.Movi(vm.R9, 0)
+		it.Movi(vm.R10, 6)
+		itTop := it.Here()
+		it.MoviU(vm.R8, 0x5DEECE66D)
+		it.Mul(vm.R7, vm.R7, vm.R8)
+		it.Addi(vm.R7, vm.R7, 0xB)
+		it.Shri(vm.R11, vm.R7, 16)
+		it.Xor(vm.R7, vm.R7, vm.R11)
+		it.Addi(vm.R9, vm.R9, 1)
+		it.Blt(vm.R9, vm.R10, itTop)
+		it.MoviU(vm.R8, (1<<48)-1)
+		it.And(vm.R7, vm.R7, vm.R8)
+		it.Store(vm.R6, 0, vm.R7, 8)
+		it.Mov(vm.R0, vm.R7)
+		it.Ret()
+	}
+	nr, need := defineOnce(b, "nrand48_r")
+	if need {
+		// Argument marshalling before iterating, like the glibc wrapper.
+		nr.MoviU(vm.R5, stateAddr)
+		nr.Addi(vm.R5, vm.R5, 0)
+		nr.Call("drand48_iterate")
+		nr.Shri(vm.R0, vm.R0, 17)
+		nr.Ret()
+	}
+	lr, need := defineOnce(b, "lrand48")
+	if need {
+		lr.Movi(vm.R4, 0) // buffer-selection marshalling
+		lr.Addi(vm.R4, vm.R4, 1)
+		lr.Call("nrand48_r")
+		lr.Andi(vm.R0, vm.R0, 0x7FFFFFFF)
+		lr.Ret()
+	}
+}

@@ -1,0 +1,121 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// libquantum reproduces the SPEC quantum-computer simulator's skeleton:
+// Shor-style circuits apply gate after gate to a register of basis-state
+// amplitudes. Each gate function (quantum_toffoli, quantum_cnot,
+// quantum_sigma_x) walks the register in blocks via a per-block kernel
+// (quantum_gate_block); blocks are independent within a gate and depend
+// only on the same block of the previous gate, so — like streamcluster —
+// the workload decomposes into many short dependent chains with high
+// theoretical function-level parallelism.
+func init() {
+	register(&Spec{
+		Name:        "libquantum",
+		Description: "quantum computer simulation (SPEC): gate pipeline over register amplitudes",
+		InFig13:     true,
+		Build:       buildLibquantum,
+	})
+}
+
+func buildLibquantum(c Class) (*vm.Program, []byte, error) {
+	gates := scale(c, 24)
+	const nstates = 512  // amplitudes (8 bytes each)
+	const blockSize = 64 // states per quantum_gate_block call
+
+	b := vm.NewBuilder()
+	reg := b.Reserve("qureg", nstates*8)
+	norm := b.Reserve("norm", 8) // running normalization accumulator
+
+	// quantum_gate_block(block=R1, n=R2 states, control=R3): the
+	// per-block amplitude update — a phase rotation with a conditional
+	// bit-flip permutation within the block.
+	gb := b.Func("quantum_gate_block")
+	gb.Movi(vm.R6, 0)
+	gbDone := gb.NewLabel()
+	gbTop := gb.Here()
+	gb.Bge(vm.R6, vm.R2, gbDone)
+	gb.Shli(vm.R7, vm.R6, 3)
+	gb.Add(vm.R7, vm.R1, vm.R7)
+	gb.FLoad(vm.F4, vm.R7, 0)
+	// Phase arithmetic: a ← a*cos + k*sin-ish fixed rotation.
+	gb.FMovi(vm.F5, 0.98006657784)
+	gb.FMul(vm.F4, vm.F4, vm.F5)
+	gb.ItoF(vm.F6, vm.R3)
+	gb.FMovi(vm.F7, 0.001)
+	gb.FMul(vm.F6, vm.F6, vm.F7)
+	gb.FAdd(vm.F4, vm.F4, vm.F6)
+	gb.FStore(vm.R7, 0, vm.F4)
+	// Per-state normalization bookkeeping against the global accumulator
+	// (the simulator's running norm — a heavily re-used line).
+	gb.MoviU(vm.R8, norm)
+	gb.FLoad(vm.F8, vm.R8, 0)
+	gb.FMul(vm.F9, vm.F4, vm.F4)
+	gb.FAdd(vm.F8, vm.F8, vm.F9)
+	gb.FStore(vm.R8, 0, vm.F8)
+	gb.Addi(vm.R6, vm.R6, 1)
+	gb.Br(gbTop)
+	gb.Bind(gbDone)
+	gb.Ret()
+
+	// Gate drivers: walk the register block by block. Each driver has a
+	// distinct control-mask flavour, matching the simulator's gate mix.
+	addGate := func(name string, controlScale int64) {
+		g := b.Func(name)
+		g.Movi(vm.R20, 0) // block index
+		gTop := g.Here()
+		g.Muli(vm.R21, vm.R20, blockSize*8)
+		g.MoviU(vm.R1, reg)
+		g.Add(vm.R1, vm.R1, vm.R21)
+		g.Movi(vm.R2, blockSize)
+		g.Muli(vm.R3, vm.R20, controlScale)
+		g.Call("quantum_gate_block")
+		g.Addi(vm.R20, vm.R20, 1)
+		g.Movi(vm.R22, nstates/blockSize)
+		g.Blt(vm.R20, vm.R22, gTop)
+		g.Ret()
+	}
+	addGate("quantum_toffoli", 3)
+	addGate("quantum_cnot", 2)
+	addGate("quantum_sigma_x", 1)
+
+	main := b.Func("main")
+	// |0...0> initialization.
+	main.MoviU(vm.R6, reg)
+	main.Movi(vm.R7, 0)
+	init := main.Here()
+	main.FMovi(vm.F4, 1.0)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R8, nstates)
+	main.Blt(vm.R7, vm.R8, init)
+	// Circuit: rotate through the three gate flavours.
+	main.Movi(vm.R20, 0)
+	circ := main.Here()
+	main.Movi(vm.R21, 3)
+	main.Rem(vm.R22, vm.R20, vm.R21)
+	main.Movi(vm.R23, 0)
+	g1 := main.NewLabel()
+	g2 := main.NewLabel()
+	next := main.NewLabel()
+	main.Beq(vm.R22, vm.R23, g1)
+	main.Movi(vm.R23, 1)
+	main.Beq(vm.R22, vm.R23, g2)
+	main.Call("quantum_sigma_x")
+	main.Br(next)
+	main.Bind(g1)
+	main.Call("quantum_toffoli")
+	main.Br(next)
+	main.Bind(g2)
+	main.Call("quantum_cnot")
+	main.Bind(next)
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R24, gates)
+	main.Blt(vm.R20, vm.R24, circ)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

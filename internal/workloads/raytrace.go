@@ -1,0 +1,127 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// raytrace reproduces the real-time ray tracer's skeleton: per scanline,
+// rays intersect a sphere list (intersect_scene — fp-heavy with the scene
+// records re-read for every ray, giving very high line-level re-use) and
+// shade into a large write-once framebuffer (the memory-intensive profile
+// the paper notes for raytrace and facesim).
+func init() {
+	register(&Spec{
+		Name:        "raytrace",
+		Description: "ray tracing (PARSEC): per-scanline sphere intersection and shading",
+		InFig13:     false,
+		Build:       buildRaytrace,
+	})
+}
+
+func buildRaytrace(c Class) (*vm.Program, []byte, error) {
+	height := scale(c, 24)
+	const width = 64
+	const nspheres = 12
+
+	b := vm.NewBuilder()
+	// Scene: nspheres records of (cx, cy, cz, r) float64.
+	scene := b.Reserve("scene", nspheres*32)
+	fb := b.Reserve("framebuffer", uint64(height*width*8))
+
+	// intersect_scene(ox=F1, oy=F2, scene=R1) -> F0 = nearest hit
+	// parameter: tests every sphere with the quadratic discriminant.
+	in := b.Func("intersect_scene")
+	in.FMovi(vm.F0, 1e30)
+	in.Movi(vm.R6, 0)
+	inDone := in.NewLabel()
+	inTop := in.Here()
+	in.Movi(vm.R7, nspheres)
+	in.Bge(vm.R6, vm.R7, inDone)
+	in.Muli(vm.R8, vm.R6, 32)
+	in.Add(vm.R8, vm.R1, vm.R8)
+	in.FLoad(vm.F4, vm.R8, 0)  // cx
+	in.FLoad(vm.F5, vm.R8, 8)  // cy
+	in.FLoad(vm.F6, vm.R8, 16) // cz
+	in.FLoad(vm.F7, vm.R8, 24) // r
+	in.FSub(vm.F8, vm.F4, vm.F1)
+	in.FSub(vm.F9, vm.F5, vm.F2)
+	in.FMul(vm.F8, vm.F8, vm.F8)
+	in.FMul(vm.F9, vm.F9, vm.F9)
+	in.FAdd(vm.F8, vm.F8, vm.F9)
+	in.FMul(vm.F10, vm.F6, vm.F6)
+	in.FAdd(vm.F8, vm.F8, vm.F10)
+	in.FMul(vm.F11, vm.F7, vm.F7)
+	in.FSub(vm.F12, vm.F8, vm.F11) // discriminant-ish
+	miss := in.NewLabel()
+	in.FMovi(vm.F13, 0)
+	in.FCmp(vm.R9, vm.F12, vm.F13)
+	in.Movi(vm.R10, 0)
+	in.Blt(vm.R9, vm.R10, miss) // negative: inside, skip
+	in.FSqrt(vm.F12, vm.F12)
+	in.FMin(vm.F0, vm.F0, vm.F12)
+	in.Bind(miss)
+	in.Addi(vm.R6, vm.R6, 1)
+	in.Br(inTop)
+	in.Bind(inDone)
+	in.Ret()
+
+	// shade(t=F1) -> F0: tone-map the hit parameter.
+	sh := b.Func("shade")
+	sh.FMovi(vm.F4, 1.0)
+	sh.FAdd(vm.F5, vm.F1, vm.F4)
+	sh.FDiv(vm.F0, vm.F4, vm.F5)
+	sh.FMovi(vm.F6, 255.0)
+	sh.FMul(vm.F0, vm.F0, vm.F6)
+	sh.Ret()
+
+	// render_scanline(y=R1, fbRow=R2, scene=R3): one row of rays.
+	rs := b.Func("render_scanline")
+	rs.Movi(vm.R6, 0) // x
+	rsDone := rs.NewLabel()
+	rsTop := rs.Here()
+	rs.Movi(vm.R7, width)
+	rs.Bge(vm.R6, vm.R7, rsDone)
+	rs.ItoF(vm.F1, vm.R6)
+	rs.ItoF(vm.F2, vm.R1)
+	rs.Mov(vm.R26, vm.R1) // keep y across calls
+	rs.Mov(vm.R1, vm.R3)
+	rs.Call("intersect_scene")
+	rs.FMov(vm.F1, vm.F0)
+	rs.Call("shade")
+	rs.Shli(vm.R8, vm.R6, 3)
+	rs.Add(vm.R8, vm.R2, vm.R8)
+	rs.FStore(vm.R8, 0, vm.F0)
+	rs.Mov(vm.R1, vm.R26)
+	rs.Addi(vm.R6, vm.R6, 1)
+	rs.Br(rsTop)
+	rs.Bind(rsDone)
+	rs.Ret()
+
+	main := b.Func("main")
+	// Scene setup.
+	main.MoviU(vm.R6, scene)
+	main.Movi(vm.R7, 0)
+	st := main.Here()
+	main.Muli(vm.R8, vm.R7, 5)
+	main.Addi(vm.R8, vm.R8, 3)
+	main.ItoF(vm.F4, vm.R8)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, nspheres*4)
+	main.Blt(vm.R7, vm.R9, st)
+	// Render loop.
+	main.Movi(vm.R20, 0) // y
+	rl := main.Here()
+	main.Mov(vm.R1, vm.R20)
+	main.MoviU(vm.R2, fb)
+	main.Muli(vm.R21, vm.R20, width*8)
+	main.Add(vm.R2, vm.R2, vm.R21)
+	main.MoviU(vm.R3, scene)
+	main.Call("render_scanline")
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R22, height)
+	main.Blt(vm.R20, vm.R22, rl)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

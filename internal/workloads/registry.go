@@ -1,0 +1,127 @@
+// Package workloads provides the benchmark suite the reproduction profiles:
+// synthetic, serial re-implementations of the PARSEC 2.1 workloads the paper
+// studies (plus SPEC's libquantum), written against the virtual ISA. Each
+// workload implements the real benchmark's algorithmic skeleton and exposes
+// the paper's named hot and utility functions, so Sigil profiles of these
+// programs reproduce the shape of the paper's results: who communicates
+// with whom, who re-uses data and for how long, who dominates the critical
+// path, and which functions make good acceleration candidates.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"sigil/internal/vm"
+)
+
+// Class selects the input scale, mirroring PARSEC's simsmall / simmedium /
+// simlarge input sets. Each step scales the input roughly 4x.
+type Class int
+
+// Input classes.
+const (
+	SimSmall Class = iota
+	SimMedium
+	SimLarge
+)
+
+var classNames = [...]string{"simsmall", "simmedium", "simlarge"}
+
+// String returns the PARSEC-style class name.
+func (c Class) String() string {
+	if c >= 0 && int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class%d", int(c))
+}
+
+// ParseClass converts a PARSEC-style name into a Class.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if n == s {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("workloads: unknown input class %q (want simsmall, simmedium or simlarge)", s)
+}
+
+// scale multiplies a simsmall-sized parameter up for larger classes.
+func scale(c Class, small int64) int64 {
+	switch c {
+	case SimMedium:
+		return small * 4
+	case SimLarge:
+		return small * 16
+	default:
+		return small
+	}
+}
+
+// Spec describes one workload.
+type Spec struct {
+	Name        string
+	Description string
+	// InFig13 marks workloads included in the paper's function-level
+	// parallelism study (Figure 13).
+	InFig13 bool
+	// Build produces the program and its syscall input stream for the
+	// given input class.
+	Build func(Class) (*vm.Program, []byte, error)
+}
+
+var registry = map[string]*Spec{}
+
+func register(s *Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("workloads: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the named workload.
+func Get(name string) (*Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all workloads in name order.
+func All() []*Spec {
+	names := Names()
+	out := make([]*Spec, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Fig13Names returns the workloads included in the parallelism study.
+func Fig13Names() []string {
+	var out []string
+	for _, s := range All() {
+		if s.InFig13 {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Build is a convenience wrapper: build the named workload at the given
+// class.
+func Build(name string, c Class) (*vm.Program, []byte, error) {
+	s, ok := Get(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return s.Build(c)
+}

@@ -1,0 +1,155 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// streamcluster reproduces the streaming k-median workload's skeleton with
+// exactly the call chain the paper finds on its critical path:
+// main → streamCluster → localSearch → pkmedian → lrand48 → nrand48_r →
+// drand48_iterate. The per-point distance evaluations (dist) are short and
+// mutually independent, while the PRNG state serializes the random draws —
+// which is why the theoretical parallelism is high but carried by many
+// short paths.
+func init() {
+	register(&Spec{
+		Name:        "streamcluster",
+		Description: "streaming k-median clustering (PARSEC): pkmedian over streamed points",
+		InFig13:     true,
+		Build:       buildStreamcluster,
+	})
+}
+
+func buildStreamcluster(c Class) (*vm.Program, []byte, error) {
+	chunks := scale(c, 3)
+	const npoints = 48 // points per chunk
+	const dims = 8
+	const iters = 6 // pkmedian refinement iterations per localSearch
+
+	b := vm.NewBuilder()
+	points := b.Reserve("points", npoints*dims*8)
+	centers := b.Reserve("centers", 8*dims*8)
+	randState := b.Reserve("randstate", 8)
+	costs := b.Reserve("costs", npoints*8)
+
+	addRandChain(b, randState)
+
+	// dist(point=R1, center=R2) -> F0: squared euclidean distance over
+	// `dims` coordinates — a short, independent fp kernel.
+	d := b.Func("dist")
+	d.FMovi(vm.F0, 0)
+	d.Movi(vm.R6, 0)
+	d.Movi(vm.R7, dims)
+	dTop := d.Here()
+	d.Shli(vm.R8, vm.R6, 3)
+	d.Add(vm.R9, vm.R1, vm.R8)
+	d.FLoad(vm.F4, vm.R9, 0)
+	d.Add(vm.R9, vm.R2, vm.R8)
+	d.FLoad(vm.F5, vm.R9, 0)
+	d.FSub(vm.F4, vm.F4, vm.F5)
+	d.FMul(vm.F4, vm.F4, vm.F4)
+	d.FAdd(vm.F0, vm.F0, vm.F4)
+	d.Addi(vm.R6, vm.R6, 1)
+	d.Blt(vm.R6, vm.R7, dTop)
+	d.Ret()
+
+	// pkmedian(chunkSeed=R1): one refinement pass — draw a random
+	// candidate center, evaluate every point against it, keep the cost.
+	pk := b.Func("pkmedian")
+	pk.Call("lrand48")
+	pk.Movi(vm.R6, 8)
+	pk.Rem(vm.R7, vm.R0, vm.R6) // candidate center index
+	pk.Muli(vm.R7, vm.R7, dims*8)
+	pk.MoviU(vm.R8, centers)
+	pk.Add(vm.R8, vm.R8, vm.R7) // &center
+	pk.Movi(vm.R9, 0)           // point index
+	pkDone := pk.NewLabel()
+	pkTop := pk.Here()
+	pk.Movi(vm.R10, npoints)
+	pk.Bge(vm.R9, vm.R10, pkDone)
+	pk.Muli(vm.R11, vm.R9, dims*8)
+	pk.MoviU(vm.R1, points)
+	pk.Add(vm.R1, vm.R1, vm.R11)
+	pk.Mov(vm.R2, vm.R8)
+	pk.Call("dist")
+	pk.MoviU(vm.R12, costs)
+	pk.Shli(vm.R13, vm.R9, 3)
+	pk.Add(vm.R12, vm.R12, vm.R13)
+	pk.FStore(vm.R12, 0, vm.F0)
+	// Running-median bookkeeping per point (kept in pkmedian itself,
+	// sequencing the pass the way the real gain computation does).
+	pk.Movi(vm.R14, 0)
+	pkBk := pk.Here()
+	pk.FMovi(vm.F6, 0.875)
+	pk.FMul(vm.F0, vm.F0, vm.F6)
+	pk.FMovi(vm.F7, 0.125)
+	pk.FAdd(vm.F0, vm.F0, vm.F7)
+	pk.Addi(vm.R14, vm.R14, 1)
+	pk.Movi(vm.R15, 5)
+	pk.Blt(vm.R14, vm.R15, pkBk)
+	pk.Addi(vm.R9, vm.R9, 1)
+	pk.Br(pkTop)
+	pk.Bind(pkDone)
+	// Draw the next pass's shuffle seed — the trailing random draw that
+	// puts the drand48 chain at the leaf of the critical path (§IV-C).
+	pk.Call("lrand48")
+	pk.Ret()
+
+	// localSearch(chunkSeed=R1): iterate pkmedian to convergence.
+	ls := b.Func("localSearch")
+	ls.Movi(vm.R20, 0)
+	lsTop := ls.Here()
+	ls.Call("pkmedian")
+	ls.Addi(vm.R20, vm.R20, 1)
+	ls.Movi(vm.R21, iters)
+	ls.Blt(vm.R20, vm.R21, lsTop)
+	ls.Ret()
+
+	// read_points(chunkSeed=R1): pull the next chunk of points from the
+	// input stream (a real syscall, like the benchmark reading its point
+	// file). Distinct calls per chunk keep the chunks' dependency chains
+	// independent of one another.
+	rp := b.Func("read_points")
+	rp.MoviU(vm.R1, points)
+	rp.Movi(vm.R2, npoints*dims*8)
+	rp.Sys(vm.SysRead)
+	rp.Ret()
+
+	// streamCluster(): stream the chunks, refreshing the window between
+	// localSearch rounds.
+	sc := b.Func("streamCluster")
+	sc.Movi(vm.R22, 0) // chunk
+	scTop := sc.Here()
+	sc.Mov(vm.R1, vm.R22)
+	sc.Call("read_points")
+	sc.Mov(vm.R1, vm.R22)
+	sc.Call("localSearch")
+	sc.Addi(vm.R22, vm.R22, 1)
+	sc.Movi(vm.R9, chunks)
+	sc.Blt(vm.R22, vm.R9, scTop)
+	sc.Ret()
+
+	main := b.Func("main")
+	// Seed centers.
+	main.MoviU(vm.R6, centers)
+	main.Movi(vm.R7, 0)
+	seed := main.Here()
+	main.Muli(vm.R8, vm.R7, 37)
+	main.ItoF(vm.F4, vm.R8)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, 8*dims)
+	main.Blt(vm.R7, vm.R9, seed)
+	main.Call("streamCluster")
+	main.Halt()
+
+	// The streamed point file: one float64 coordinate per dimension.
+	input := make([]byte, chunks*npoints*dims*8)
+	for i := 0; i < len(input); i += 8 {
+		v := uint64((i*2654435761 + 12345) & 0x3FF)
+		for bi := 0; bi < 8; bi++ {
+			input[i+bi] = byte(v >> (8 * bi))
+		}
+	}
+	p, err := b.Build()
+	return p, input, err
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// swaptions reproduces the HJM Monte-Carlo pricing workload's skeleton: the
+// path generation and discounting arithmetic lives in main's trial loop
+// (which is why, like canneal and ferret, its candidate functions cover
+// little of the execution in Fig 7), with RanUnif random draws through the
+// drand48 chain, a small yield-curve interpolation helper and std::vector /
+// free allocation churn per swaption.
+func init() {
+	register(&Spec{
+		Name:        "swaptions",
+		Description: "HJM swaption pricing (PARSEC): Monte-Carlo trials with inline path generation",
+		InFig13:     true,
+		Build:       buildSwaptions,
+	})
+}
+
+func buildSwaptions(c Class) (*vm.Program, []byte, error) {
+	swaptions := scale(c, 4)
+	const trials = 64
+	const tenor = 8 // forward-curve points per path
+
+	b := vm.NewBuilder()
+	randState := b.Reserve("randstate", 8)
+	curve := b.Reserve("yieldcurve", tenor*8)
+	path := b.Reserve("path", tenor*8)
+
+	addRandChain(b, randState)
+	addVectorCtor(b)
+	addMemset(b)
+	addFree(b)
+
+	// RanUnif() -> F0 in (0,1): the simulator's uniform draw.
+	ru := b.Func("RanUnif")
+	ru.Call("lrand48")
+	ru.ItoF(vm.F0, vm.R0)
+	ru.FMovi(vm.F4, 2147483648.0)
+	ru.FDiv(vm.F0, vm.F0, vm.F4)
+	ru.Ret()
+
+	// HJM_Yield(curve=R1, i=R2) -> F0: linear interpolation on the
+	// yield curve — small input, small compute.
+	hy := b.Func("HJM_Yield")
+	hy.Shli(vm.R6, vm.R2, 3)
+	hy.Add(vm.R6, vm.R1, vm.R6)
+	hy.FLoad(vm.F4, vm.R6, 0)
+	hy.FLoad(vm.F5, vm.R6, 8)
+	hy.FAdd(vm.F0, vm.F4, vm.F5)
+	hy.FMovi(vm.F6, 0.5)
+	hy.FMul(vm.F0, vm.F0, vm.F6)
+	hy.Ret()
+
+	main := b.Func("main")
+	// Yield curve setup.
+	main.MoviU(vm.R6, curve)
+	main.Movi(vm.R7, 0)
+	ci := main.Here()
+	main.Addi(vm.R8, vm.R7, 2)
+	main.ItoF(vm.F4, vm.R8)
+	main.FMovi(vm.F5, 100.0)
+	main.FDiv(vm.F4, vm.F4, vm.F5)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, tenor)
+	main.Blt(vm.R7, vm.R9, ci)
+
+	main.Movi(vm.R20, 0) // swaption index
+	swTop := main.Here()
+	// Per-swaption scratch vector.
+	main.Movi(vm.R1, tenor)
+	main.Call("std::vector")
+	main.Mov(vm.R28, vm.R0)
+	main.FMovi(vm.F10, 0) // price accumulator
+	main.Movi(vm.R21, 0)  // trial
+	trialTop := main.Here()
+	// Path generation stays inline in main: per tenor point, draw a
+	// shock, evolve the forward rate, discount — the bulk of the math.
+	main.MoviU(vm.R22, path)
+	main.MoviU(vm.R23, curve)
+	main.Movi(vm.R24, 0)
+	main.FMovi(vm.F11, 1.0) // discount factor
+	ptTop := main.Here()
+	main.Call("RanUnif")
+	main.FMovi(vm.F4, 0.5)
+	main.FSub(vm.F5, vm.F0, vm.F4) // centered shock
+	main.Mov(vm.R1, vm.R23)
+	main.Mov(vm.R2, vm.R24)
+	main.Call("HJM_Yield")
+	main.FMovi(vm.F6, 0.2)
+	main.FMul(vm.F5, vm.F5, vm.F6)
+	main.FAdd(vm.F7, vm.F0, vm.F5) // evolved rate
+	main.FMovi(vm.F8, 1.0)
+	main.FAdd(vm.F9, vm.F8, vm.F7)
+	main.FDiv(vm.F11, vm.F11, vm.F9) // discount
+	main.Shli(vm.R25, vm.R24, 3)
+	main.Add(vm.R25, vm.R22, vm.R25)
+	main.FStore(vm.R25, 0, vm.F7)
+	// Inline drift correction and smoothing passes — the HJM math the
+	// real benchmark keeps in its pricing routine rather than helpers.
+	main.Movi(vm.R30, 0)
+	drift := main.Here()
+	main.FMul(vm.F12, vm.F7, vm.F11)
+	main.FAdd(vm.F10, vm.F10, vm.F12)
+	main.FMovi(vm.F13, 0.999)
+	main.FMul(vm.F11, vm.F11, vm.F13)
+	main.FMul(vm.F12, vm.F12, vm.F12)
+	main.FAdd(vm.F10, vm.F10, vm.F12)
+	main.Addi(vm.R30, vm.R30, 1)
+	main.Movi(vm.R31, 16)
+	main.Blt(vm.R30, vm.R31, drift)
+	main.Addi(vm.R24, vm.R24, 1)
+	main.Movi(vm.R26, tenor-1)
+	main.Blt(vm.R24, vm.R26, ptTop)
+	main.Addi(vm.R21, vm.R21, 1)
+	main.Movi(vm.R26, trials)
+	main.Blt(vm.R21, vm.R26, trialTop)
+	// Store the swaption price into the scratch vector and release it.
+	main.FStore(vm.R28, 0, vm.F10)
+	main.Mov(vm.R1, vm.R28)
+	main.Call("free")
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R27, swaptions)
+	main.Blt(vm.R20, vm.R27, swTop)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

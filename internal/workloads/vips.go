@@ -1,0 +1,258 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// vips reproduces the image-pipeline workload the paper drills into for its
+// data-reuse study (§IV-B, Figs 9–11): im_generate drives three stages over
+// an image —
+//
+//   - affine_gen: resampling; reads neighbouring source pixels (moderate,
+//     short-lived re-use),
+//   - imb_XYZ2Lab: colour-space conversion; each pixel's components are
+//     re-read a few times within a tight per-row call and a small lookup
+//     table is re-read across the row — re-use lifetimes peak at zero with
+//     a short tail (Fig 11),
+//   - conv_gen: separable convolution over multi-row regions; a pixel is
+//     re-read by the vertical taps across several row iterations of the
+//     same call (the central lifetime peak) while the kernel coefficients
+//     are re-read for every output pixel of the call (the long tail) —
+//     Fig 10's shape.
+//
+// conv_gen is called from two different parents (the blur and sharpen
+// passes), giving the two calling contexts Fig 9 distinguishes as
+// conv_gen(1) and conv_gen(2).
+func init() {
+	register(&Spec{
+		Name:        "vips",
+		Description: "image processing pipeline (PARSEC): affine, colourspace, convolution",
+		InFig13:     false,
+		Build:       buildVips,
+	})
+}
+
+func buildVips(c Class) (*vm.Program, []byte, error) {
+	width := scale(c, 64) // pixels per row (8 bytes each)
+	const rows = 40
+	const region = 16 // rows per conv_gen call
+	const vtaps, htaps = 3, 2
+	// Region starts step by `region`; the last start keeps the vertical
+	// taps (start + region + vtaps - 1) inside the plane.
+	const lastStart = rows - region - vtaps + 1
+
+	b := vm.NewBuilder()
+	rowBytes := width * 8
+	src := b.Reserve("srcplane", uint64(rows*rowBytes))
+	affine := b.Reserve("affineplane", uint64(rows*rowBytes))
+	lab := b.Reserve("labplane", uint64(rows*rowBytes))
+	blur := b.Reserve("blurplane", uint64(rows*rowBytes))
+	sharp := b.Reserve("sharpplane", uint64(rows*rowBytes))
+
+	// Convolution kernel and the XYZ→Lab lookup table.
+	kernel := b.Reserve("kernel", vtaps*htaps*8)
+	lut := b.Reserve("xyzlut", 32*8)
+
+	// affine_gen(srcRow=R1, dstRow=R2, n=R3 pixels): linear resample —
+	// each output pixel blends two adjacent source pixels, so interior
+	// source pixels are read twice in quick succession.
+	ag := b.Func("affine_gen")
+	ag.Movi(vm.R6, 0)
+	agDone := ag.NewLabel()
+	agTop := ag.Here()
+	ag.Addi(vm.R7, vm.R3, -1)
+	ag.Bge(vm.R6, vm.R7, agDone)
+	ag.Shli(vm.R8, vm.R6, 3)
+	ag.Add(vm.R9, vm.R1, vm.R8)
+	ag.FLoad(vm.F4, vm.R9, 0)
+	ag.FLoad(vm.F5, vm.R9, 8)
+	ag.FMovi(vm.F6, 0.75)
+	ag.FMul(vm.F4, vm.F4, vm.F6)
+	ag.FMovi(vm.F6, 0.25)
+	ag.FMul(vm.F5, vm.F5, vm.F6)
+	ag.FAdd(vm.F4, vm.F4, vm.F5)
+	ag.Add(vm.R10, vm.R2, vm.R8)
+	ag.FStore(vm.R10, 0, vm.F4)
+	ag.Addi(vm.R6, vm.R6, 1)
+	ag.Br(agTop)
+	ag.Bind(agDone)
+	// Last pixel copies through.
+	ag.Shli(vm.R8, vm.R6, 3)
+	ag.Add(vm.R9, vm.R1, vm.R8)
+	ag.FLoad(vm.F4, vm.R9, 0)
+	ag.Add(vm.R10, vm.R2, vm.R8)
+	ag.FStore(vm.R10, 0, vm.F4)
+	ag.Ret()
+
+	// imb_XYZ2Lab(row=R1, dstRow=R2, n=R3 pixels): per-pixel conversion;
+	// the pixel is re-read for each of the three output components and
+	// the small LUT entry is re-read per pixel.
+	xl := b.Func("imb_XYZ2Lab")
+	xl.MoviU(vm.R11, lut)
+	xl.Movi(vm.R6, 0)
+	xlDone := xl.NewLabel()
+	xlTop := xl.Here()
+	xl.Bge(vm.R6, vm.R3, xlDone)
+	xl.Shli(vm.R8, vm.R6, 3)
+	xl.Add(vm.R9, vm.R1, vm.R8)
+	// Three component evaluations, each re-reading the pixel.
+	xl.FLoad(vm.F4, vm.R9, 0)
+	xl.FLoad(vm.F5, vm.R9, 0)
+	xl.FLoad(vm.F6, vm.R9, 0)
+	// LUT gamma lookup indexed by the pixel's intensity band, so the same
+	// entry recurs across a stretch of the row (a short re-use tail).
+	xl.FtoI(vm.R12, vm.F4)
+	xl.Shri(vm.R12, vm.R12, 2)
+	xl.Andi(vm.R12, vm.R12, 31)
+	xl.Shli(vm.R12, vm.R12, 3)
+	xl.Add(vm.R12, vm.R11, vm.R12)
+	xl.FLoad(vm.F7, vm.R12, 0)
+	xl.FMul(vm.F4, vm.F4, vm.F7)
+	xl.FAdd(vm.F5, vm.F5, vm.F4)
+	xl.FSub(vm.F6, vm.F6, vm.F4)
+	xl.FMul(vm.F5, vm.F5, vm.F6)
+	xl.Add(vm.R10, vm.R2, vm.R8)
+	xl.FStore(vm.R10, 0, vm.F5)
+	xl.Addi(vm.R6, vm.R6, 1)
+	xl.Br(xlTop)
+	xl.Bind(xlDone)
+	xl.Ret()
+
+	// conv_gen(srcPlane=R1, dstPlane=R2, startRow=R3, nrows=R4, width=R5
+	// pixels): separable 3x2 convolution over a multi-row region. The
+	// vertical taps re-read each source pixel across several row
+	// iterations of the same call; the kernel coefficients are re-read
+	// for every output pixel.
+	cg := b.Func("conv_gen")
+	cg.MoviU(vm.R20, kernel)
+	cg.Movi(vm.R6, 0) // r: output row within region
+	cgRowDone := cg.NewLabel()
+	cgRow := cg.Here()
+	cg.Bge(vm.R6, vm.R4, cgRowDone)
+	cg.Movi(vm.R7, 0) // c: column
+	cgColDone := cg.NewLabel()
+	cgCol := cg.Here()
+	cg.Addi(vm.R8, vm.R5, -htaps)
+	cg.Bge(vm.R7, vm.R8, cgColDone)
+	cg.FMovi(vm.F0, 0)
+	// 5 vertical taps x 3 horizontal taps.
+	for vt := int64(0); vt < vtaps; vt++ {
+		for ht := int64(0); ht < htaps; ht++ {
+			// srcRow = start + r + vt (clamped by caller), col = c + ht.
+			cg.Add(vm.R9, vm.R3, vm.R6)
+			cg.Addi(vm.R9, vm.R9, vt)
+			cg.Muli(vm.R9, vm.R9, rowBytes)
+			cg.Shli(vm.R10, vm.R7, 3)
+			cg.Add(vm.R9, vm.R9, vm.R10)
+			cg.Add(vm.R9, vm.R9, vm.R1)
+			cg.FLoad(vm.F4, vm.R9, ht*8)
+			cg.FLoad(vm.F5, vm.R20, (vt*htaps+ht)*8)
+			cg.FMul(vm.F4, vm.F4, vm.F5)
+			cg.FAdd(vm.F0, vm.F0, vm.F4)
+		}
+	}
+	cg.Add(vm.R11, vm.R3, vm.R6)
+	cg.Muli(vm.R11, vm.R11, rowBytes)
+	cg.Shli(vm.R12, vm.R7, 3)
+	cg.Add(vm.R11, vm.R11, vm.R12)
+	cg.Add(vm.R11, vm.R11, vm.R2)
+	cg.FStore(vm.R11, 0, vm.F0)
+	cg.Addi(vm.R7, vm.R7, 1)
+	cg.Br(cgCol)
+	cg.Bind(cgColDone)
+	cg.Addi(vm.R6, vm.R6, 1)
+	cg.Br(cgRow)
+	cg.Bind(cgRowDone)
+	cg.Ret()
+
+	// im_blur / im_sharpen: the two conv_gen callers (two contexts).
+	ib := b.Func("im_blur")
+	ib.Movi(vm.R21, 0)
+	ibTop := ib.Here()
+	ib.MoviU(vm.R1, lab)
+	ib.MoviU(vm.R2, blur)
+	ib.Mov(vm.R3, vm.R21)
+	ib.Movi(vm.R4, region)
+	ib.Movi(vm.R5, width)
+	ib.Call("conv_gen")
+	ib.Addi(vm.R21, vm.R21, region)
+	ib.Movi(vm.R22, lastStart)
+	ib.Blt(vm.R21, vm.R22, ibTop)
+	ib.Ret()
+
+	is := b.Func("im_sharpen")
+	is.Movi(vm.R21, 0)
+	isTop := is.Here()
+	is.MoviU(vm.R1, blur)
+	is.MoviU(vm.R2, sharp)
+	is.Mov(vm.R3, vm.R21)
+	is.Movi(vm.R4, region)
+	is.Movi(vm.R5, width)
+	is.Call("conv_gen")
+	is.Addi(vm.R21, vm.R21, region)
+	is.Movi(vm.R22, lastStart)
+	is.Blt(vm.R21, vm.R22, isTop)
+	is.Ret()
+
+	// im_generate: the pipeline driver.
+	ig := b.Func("im_generate")
+	ig.Movi(vm.R23, 0) // row
+	igTop := ig.Here()
+	ig.Muli(vm.R24, vm.R23, rowBytes)
+	ig.MoviU(vm.R1, src)
+	ig.Add(vm.R1, vm.R1, vm.R24)
+	ig.MoviU(vm.R2, affine)
+	ig.Add(vm.R2, vm.R2, vm.R24)
+	ig.Movi(vm.R3, width)
+	ig.Call("affine_gen")
+	ig.MoviU(vm.R1, affine)
+	ig.Add(vm.R1, vm.R1, vm.R24)
+	ig.MoviU(vm.R2, lab)
+	ig.Add(vm.R2, vm.R2, vm.R24)
+	ig.Movi(vm.R3, width)
+	ig.Call("imb_XYZ2Lab")
+	ig.Addi(vm.R23, vm.R23, 1)
+	ig.Movi(vm.R25, rows)
+	ig.Blt(vm.R23, vm.R25, igTop)
+	ig.Call("im_blur")
+	ig.Call("im_sharpen")
+	ig.Ret()
+
+	main := b.Func("main")
+	// Synthesize the source image and kernel/LUT contents.
+	main.MoviU(vm.R6, src)
+	main.Movi(vm.R7, 0)
+	fill := main.Here()
+	main.Muli(vm.R8, vm.R7, 17)
+	main.Andi(vm.R8, vm.R8, 255)
+	main.ItoF(vm.F4, vm.R8)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, rows*width)
+	main.Blt(vm.R7, vm.R9, fill)
+	main.MoviU(vm.R6, kernel)
+	main.Movi(vm.R7, 0)
+	kf := main.Here()
+	main.FMovi(vm.F4, 1.0/6.0)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, vtaps*htaps)
+	main.Blt(vm.R7, vm.R9, kf)
+	main.MoviU(vm.R6, lut)
+	main.Movi(vm.R7, 0)
+	lf := main.Here()
+	main.Addi(vm.R8, vm.R7, 1)
+	main.ItoF(vm.F4, vm.R8)
+	main.FMovi(vm.F5, 33.0)
+	main.FDiv(vm.F4, vm.F4, vm.F5)
+	main.FStore(vm.R6, 0, vm.F4)
+	main.Addi(vm.R6, vm.R6, 8)
+	main.Addi(vm.R7, vm.R7, 1)
+	main.Movi(vm.R9, 32)
+	main.Blt(vm.R7, vm.R9, lf)
+	main.Call("im_generate")
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

@@ -1,0 +1,383 @@
+package workloads
+
+import (
+	"testing"
+
+	"sigil/internal/vm"
+)
+
+// runNative executes a workload natively and returns its stats.
+func runNative(t *testing.T, name string, c Class) vm.RunStats {
+	t.Helper()
+	p, input, err := Build(name, c)
+	if err != nil {
+		t.Fatalf("build %s/%s: %v", name, c, err)
+	}
+	m := vm.NewMachine()
+	m.SetInput(input)
+	stats, err := m.Run(p, nil)
+	if err != nil {
+		t.Fatalf("run %s/%s: %v", name, c, err)
+	}
+	return stats
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"blackscholes", "bodytrack", "canneal", "dedup", "facesim",
+		"ferret", "fluidanimate", "freqmine", "libquantum", "raytrace",
+		"streamcluster", "swaptions", "vips", "x264",
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d workloads, want %d: %v", len(names), len(want), names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, n := range want {
+		s, ok := Get(n)
+		if !ok || s.Name != n || s.Description == "" {
+			t.Errorf("Get(%q) broken", n)
+		}
+	}
+	if _, ok := Get("nosuch"); ok {
+		t.Error("Get accepted unknown workload")
+	}
+	if _, _, err := Build("nosuch", SimSmall); err == nil {
+		t.Error("Build accepted unknown workload")
+	}
+}
+
+func TestClassParsing(t *testing.T) {
+	for _, c := range []Class{SimSmall, SimMedium, SimLarge} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("simhuge"); err == nil {
+		t.Error("ParseClass accepted bad class")
+	}
+}
+
+func TestAllWorkloadsRunAtAllClasses(t *testing.T) {
+	for _, name := range Names() {
+		for _, c := range []Class{SimSmall, SimMedium} {
+			stats := runNative(t, name, c)
+			if stats.Instrs < 10_000 {
+				t.Errorf("%s/%s retired only %d instrs", name, c, stats.Instrs)
+			}
+		}
+	}
+}
+
+func TestSimLargeBuilds(t *testing.T) {
+	// simlarge is 16x; just verify the two most size-sensitive workloads.
+	for _, name := range []string{"dedup", "vips"} {
+		stats := runNative(t, name, SimLarge)
+		if stats.Instrs == 0 {
+			t.Errorf("%s/simlarge empty", name)
+		}
+	}
+}
+
+func TestInputScaling(t *testing.T) {
+	for _, name := range Names() {
+		small := runNative(t, name, SimSmall)
+		medium := runNative(t, name, SimMedium)
+		if medium.Instrs < small.Instrs*2 {
+			t.Errorf("%s: simmedium (%d) not ≳ 2x simsmall (%d)",
+				name, medium.Instrs, small.Instrs)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a := runNative(t, name, SimSmall)
+		b := runNative(t, name, SimSmall)
+		if a.Instrs != b.Instrs || a.OutputBytes != b.OutputBytes {
+			t.Errorf("%s: nondeterministic (%d/%d vs %d/%d instrs/out)",
+				name, a.Instrs, a.OutputBytes, b.Instrs, b.OutputBytes)
+		}
+	}
+}
+
+func TestFig13Membership(t *testing.T) {
+	names := Fig13Names()
+	if len(names) < 5 {
+		t.Fatalf("only %d workloads in the parallelism study: %v", len(names), names)
+	}
+	has := func(n string) bool {
+		for _, x := range names {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range []string{"streamcluster", "fluidanimate", "libquantum", "blackscholes"} {
+		if !has(n) {
+			t.Errorf("%s missing from Fig 13 set", n)
+		}
+	}
+}
+
+// TestNamedFunctionsPresent verifies that the functions the paper's tables
+// and case studies name actually exist in each workload's binary.
+func TestNamedFunctionsPresent(t *testing.T) {
+	want := map[string][]string{
+		"blackscholes": {"strtof", "_ieee754_exp", "_ieee754_expf",
+			"_ieee754_logf", "__mpn_mul", "dl_addr", "IO_file_xsgetn",
+			"IO_sputbackc", "free", "isnan", "BlkSchlsEqEuroNoDiv"},
+		"bodytrack": {"FlexImage::Set", "_ieee754_log",
+			"ImageMeasurements::ImageErrorInside", "DMatrix", "std::vector",
+			"memcpy", "operator new", "std::string::assign",
+			"__gnu_cxx::__normal_iterator"},
+		"canneal": {"mul", "memchr", "netlist::swap_locations", "memmove",
+			"std::string::compare", "lrand48", "_mpn_lshift", "_mpn_rshift"},
+		"dedup": {"sha1_block_data_order", "_tr_flush_block", "write_file",
+			"adler32", "hashtable_search", "memcpy", "free", "operator new"},
+		"streamcluster": {"drand48_iterate", "nrand48_r", "lrand48",
+			"pkmedian", "localSearch", "streamCluster", "dist", "read_points"},
+		"fluidanimate": {"RebuildGrid", "ComputeForces", "ProcessCollisions",
+			"AdvanceParticles"},
+		"vips": {"affine_gen", "imb_XYZ2Lab", "conv_gen", "im_generate",
+			"im_blur", "im_sharpen"},
+		"libquantum": {"quantum_toffoli", "quantum_cnot", "quantum_sigma_x",
+			"quantum_gate_block"},
+	}
+	for name, fns := range want {
+		p, _, err := Build(name, SimSmall)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		for _, fn := range fns {
+			if _, ok := p.FuncIndex(fn); !ok {
+				t.Errorf("%s: function %q missing", name, fn)
+			}
+		}
+	}
+}
+
+func TestScaleHelper(t *testing.T) {
+	if scale(SimSmall, 10) != 10 || scale(SimMedium, 10) != 40 || scale(SimLarge, 10) != 160 {
+		t.Error("scale multipliers wrong")
+	}
+}
+
+func TestDefineOnceIdempotent(t *testing.T) {
+	b := vm.NewBuilder()
+	addMemcpy(b)
+	f := b.Func("memcpy")
+	n := f.Len()
+	addMemcpy(b) // second registration must not duplicate code
+	if f.Len() != n {
+		t.Errorf("memcpy emitted twice: %d then %d instrs", n, f.Len())
+	}
+}
+
+// TestLibcFunctions exercises the shared runtime-library functions for
+// functional correctness (not just profiling shape).
+func TestLibcFunctions(t *testing.T) {
+	t.Run("memcpy", func(t *testing.T) {
+		b := vm.NewBuilder()
+		src := b.Data("src", []byte("hello world, this is a memcpy test!"))
+		dst := b.Reserve("dst", 64)
+		addMemcpy(b)
+		main := b.Func("main")
+		main.MoviU(vm.R1, dst)
+		main.MoviU(vm.R2, src)
+		main.Movi(vm.R3, 35)
+		main.Call("memcpy")
+		main.MoviU(vm.R4, dst)
+		main.Load(vm.R5, vm.R4, 0, 8)
+		main.Load(vm.R6, vm.R4, 27, 8)
+		main.Halt()
+		m := vm.NewMachine()
+		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 35)
+		m.Mem.ReadBytes(dst, buf)
+		if string(buf) != "hello world, this is a memcpy test!" {
+			t.Errorf("memcpy result %q", buf)
+		}
+	})
+
+	t.Run("memchr", func(t *testing.T) {
+		b := vm.NewBuilder()
+		data := b.Data("data", []byte("abcdefg"))
+		addMemchr(b)
+		main := b.Func("main")
+		main.MoviU(vm.R1, data)
+		main.Movi(vm.R2, 'e')
+		main.Movi(vm.R3, 7)
+		main.Call("memchr")
+		main.Mov(vm.R10, vm.R0)
+		main.MoviU(vm.R1, data)
+		main.Movi(vm.R2, 'z')
+		main.Call("memchr")
+		main.Halt()
+		m := vm.NewMachine()
+		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.Regs[vm.R10] != 4 {
+			t.Errorf("memchr('e') = %d, want 4", m.Regs[vm.R10])
+		}
+		if m.Regs[vm.R0] != -1 {
+			t.Errorf("memchr('z') = %d, want -1", m.Regs[vm.R0])
+		}
+	})
+
+	t.Run("strtof", func(t *testing.T) {
+		b := vm.NewBuilder()
+		data := b.Data("data", []byte("042.500"))
+		addStrtof(b)
+		main := b.Func("main")
+		main.MoviU(vm.R1, data)
+		main.Movi(vm.R2, 7)
+		main.Call("strtof")
+		main.Halt()
+		m := vm.NewMachine()
+		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.FRegs[vm.F0]; got != 42.5 {
+			t.Errorf("strtof(042.500) = %v, want 42.5", got)
+		}
+	})
+
+	t.Run("adler32", func(t *testing.T) {
+		// Reference: adler32("Wikipedia") = 0x11E60398.
+		b := vm.NewBuilder()
+		data := b.Data("data", []byte("Wikipedia"))
+		addAdler32(b)
+		main := b.Func("main")
+		main.MoviU(vm.R1, data)
+		main.Movi(vm.R2, 9)
+		main.Call("adler32")
+		main.Halt()
+		m := vm.NewMachine()
+		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := uint64(m.Regs[vm.R0]); got != 0x11E60398 {
+			t.Errorf("adler32 = %#x, want 0x11E60398", got)
+		}
+	})
+
+	t.Run("isnan", func(t *testing.T) {
+		b := vm.NewBuilder()
+		buf := b.Reserve("buf", 16)
+		addIsnan(b)
+		main := b.Func("main")
+		// Store a NaN bit pattern and a normal value.
+		main.MoviU(vm.R1, buf)
+		main.MoviU(vm.R2, 0x7FF8_0000_0000_0001)
+		main.Store(vm.R1, 0, vm.R2, 8)
+		main.Call("isnan")
+		main.Mov(vm.R10, vm.R0)
+		main.FMovi(vm.F1, 3.5)
+		main.FStore(vm.R1, 8, vm.F1)
+		main.Addi(vm.R1, vm.R1, 8)
+		main.Call("isnan")
+		main.Mov(vm.R11, vm.R0)
+		// Infinity is not NaN.
+		main.MoviU(vm.R2, 0x7FF0_0000_0000_0000)
+		main.MoviU(vm.R1, buf)
+		main.Store(vm.R1, 0, vm.R2, 8)
+		main.Call("isnan")
+		main.Halt()
+		m := vm.NewMachine()
+		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.Regs[vm.R10] != 1 {
+			t.Error("isnan(NaN) != 1")
+		}
+		if m.Regs[vm.R11] != 0 {
+			t.Error("isnan(3.5) != 0")
+		}
+		if m.Regs[vm.R0] != 0 {
+			t.Error("isnan(Inf) != 0")
+		}
+	})
+
+	t.Run("string compare", func(t *testing.T) {
+		b := vm.NewBuilder()
+		a1 := b.Data("a", []byte("abcdef"))
+		a2 := b.Data("b", []byte("abcxef"))
+		addStringCompare(b)
+		main := b.Func("main")
+		main.MoviU(vm.R1, a1)
+		main.MoviU(vm.R2, a2)
+		main.Movi(vm.R3, 6)
+		main.Call("std::string::compare")
+		main.Mov(vm.R10, vm.R0)
+		main.MoviU(vm.R2, a1)
+		main.Call("std::string::compare")
+		main.Halt()
+		m := vm.NewMachine()
+		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.Regs[vm.R10] >= 0 {
+			t.Errorf("compare(abcdef, abcxef) = %d, want < 0", m.Regs[vm.R10])
+		}
+		if m.Regs[vm.R0] != 0 {
+			t.Errorf("compare(x, x) = %d, want 0", m.Regs[vm.R0])
+		}
+	})
+
+	t.Run("rand chain", func(t *testing.T) {
+		b := vm.NewBuilder()
+		state := b.Reserve("state", 8)
+		addRandChain(b, state)
+		main := b.Func("main")
+		main.Call("lrand48")
+		main.Mov(vm.R10, vm.R0)
+		main.Call("lrand48")
+		main.Halt()
+		m := vm.NewMachine()
+		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.Regs[vm.R10] == m.Regs[vm.R0] {
+			t.Error("lrand48 repeated immediately")
+		}
+		if m.Regs[vm.R10] < 0 || m.Regs[vm.R0] < 0 {
+			t.Error("lrand48 returned negative (mask broken)")
+		}
+	})
+
+	t.Run("mpn shifts", func(t *testing.T) {
+		b := vm.NewBuilder()
+		in := b.Reserve("in", 32)
+		out := b.Reserve("out", 32)
+		addMpnShift(b, "_mpn_lshift", true)
+		main := b.Func("main")
+		main.MoviU(vm.R5, in)
+		main.Movi(vm.R6, 1)
+		main.Store(vm.R5, 0, vm.R6, 8) // limb0 = 1
+		main.MoviU(vm.R1, in)
+		main.Movi(vm.R2, 4)
+		main.Movi(vm.R3, 12)
+		main.MoviU(vm.R4, out)
+		main.Call("_mpn_lshift")
+		main.MoviU(vm.R7, out)
+		main.Load(vm.R8, vm.R7, 0, 8)
+		main.Halt()
+		m := vm.NewMachine()
+		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.Regs[vm.R8] != 1<<12 {
+			t.Errorf("lshift: got %d, want %d", m.Regs[vm.R8], 1<<12)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import "sigil/internal/vm"
+
+// x264 reproduces the video encoder's skeleton: per macroblock, motion
+// estimation computes SADs against a reference window (pixel_sad — integer
+// heavy, with the reference lines re-read for every candidate offset), the
+// residual goes through a small transform (dct4x4) and the coefficients are
+// entropy-coded into the output bitstream (cavlc_write, light).
+func init() {
+	register(&Spec{
+		Name:        "x264",
+		Description: "H.264 encoding (PARSEC): SAD motion search, transform, entropy coding",
+		InFig13:     false,
+		Build:       buildX264,
+	})
+}
+
+func buildX264(c Class) (*vm.Program, []byte, error) {
+	mbRows := scale(c, 3)
+	const mbCols = 8
+	const mbSize = 16 // 16x16 pixels, 1 byte each
+	const searchOffsets = 9
+	const frameW = mbCols * mbSize
+
+	b := vm.NewBuilder()
+	// Current and reference frames as initialized planes.
+	plane := make([]byte, int(mbRows)*mbSize*frameW)
+	for i := range plane {
+		plane[i] = byte((i*13 + i/frameW*5) % 251)
+	}
+	cur := b.Data("curframe", plane)
+	ref := make([]byte, len(plane))
+	for i := range ref {
+		ref[i] = byte((i*13 + i/frameW*5 + 2) % 251)
+	}
+	refAddr := b.Data("refframe", ref)
+	coeffs := b.Reserve("coeffs", 16*8)
+	bitstream := b.Reserve("bitstream", uint64(len(plane)))
+
+	// pixel_sad(cur=R1, ref=R2, stride=R3) -> R0: 16x16 sum of absolute
+	// differences.
+	ps := b.Func("pixel_sad")
+	ps.Movi(vm.R0, 0)
+	ps.Movi(vm.R6, 0) // row
+	psDone := ps.NewLabel()
+	psRow := ps.Here()
+	ps.Movi(vm.R7, mbSize)
+	ps.Bge(vm.R6, vm.R7, psDone)
+	ps.Movi(vm.R8, 0) // col
+	psCol := ps.Here()
+	ps.Add(vm.R9, vm.R1, vm.R8)
+	ps.Load(vm.R10, vm.R9, 0, 1)
+	ps.Add(vm.R9, vm.R2, vm.R8)
+	ps.Load(vm.R11, vm.R9, 0, 1)
+	ps.Sub(vm.R12, vm.R10, vm.R11)
+	ps.Movi(vm.R13, 63)
+	ps.Sar(vm.R14, vm.R12, vm.R13)
+	ps.Xor(vm.R12, vm.R12, vm.R14)
+	ps.Sub(vm.R12, vm.R12, vm.R14)
+	ps.Add(vm.R0, vm.R0, vm.R12)
+	ps.Addi(vm.R8, vm.R8, 1)
+	ps.Movi(vm.R7, mbSize)
+	ps.Blt(vm.R8, vm.R7, psCol)
+	ps.Add(vm.R1, vm.R1, vm.R3)
+	ps.Add(vm.R2, vm.R2, vm.R3)
+	ps.Addi(vm.R6, vm.R6, 1)
+	ps.Br(psRow)
+	ps.Bind(psDone)
+	ps.Ret()
+
+	// dct4x4(block=R1, out=R2): butterfly passes over 16 coefficients.
+	dc := b.Func("dct4x4")
+	for i := int64(0); i < 16; i++ {
+		dc.Load(vm.Reg(vm.R6+vm.Reg(i%8)), vm.R1, i, 1)
+		if i%8 == 7 {
+			for j := int64(0); j < 8; j += 2 {
+				a, bb := vm.R6+vm.Reg(j), vm.R6+vm.Reg(j+1)
+				dc.Add(vm.R14, a, bb)
+				dc.Sub(vm.R15, a, bb)
+				dc.Store(vm.R2, (i-7+j)*8, vm.R14, 8)
+				dc.Store(vm.R2, (i-7+j+1)*8, vm.R15, 8)
+			}
+		}
+	}
+	dc.Ret()
+
+	// cavlc_write(coeffs=R1, out=R2) -> R0 = bytes: entropy-code the 16
+	// coefficients into the bitstream.
+	cw := b.Func("cavlc_write")
+	cw.Movi(vm.R6, 0)
+	cw.Movi(vm.R7, 0) // out bytes
+	cwDone := cw.NewLabel()
+	cwTop := cw.Here()
+	cw.Movi(vm.R8, 16)
+	cw.Bge(vm.R6, vm.R8, cwDone)
+	cw.Shli(vm.R9, vm.R6, 3)
+	cw.Add(vm.R9, vm.R1, vm.R9)
+	cw.Load(vm.R10, vm.R9, 0, 8)
+	cw.Andi(vm.R10, vm.R10, 0xFF)
+	cw.Add(vm.R11, vm.R2, vm.R7)
+	cw.Store(vm.R11, 0, vm.R10, 1)
+	cw.Addi(vm.R7, vm.R7, 1)
+	cw.Addi(vm.R6, vm.R6, 1)
+	cw.Br(cwTop)
+	cw.Bind(cwDone)
+	cw.Mov(vm.R0, vm.R7)
+	cw.Ret()
+
+	main := b.Func("main")
+	main.Movi(vm.R20, 0) // macroblock row
+	main.Movi(vm.R27, 0) // bitstream cursor offset
+	mbRowTop := main.Here()
+	main.Movi(vm.R21, 0) // macroblock col
+	mbColTop := main.Here()
+	// Motion search: SAD at searchOffsets candidate displacements.
+	main.Movi(vm.R22, 0)     // offset index
+	main.Movi(vm.R23, 1<<30) // best SAD
+	seTop := main.Here()
+	main.Muli(vm.R24, vm.R20, mbSize*frameW)
+	main.Muli(vm.R25, vm.R21, mbSize)
+	main.Add(vm.R24, vm.R24, vm.R25)
+	main.MoviU(vm.R1, cur)
+	main.Add(vm.R1, vm.R1, vm.R24)
+	main.MoviU(vm.R2, refAddr)
+	main.Add(vm.R2, vm.R2, vm.R24)
+	main.Add(vm.R2, vm.R2, vm.R22) // horizontal displacement
+	main.Movi(vm.R3, frameW)
+	main.Call("pixel_sad")
+	best := main.NewLabel()
+	main.Bge(vm.R0, vm.R23, best)
+	main.Mov(vm.R23, vm.R0)
+	main.Bind(best)
+	main.Addi(vm.R22, vm.R22, 1)
+	main.Movi(vm.R26, searchOffsets)
+	main.Blt(vm.R22, vm.R26, seTop)
+	// Transform the block's first 4x4 and entropy-code it.
+	main.MoviU(vm.R1, cur)
+	main.Add(vm.R1, vm.R1, vm.R24)
+	main.MoviU(vm.R2, coeffs)
+	main.Call("dct4x4")
+	main.MoviU(vm.R1, coeffs)
+	main.MoviU(vm.R2, bitstream)
+	main.Add(vm.R2, vm.R2, vm.R27)
+	main.Call("cavlc_write")
+	main.Add(vm.R27, vm.R27, vm.R0)
+	main.Addi(vm.R21, vm.R21, 1)
+	main.Movi(vm.R26, mbCols)
+	main.Blt(vm.R21, vm.R26, mbColTop)
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Movi(vm.R26, mbRows)
+	main.Blt(vm.R20, vm.R26, mbRowTop)
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

@@ -1,0 +1,240 @@
+package sigil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const toySrc = `
+; producer writes a buffer, consumer reads it twice
+.reserve buf 64
+func main {
+    movi r1, buf
+    call producer
+    call consumer
+    halt
+}
+func producer {
+    movi r2, 0
+    movi r3, 8
+ploop:
+    store8 r1, 0, r2
+    addi r1, r1, 8
+    addi r2, r2, 1
+    blt  r2, r3, ploop
+    ret
+}
+func consumer {
+    movi r4, 0
+    movi r5, 2
+pass:
+    mov  r6, r1
+    movi r2, 0
+    movi r3, 8
+cloop:
+    load8 r7, r6, 0
+    addi r6, r6, 8
+    addi r2, r2, 1
+    blt  r2, r3, cloop
+    addi r4, r4, 1
+    blt  r4, r5, pass
+    ret
+}
+`
+
+func mustAssemble(t *testing.T) *Program {
+	t.Helper()
+	p, err := Assemble(toySrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestPublicAssembleAndRun(t *testing.T) {
+	p := mustAssemble(t)
+	prof, err := Run(p, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := prof.CommByFunction()
+	cons, ok := comm["consumer"]
+	if !ok {
+		t.Fatal("no consumer stats")
+	}
+	if cons.InputUnique != 64 {
+		t.Errorf("consumer unique input = %d, want 64", cons.InputUnique)
+	}
+	if cons.InputNonUnique != 64 {
+		t.Errorf("consumer non-unique input = %d, want 64 (second pass)", cons.InputNonUnique)
+	}
+	prod := comm["producer"]
+	if prod.UniqueOut() != 64 {
+		t.Errorf("producer unique output = %d", prod.UniqueOut())
+	}
+}
+
+func TestPublicBuilderAPI(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.Movi(1, 21)
+	f.Add(0, 1, 1)
+	f.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, dur, err := RunNative(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instrs != 3 || dur <= 0 {
+		t.Errorf("native run: %d instrs, %v", stats.Instrs, dur)
+	}
+}
+
+func TestPublicSubstrateRun(t *testing.T) {
+	p := mustAssemble(t)
+	prof, dur, err := RunSubstrate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 || prof.TotalInstrs == 0 {
+		t.Error("substrate run empty")
+	}
+	if prof.Root == nil || prof.Root.Name != "main" {
+		t.Error("substrate calltree missing")
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	p := mustAssemble(t)
+	_, tr, err := RunWithTrace(p, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Serialize and reload through the public writer/reader.
+	var buf bytes.Buffer
+	w := NewEventWriter(&buf)
+	for id, info := range tr.Contexts {
+		if err := w.Emit(Event{Kind: 0, Ctx: id, SrcCtx: info.Parent, Name: info.Name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range tr.Events {
+		if err := w.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Events) != len(tr.Events) || len(tr2.Contexts) != len(tr.Contexts) {
+		t.Errorf("round trip lost events: %d/%d vs %d/%d",
+			len(tr2.Events), len(tr2.Contexts), len(tr.Events), len(tr.Contexts))
+	}
+	a1, err := AnalyzeCriticalPath(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AnalyzeCriticalPath(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.CriticalOps != a2.CriticalOps || a1.SerialOps != a2.SerialOps {
+		t.Error("analysis differs after round trip")
+	}
+}
+
+func TestPublicPartition(t *testing.T) {
+	p := mustAssemble(t)
+	prof, err := Run(p, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Partition(prof, PartitionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.TotalCycles == 0 {
+		t.Error("partitioning saw no cycles")
+	}
+	g, err := BuildCDFG(prof, PartitionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root == nil {
+		t.Error("CDFG has no root")
+	}
+}
+
+func TestPublicReuse(t *testing.T) {
+	p := mustAssemble(t)
+	prof, err := Run(p, Options{TrackReuse: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := AnalyzeReuse(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Episodes == 0 {
+		t.Error("no reuse episodes")
+	}
+	top, err := TopReuseFunctions(prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 {
+		t.Error("no reuse functions")
+	}
+	if _, err := ReuseLifetimeHistogram(prof, "consumer"); err != nil {
+		t.Errorf("histogram: %v", err)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	names := Workloads()
+	if len(names) != 14 {
+		t.Fatalf("workloads = %d, want 14", len(names))
+	}
+	desc, err := WorkloadDescription("vips")
+	if err != nil || !strings.Contains(desc, "image") {
+		t.Errorf("description: %q, %v", desc, err)
+	}
+	if _, err := WorkloadDescription("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	p, input, err := BuildWorkload("dedup", "simsmall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(input) == 0 {
+		t.Error("dedup has no input stream")
+	}
+	if _, ok := p.FuncIndex("sha1_block_data_order"); !ok {
+		t.Error("dedup missing sha1")
+	}
+	if _, _, err := BuildWorkload("dedup", "simhuge"); err == nil {
+		t.Error("bad class accepted")
+	}
+}
+
+func TestPublicLineMode(t *testing.T) {
+	p := mustAssemble(t)
+	prof, err := Run(p, Options{LineGranularity: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Lines == nil || prof.Lines.TotalLines == 0 {
+		t.Error("line report missing")
+	}
+}
