@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race check fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $${FUZZTIME:-5s} ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzReadProfile -fuzztime $${FUZZTIME:-5s} ./internal/core
+
+check:
+	sh scripts/check.sh

@@ -13,7 +13,6 @@ import (
 	"sync"
 	"testing"
 
-	"sigil/internal/callgrind"
 	"sigil/internal/core"
 	"sigil/internal/dbi"
 	"sigil/internal/experiments"
@@ -163,7 +162,7 @@ func BenchmarkOverheadCallgrind(b *testing.B) {
 	for _, name := range overheadWorkloads {
 		b.Run(name, func(b *testing.B) {
 			benchRun(b, name, func() dbi.Tool {
-				return callgrind.New(callgrind.Options{})
+				return mustSub()
 			})
 		})
 	}
@@ -174,8 +173,8 @@ func BenchmarkOverheadSigil(b *testing.B) {
 	for _, name := range overheadWorkloads {
 		b.Run(name, func(b *testing.B) {
 			benchRun(b, name, func() dbi.Tool {
-				sub := callgrind.New(callgrind.Options{})
-				return dbi.Chain{sub, core.MustNew(sub, core.Options{})}
+				sub := mustSub()
+				return dbi.Chain{sub, mustCore(sub, core.Options{})}
 			})
 		})
 	}
@@ -189,8 +188,8 @@ func BenchmarkAblationReuseMode(b *testing.B) {
 	for _, track := range []bool{false, true} {
 		b.Run(fmt.Sprintf("reuse=%v", track), func(b *testing.B) {
 			benchRun(b, "vips", func() dbi.Tool {
-				sub := callgrind.New(callgrind.Options{})
-				return dbi.Chain{sub, core.MustNew(sub, core.Options{TrackReuse: track})}
+				sub := mustSub()
+				return dbi.Chain{sub, mustCore(sub, core.Options{TrackReuse: track})}
 			})
 		})
 	}
@@ -201,8 +200,8 @@ func BenchmarkAblationGranularity(b *testing.B) {
 	for _, line := range []bool{false, true} {
 		b.Run(fmt.Sprintf("line=%v", line), func(b *testing.B) {
 			benchRun(b, "raytrace", func() dbi.Tool {
-				sub := callgrind.New(callgrind.Options{})
-				return dbi.Chain{sub, core.MustNew(sub, core.Options{LineGranularity: line})}
+				sub := mustSub()
+				return dbi.Chain{sub, mustCore(sub, core.Options{LineGranularity: line})}
 			})
 		})
 	}
@@ -215,8 +214,8 @@ func BenchmarkAblationShadowLimit(b *testing.B) {
 	for _, limit := range []int{0, 16, 8, 4} {
 		b.Run(fmt.Sprintf("chunks=%d", limit), func(b *testing.B) {
 			benchRun(b, "dedup", func() dbi.Tool {
-				sub := callgrind.New(callgrind.Options{})
-				return dbi.Chain{sub, core.MustNew(sub, core.Options{MaxShadowChunks: limit})}
+				sub := mustSub()
+				return dbi.Chain{sub, mustCore(sub, core.Options{MaxShadowChunks: limit})}
 			})
 		})
 	}
@@ -231,8 +230,8 @@ func BenchmarkAblationEvents(b *testing.B) {
 				if events {
 					opts.Events = &trace.Buffer{}
 				}
-				sub := callgrind.New(callgrind.Options{})
-				return dbi.Chain{sub, core.MustNew(sub, opts)}
+				sub := mustSub()
+				return dbi.Chain{sub, mustCore(sub, opts)}
 			})
 		})
 	}

@@ -7,10 +7,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sigil/internal/experiments"
 )
@@ -20,9 +24,19 @@ func main() {
 	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	s := experiments.NewSuite()
 	s.TimingReps = *reps
+	s.Ctx = ctx
 
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
 	run := func(name string, f func() (string, error)) {
 		if *only != "" && !strings.EqualFold(*only, name) {
 			return
@@ -30,7 +44,7 @@ func main() {
 		out, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println(out)
 	}
@@ -40,12 +54,12 @@ func main() {
 		fmt.Print(out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		chains, err := s.CriticalPathChains()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		for name, chain := range chains {
 			fmt.Printf("%s §IV-C chain: %s\n", name, strings.Join(chain, " -> "))

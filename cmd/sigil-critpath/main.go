@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"sigil/internal/core"
 	"sigil/internal/critpath"
@@ -28,10 +32,14 @@ func main() {
 		class    = flag.String("class", "simsmall", "input class with -workload")
 		commCost = flag.Float64("opsperbyte", 0, "charge data edges at this many ops per byte")
 		slots    = flag.String("slots", "", "comma-separated slot counts to schedule onto (e.g. 2,4,8)")
+		salvage  = flag.Bool("salvage", false, "recover the valid prefix of a truncated/corrupt event file")
 	)
 	flag.Parse()
 
-	tr, err := loadTrace(*evtFile, *workload, *class)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	tr, err := loadTrace(ctx, *evtFile, *workload, *class, *salvage)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,7 +79,7 @@ func main() {
 	}
 }
 
-func loadTrace(evtFile, workload, class string) (*trace.Trace, error) {
+func loadTrace(ctx context.Context, evtFile, workload, class string, salvage bool) (*trace.Trace, error) {
 	switch {
 	case evtFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -events or -workload")
@@ -81,7 +89,19 @@ func loadTrace(evtFile, workload, class string) (*trace.Trace, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return trace.ReadAll(f)
+		if salvage {
+			tr, rep, err := trace.Salvage(f)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "sigil-critpath: %s\n", rep)
+			return tr, nil
+		}
+		tr, err := trace.ReadAll(f)
+		if errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt) {
+			return nil, fmt.Errorf("%w (rerun with -salvage to recover the valid prefix)", err)
+		}
+		return tr, err
 	case workload != "":
 		c, err := workloads.ParseClass(class)
 		if err != nil {
@@ -92,7 +112,7 @@ func loadTrace(evtFile, workload, class string) (*trace.Trace, error) {
 			return nil, err
 		}
 		var buf trace.Buffer
-		if _, err := core.Run(prog, core.Options{Events: &buf}, input); err != nil {
+		if _, err := core.RunContext(ctx, prog, core.Options{Events: &buf}, input); err != nil {
 			return nil, err
 		}
 		return trace.FromBuffer(&buf), nil
@@ -103,5 +123,8 @@ func loadTrace(evtFile, workload, class string) (*trace.Trace, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sigil-critpath:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

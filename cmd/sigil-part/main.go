@@ -10,13 +10,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sigil/internal/cdfg"
 	"sigil/internal/core"
+	"sigil/internal/safeio"
 	"sigil/internal/workloads"
 )
 
@@ -34,7 +40,10 @@ func main() {
 	)
 	flag.Parse()
 
-	res, err := loadResult(*profFile, *workload, *class)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := loadResult(ctx, *profFile, *workload, *class)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,14 +77,10 @@ func main() {
 	}
 
 	if *dotFile != "" {
-		f, err := os.Create(*dotFile)
+		err := safeio.WriteFile(*dotFile, func(w io.Writer) error {
+			return g.WriteDOT(w, tr)
+		})
 		if err != nil {
-			fatal(err)
-		}
-		if err := g.WriteDOT(f, tr); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nCDFG written to %s\n", *dotFile)
@@ -94,7 +99,7 @@ func printCands(cands []cdfg.Candidate) {
 	}
 }
 
-func loadResult(profFile, workload, class string) (*core.Result, error) {
+func loadResult(ctx context.Context, profFile, workload, class string) (*core.Result, error) {
 	switch {
 	case profFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -profile or -workload")
@@ -114,7 +119,7 @@ func loadResult(profFile, workload, class string) (*core.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.Run(prog, core.Options{}, input)
+		return core.RunContext(ctx, prog, core.Options{}, input)
 	default:
 		return nil, fmt.Errorf("need -profile or -workload")
 	}
@@ -129,5 +134,8 @@ func clip(s string, n int) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sigil-part:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

@@ -8,15 +8,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"sigil/internal/cdfg"
 	"sigil/internal/core"
 	"sigil/internal/report"
+	"sigil/internal/safeio"
 	"sigil/internal/trace"
 	"sigil/internal/workloads"
 )
@@ -43,13 +49,18 @@ func main() {
 		fatal(err)
 	}
 
-	// One run collects aggregates + events; a second collects reuse.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One run collects aggregates + events; a second collects reuse. A
+	// report needs both complete, so an interrupt aborts rather than
+	// rendering from half the data.
 	var buf trace.Buffer
-	res, err := core.Run(prog, core.Options{TrackReuse: true}, input)
+	res, err := core.RunContext(ctx, prog, core.Options{TrackReuse: true}, input)
 	if err != nil {
 		fatal(err)
 	}
-	if _, err := core.Run(prog, core.Options{Events: &buf}, input); err != nil {
+	if _, err := core.RunContext(ctx, prog, core.Options{Events: &buf}, input); err != nil {
 		fatal(err)
 	}
 	tr := trace.FromBuffer(&buf)
@@ -67,21 +78,19 @@ func main() {
 		slots = append(slots, n)
 	}
 
-	dst := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		dst = f
-	}
-	err = report.Write(dst, res, tr, report.Config{
+	cfg := report.Config{
 		Title:        fmt.Sprintf("Sigil analysis: %s (%s)", *workload, c),
 		TopFunctions: *top,
 		Partition:    cdfg.Config{BytesPerCycle: *bus},
 		Slots:        slots,
-	})
+	}
+	if *out != "" {
+		err = safeio.WriteFile(*out, func(w io.Writer) error {
+			return report.Write(w, res, tr, cfg)
+		})
+	} else {
+		err = report.Write(os.Stdout, res, tr, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -89,5 +98,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sigil-report:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sigil/internal/core"
 	"sigil/internal/reuse"
@@ -32,7 +36,10 @@ func main() {
 	)
 	flag.Parse()
 
-	res, err := loadResult(*profFile, *workload, *class, *lineMode)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := loadResult(ctx, *profFile, *workload, *class, *lineMode)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,7 +90,7 @@ func main() {
 	}
 }
 
-func loadResult(profFile, workload, class string, lineMode bool) (*core.Result, error) {
+func loadResult(ctx context.Context, profFile, workload, class string, lineMode bool) (*core.Result, error) {
 	switch {
 	case profFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -profile or -workload")
@@ -103,7 +110,7 @@ func loadResult(profFile, workload, class string, lineMode bool) (*core.Result, 
 		if err != nil {
 			return nil, err
 		}
-		return core.Run(prog, core.Options{TrackReuse: !lineMode, LineGranularity: lineMode}, input)
+		return core.RunContext(ctx, prog, core.Options{TrackReuse: !lineMode, LineGranularity: lineMode}, input)
 	default:
 		return nil, fmt.Errorf("need -profile or -workload")
 	}
@@ -111,5 +118,8 @@ func loadResult(profFile, workload, class string, lineMode bool) (*core.Result, 
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sigil-reuse:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

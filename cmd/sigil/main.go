@@ -3,26 +3,42 @@
 // can dump the per-function aggregates (optionally to a reloadable profile
 // file) and the event-file representation.
 //
+// Runs are interruptible and boundable: SIGINT/SIGTERM cancel the run
+// cooperatively and whatever was collected is still written (exit 130);
+// -timeout, -maxinstrs and -chunkbudget end the run early with a partial
+// profile and exit 0. All output files are written atomically, so an
+// interrupted invocation leaves either no file or a complete one.
+//
 // Usage:
 //
 //	sigil -workload dedup [-class simsmall] [-reuse] [-line] [-o out.profile] [-events out.evt]
-//	sigil -asm prog.sasm [-input data.bin]
+//	sigil -asm prog.sasm [-input data.bin] [-timeout 30s] [-maxinstrs 1000000]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"sigil/internal/callgrind"
 	"sigil/internal/core"
+	"sigil/internal/safeio"
 	"sigil/internal/trace"
 	"sigil/internal/vm"
 	"sigil/internal/workloads"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		workload = flag.String("workload", "", "bundled workload name (see -list)")
 		class    = flag.String("class", "simsmall", "input class: simsmall, simmedium, simlarge")
@@ -32,6 +48,9 @@ func main() {
 		lineM    = flag.Bool("line", false, "line-granularity shadowing")
 		lineSize = flag.Int("linesize", 64, "line size for -line")
 		memLimit = flag.Int("memlimit", 0, "shadow-memory FIFO limit in chunks (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
+		maxInstr = flag.Uint64("maxinstrs", 0, "retired-instruction budget (0 = unlimited)")
+		chunkBud = flag.Int("chunkbudget", 0, "hard shadow-chunk budget, no eviction (0 = unlimited)")
 		outProf  = flag.String("o", "", "write the profile to this file")
 		outEvt   = flag.String("events", "", "write the event file to this path")
 		outCg    = flag.String("callgrind", "", "write the substrate profile in callgrind format")
@@ -47,76 +66,86 @@ func main() {
 			s, _ := workloads.Get(name)
 			fmt.Printf("%-15s %s\n", name, s.Description)
 		}
-		return
+		return 0
 	}
 
 	prog, input, err := loadProgram(*workload, *class, *asmFile, *inFile)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	opts := core.Options{
-		TrackReuse:      *reuseM,
-		LineGranularity: *lineM,
-		LineSize:        *lineSize,
-		MaxShadowChunks: *memLimit,
+		TrackReuse:          *reuseM,
+		LineGranularity:     *lineM,
+		LineSize:            *lineSize,
+		MaxShadowChunks:     *memLimit,
+		MaxWall:             *timeout,
+		MaxInstrs:           *maxInstr,
+		MaxShadowChunksHard: *chunkBud,
 		Substrate: callgrind.Options{
 			Gshare:   *gshare,
 			Prefetch: *prefetch,
 		},
 	}
-	var evtFile *os.File
-	var evtWriter *trace.Writer
+	var sink *trace.FileSink
 	if *outEvt != "" {
-		evtFile, err = os.Create(*outEvt)
+		sink, err = trace.CreateFile(*outEvt)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		evtWriter = trace.NewWriter(evtFile)
-		opts.Events = evtWriter
+		defer sink.Abort() // no-op after Commit
+		opts.Events = sink
 	}
 
-	res, err := core.Run(prog, opts, input)
-	if err != nil {
-		fatal(err)
-	}
-	if evtWriter != nil {
-		if err := evtWriter.Close(); err != nil {
-			fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, runErr := core.RunContext(ctx, prog, opts, input)
+	exit := 0
+	if runErr != nil {
+		if res == nil {
+			return fail(runErr)
 		}
-		if err := evtFile.Close(); err != nil {
-			fatal(err)
+		// The run ended early but salvaged a partial result: report why,
+		// write everything that was collected, and pick the exit status
+		// by cause — budgets are a bounded run working as configured,
+		// interrupts exit 130 by convention, faults and panics exit 1.
+		var budget *core.BudgetError
+		switch {
+		case errors.As(runErr, &budget):
+			fmt.Fprintf(os.Stderr, "sigil: run ended early: %v (partial profile follows)\n", runErr)
+		case errors.Is(runErr, context.Canceled):
+			fmt.Fprintf(os.Stderr, "sigil: interrupted: %v (partial profile follows)\n", runErr)
+			exit = 130
+		default:
+			fmt.Fprintf(os.Stderr, "sigil: run failed: %v (partial profile follows)\n", runErr)
+			exit = 1
+		}
+	}
+	if sink != nil {
+		if err := sink.Commit(); err != nil {
+			return fail(err)
 		}
 		fmt.Printf("event file written to %s\n", *outEvt)
 	}
 	if *outProf != "" {
-		f, err := os.Create(*outProf)
-		if err != nil {
-			fatal(err)
-		}
-		if err := core.WriteProfile(f, res); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := core.WriteProfileFile(*outProf, res); err != nil {
+			return fail(err)
 		}
 		fmt.Printf("profile written to %s\n", *outProf)
 	}
 	if *outCg != "" {
-		f, err := os.Create(*outCg)
+		err := safeio.WriteFile(*outCg, func(w io.Writer) error {
+			return res.Profile.WriteCallgrindFormat(w)
+		})
 		if err != nil {
-			fatal(err)
-		}
-		if err := res.Profile.WriteCallgrindFormat(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("callgrind-format profile written to %s\n", *outCg)
 	}
 
 	printSummary(res, *top)
+	return exit
 }
 
 func loadProgram(workload, class, asmFile, inFile string) (*vm.Program, []byte, error) {
@@ -208,7 +237,7 @@ func clip(s string, n int) string {
 	return s[:n-1] + "…"
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "sigil:", err)
-	os.Exit(1)
+	return 1
 }

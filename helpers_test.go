@@ -1,0 +1,24 @@
+package sigil
+
+import (
+	"sigil/internal/callgrind"
+	"sigil/internal/core"
+)
+
+// Bench-only shorthands for the error-returning constructors; the fixed
+// configs here cannot fail, so panicking is the right report for a typo.
+func mustSub() *callgrind.Tool {
+	sub, err := callgrind.New(callgrind.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return sub
+}
+
+func mustCore(sub *callgrind.Tool, opts core.Options) *core.Tool {
+	t, err := core.New(sub, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -57,11 +57,12 @@ type line struct {
 	valid bool
 }
 
-// New builds a cache level; it panics on invalid geometry (configurations
-// come from code, not user input — the public API validates earlier).
-func New(cfg Config) *Cache {
+// New builds a cache level, rejecting invalid geometry. Configurations can
+// reach this from user input (library options, CLI flags), so a bad one must
+// surface as an error rather than kill the caller mid-run.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	nsets := cfg.Size / (cfg.LineSize * cfg.Assoc)
 	sets := make([][]line, nsets)
@@ -73,7 +74,7 @@ func New(cfg Config) *Cache {
 	for 1<<lb < cfg.LineSize {
 		lb++
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1), lineBits: lb}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1), lineBits: lb}, nil
 }
 
 // Config returns the cache's geometry.
@@ -146,17 +147,32 @@ type Hierarchy struct {
 	lastPrefetched uint64 // line address of the most recent prefetch (tagged)
 }
 
-// NewHierarchy builds the two-level stack.
-func NewHierarchy(l1, ll Config) *Hierarchy {
-	return &Hierarchy{L1: New(l1), LL: New(ll)}
+// NewHierarchy builds the two-level stack, rejecting invalid geometry at
+// either level.
+func NewHierarchy(l1, ll Config) (*Hierarchy, error) {
+	c1, err := New(l1)
+	if err != nil {
+		return nil, fmt.Errorf("cachesim: L1: %w", err)
+	}
+	cl, err := New(ll)
+	if err != nil {
+		return nil, fmt.Errorf("cachesim: LL: %w", err)
+	}
+	return &Hierarchy{L1: c1, LL: cl}, nil
 }
 
 // Prefetches reports how many next-line fills the prefetcher issued.
 func (h *Hierarchy) Prefetches() uint64 { return h.prefetches }
 
-// DefaultHierarchy uses the default L1/LL geometries.
+// DefaultHierarchy uses the default L1/LL geometries, which are statically
+// valid.
 func DefaultHierarchy() *Hierarchy {
-	return NewHierarchy(DefaultL1(), DefaultLL())
+	h, err := NewHierarchy(DefaultL1(), DefaultLL())
+	if err != nil {
+		// Unreachable: the defaults satisfy Validate by construction.
+		return &Hierarchy{}
+	}
+	return h
 }
 
 // AccessResult classifies one access for cost attribution.

@@ -32,7 +32,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestColdMissThenHit(t *testing.T) {
-	c := New(Config{Size: 1024, LineSize: 64, Assoc: 2})
+	c := mustNew(Config{Size: 1024, LineSize: 64, Assoc: 2})
 	if c.Access(0x100) {
 		t.Error("cold access hit")
 	}
@@ -49,7 +49,7 @@ func TestColdMissThenHit(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	// 2-way cache with 2 sets of 64B lines: size = 2*2*64 = 256.
-	c := New(Config{Size: 256, LineSize: 64, Assoc: 2})
+	c := mustNew(Config{Size: 256, LineSize: 64, Assoc: 2})
 	// Three lines mapping to set 0 (stride = nsets*linesize = 128).
 	a, b2, d := uint64(0), uint64(256), uint64(512)
 	c.Access(a)
@@ -68,7 +68,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestLRUTouchesRefreshRecency(t *testing.T) {
-	c := New(Config{Size: 256, LineSize: 64, Assoc: 2})
+	c := mustNew(Config{Size: 256, LineSize: 64, Assoc: 2})
 	a, b2, d := uint64(0), uint64(256), uint64(512)
 	c.Access(a)
 	c.Access(b2)
@@ -83,7 +83,7 @@ func TestLRUTouchesRefreshRecency(t *testing.T) {
 }
 
 func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
-	c := New(DefaultL1())
+	c := mustNew(DefaultL1())
 	// Touch 16 KiB twice; second pass must be all hits.
 	for pass := 0; pass < 2; pass++ {
 		misses := c.Misses()
@@ -97,7 +97,7 @@ func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
 }
 
 func TestStreamingThrashes(t *testing.T) {
-	c := New(Config{Size: 1024, LineSize: 64, Assoc: 2})
+	c := mustNew(Config{Size: 1024, LineSize: 64, Assoc: 2})
 	// Stream 1 MiB: nearly every line access should miss.
 	var accesses uint64
 	for addr := uint64(0); addr < 1<<20; addr += 64 {
@@ -110,7 +110,7 @@ func TestStreamingThrashes(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	c := New(DefaultL1())
+	c := mustNew(DefaultL1())
 	c.Access(0)
 	c.Flush()
 	if c.Accesses() != 0 || c.Misses() != 0 {
@@ -122,7 +122,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestHierarchyClassification(t *testing.T) {
-	h := NewHierarchy(
+	h := mustHierarchy(
 		Config{Size: 256, LineSize: 64, Assoc: 2},
 		Config{Size: 4096, LineSize: 64, Assoc: 4},
 	)
@@ -156,7 +156,7 @@ func TestHierarchyLineStraddle(t *testing.T) {
 // address sequence with no interference yields fewer or equal misses.
 func TestMissesBoundedProperty(t *testing.T) {
 	prop := func(addrs []uint64) bool {
-		c := New(Config{Size: 2048, LineSize: 64, Assoc: 4})
+		c := mustNew(Config{Size: 2048, LineSize: 64, Assoc: 4})
 		for _, a := range addrs {
 			c.Access(a % (1 << 20))
 		}
@@ -175,7 +175,7 @@ func TestMissesBoundedProperty(t *testing.T) {
 }
 
 func TestPrefetchTaggedStreaming(t *testing.T) {
-	h := NewHierarchy(
+	h := mustHierarchy(
 		Config{Size: 4096, LineSize: 64, Assoc: 4},
 		Config{Size: 1 << 16, LineSize: 64, Assoc: 8},
 	)
@@ -207,7 +207,7 @@ func TestPrefetchDisabledByDefault(t *testing.T) {
 }
 
 func TestFillIdempotent(t *testing.T) {
-	c := New(Config{Size: 256, LineSize: 64, Assoc: 2})
+	c := mustNew(Config{Size: 256, LineSize: 64, Assoc: 2})
 	c.Access(0)
 	before := c.Misses()
 	c.fill(0) // already resident: no state change, no counters

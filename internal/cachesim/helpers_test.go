@@ -1,0 +1,20 @@
+package cachesim
+
+// mustNew and mustHierarchy keep table-style tests terse now that the
+// library constructors return errors instead of panicking; a panic here
+// only ever reports a typo in the test's own config literal.
+func mustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustHierarchy(l1, ll Config) *Hierarchy {
+	h, err := NewHierarchy(l1, ll)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -144,8 +144,8 @@ type stackEntry struct {
 
 var _ vm.Observer = (*Tool)(nil)
 
-// New returns a fresh substrate tool.
-func New(opts Options) *Tool {
+// New returns a fresh substrate tool, rejecting invalid cache geometry.
+func New(opts Options) (*Tool, error) {
 	opts = opts.withDefaults()
 	var bp branchsim.Recorder
 	if opts.Gshare {
@@ -153,13 +153,16 @@ func New(opts Options) *Tool {
 	} else {
 		bp = branchsim.New(opts.BranchTab)
 	}
-	caches := cachesim.NewHierarchy(opts.L1, opts.LL)
+	caches, err := cachesim.NewHierarchy(opts.L1, opts.LL)
+	if err != nil {
+		return nil, err
+	}
 	caches.Prefetch = opts.Prefetch
 	return &Tool{
 		opts:   opts,
 		caches: caches,
 		bp:     bp,
-	}
+	}, nil
 }
 
 // ProgramStart implements dbi.Tool.

@@ -36,7 +36,7 @@ func buildCallerCallee(t *testing.T) *vm.Program {
 
 func runTool(t *testing.T, p *vm.Program) *Profile {
 	t.Helper()
-	tool := New(Options{})
+	tool := mustTool(Options{})
 	if _, err := dbi.Run(p, tool, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestMemoryAndCacheCosts(t *testing.T) {
 	s.Addi(vm.R1, vm.R1, 64)
 	s.Bltu(vm.R1, vm.R2, top)
 	s.Ret()
-	p := runTool(t, b.MustBuild())
+	p := runTool(t, mustBuild(b))
 	n := findNode(p, "main/streamer")
 	if n == nil {
 		t.Fatal("streamer context missing")
@@ -163,7 +163,7 @@ func TestBranchCosts(t *testing.T) {
 	main.Addi(vm.R1, vm.R1, 1)
 	main.Blt(vm.R1, vm.R2, top)
 	main.Halt()
-	p := runTool(t, b.MustBuild())
+	p := runTool(t, mustBuild(b))
 	root := p.Root
 	if root.Self.Branches != 1000 {
 		t.Errorf("branches = %d, want 1000", root.Self.Branches)
@@ -187,8 +187,8 @@ func TestRecursionFoldsAtMaxDepth(t *testing.T) {
 	rec.Call("rec")
 	rec.Bind(done)
 	rec.Ret()
-	p := b.MustBuild()
-	tool := New(Options{MaxDepth: 16})
+	p := mustBuild(b)
+	tool := mustTool(Options{MaxDepth: 16})
 	if _, err := dbi.Run(p, tool, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -215,8 +215,8 @@ func TestSyscallBytes(t *testing.T) {
 	main.Movi(vm.R2, 4)
 	main.Sys(vm.SysWrite)
 	main.Halt()
-	p := b.MustBuild()
-	tool := New(Options{})
+	p := mustBuild(b)
+	tool := mustTool(Options{})
 	if _, err := dbi.Run(p, tool, []byte("0123456789")); err != nil {
 		t.Fatal(err)
 	}

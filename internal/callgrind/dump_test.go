@@ -51,10 +51,10 @@ func TestGshareBeatsBimodalOnAlternation(t *testing.T) {
 	main.Addi(vm.R1, vm.R1, 1)
 	main.Blt(vm.R1, vm.R2, top)
 	main.Halt()
-	prog := b.MustBuild()
+	prog := mustBuild(b)
 
 	run := func(opts Options) uint64 {
-		tool := New(opts)
+		tool := mustTool(opts)
 		if _, err := dbi.Run(prog, tool, nil); err != nil {
 			t.Fatal(err)
 		}
@@ -79,10 +79,10 @@ func TestPrefetchHelpsStreaming(t *testing.T) {
 	main.Addi(vm.R1, vm.R1, 8)
 	main.Bltu(vm.R1, vm.R2, top)
 	main.Halt()
-	prog := b.MustBuild()
+	prog := mustBuild(b)
 
 	run := func(opts Options) uint64 {
-		tool := New(opts)
+		tool := mustTool(opts)
 		if _, err := dbi.Run(prog, tool, nil); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,23 @@
+package callgrind
+
+import "sigil/internal/vm"
+
+// mustBuild keeps hand-assembled test programs terse now that the library
+// builder returns errors instead of panicking; a panic here only ever
+// reports a typo in the test's own program.
+func mustBuild(b *vm.Builder) *vm.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// mustTool builds a substrate with a config that cannot fail.
+func mustTool(opts Options) *Tool {
+	tool, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return tool
+}

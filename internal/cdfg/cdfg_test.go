@@ -48,7 +48,7 @@ func pipelineProgram(t *testing.T, consumerOps int64) *vm.Program {
 	c.Addi(vm.R8, vm.R8, 1)
 	c.Blt(vm.R8, vm.R9, burn)
 	c.Ret()
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func buildGraph(t *testing.T, p *vm.Program, cfg Config) *Graph {
@@ -222,7 +222,7 @@ func TestTrimMergesSubtrees(t *testing.T) {
 	h.Blt(vm.R8, vm.R9, top2)
 	h.Ret()
 
-	g := buildGraph(t, b.MustBuild(), Config{})
+	g := buildGraph(t, mustBuild(b), Config{})
 	worker := nodeByName(g, "worker")
 	// Worker's sub-tree external input excludes the scratch bytes helper
 	// read (worker produced them).
@@ -291,7 +291,7 @@ func TestTrimDescendsWhenChildBetter(t *testing.T) {
 	k.Blt(vm.R8, vm.R9, burn)
 	k.Ret()
 
-	g := buildGraph(t, b.MustBuild(), Config{BytesPerCycle: 0.05})
+	g := buildGraph(t, mustBuild(b), Config{BytesPerCycle: 0.05})
 	parent := nodeByName(g, "parent")
 	child := nodeByName(g, "kernelfn")
 	if child.Breakeven >= parent.Breakeven {

@@ -185,8 +185,8 @@ func TestDifferentialAgainstReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sub := callgrind.New(callgrind.Options{})
-			real := MustNew(sub, Options{})
+			sub := newSubstrate()
+			real := mustNew(sub, Options{})
 			ref := newRefTool(sub)
 			if _, err := dbi.Run(prog, dbi.Chain{sub, real, ref}, input); err != nil {
 				t.Fatal(err)

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"sigil/internal/callgrind"
+	"sigil/internal/vm"
+)
+
+// Test-only shorthands for the error-returning library constructors: the
+// configs used here are fixed and valid, so a failure is a test bug and
+// panicking is the right report.
+func mustBuild(b *vm.Builder) *vm.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustNew(sub *callgrind.Tool, opts Options) *Tool {
+	t, err := New(sub, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

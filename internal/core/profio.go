@@ -2,12 +2,16 @@ package core
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
 	"sigil/internal/callgrind"
+	"sigil/internal/safeio"
 )
 
 // Profile file format: a line-oriented text serialization of a Result, so
@@ -15,16 +19,42 @@ import (
 // without re-running the workload — the paper's plan to release profile
 // data for common benchmarks, usable without running Sigil. The format is
 // versioned and self-describing; unknown record types are rejected.
+//
+// v2 appends an end-of-stream footer, `end <records> <crc32>`, checksumming
+// every record line, so a truncated or bit-flipped profile is detected at
+// read time instead of silently under-reporting. v1 files (no footer) are
+// still read.
 
-const profileMagic = "# sigil profile v1"
+const (
+	profileMagic   = "# sigil profile v2"
+	profileMagicV1 = "# sigil profile v1"
 
-// WriteProfile serializes r to w.
+	// maxProfileID bounds context/bin ids so a corrupt or adversarial
+	// profile cannot make the reader allocate unbounded slices.
+	maxProfileID = 1 << 20
+)
+
+// ErrProfileTruncated reports a v2 profile that ended before its footer;
+// ErrProfileCorrupt reports a footer that disagrees with the records read.
+var (
+	ErrProfileTruncated = errors.New("core: profile truncated (missing end record)")
+	ErrProfileCorrupt   = errors.New("core: profile corrupt (footer mismatch)")
+)
+
+// WriteProfile serializes r to w in v2 format.
 func WriteProfile(w io.Writer, r *Result) error {
 	bw := bufio.NewWriter(w)
+	var (
+		crc     uint32
+		records uint64
+	)
 	p := func(format string, args ...any) {
-		fmt.Fprintf(bw, format+"\n", args...)
+		line := fmt.Sprintf(format+"\n", args...)
+		crc = crc32.Update(crc, crc32.IEEETable, []byte(line))
+		records++
+		bw.WriteString(line)
 	}
-	p(profileMagic)
+	fmt.Fprintln(bw, profileMagic)
 	p("total %d", r.Profile.TotalInstrs)
 	if r.Profile.Root != nil {
 		p("root %d", r.Profile.Root.ID)
@@ -74,34 +104,92 @@ func WriteProfile(w io.Writer, r *Result) error {
 	p("shadow %d %d %d %d %d %d", sh.ChunksAllocated, sh.ChunksLive,
 		sh.ChunksEvicted, sh.PeakLiveChunks, sh.BytesPerChunk, sh.GranuleBytes)
 	p("external %d %d %d", r.StartupBytes, r.KernelOutBytes, r.KernelInBytes)
+	fmt.Fprintf(bw, "end %d %d\n", records, crc)
 	return bw.Flush()
+}
+
+// WriteProfileFile writes r to path atomically (temp file + rename), so an
+// interrupted write never leaves a truncated profile behind.
+func WriteProfileFile(path string, r *Result) error {
+	return safeio.WriteFile(path, func(w io.Writer) error {
+		return WriteProfile(w, r)
+	})
+}
+
+// ReadProfileFile opens and parses a profile file.
+func ReadProfileFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProfile(f)
 }
 
 func quote(s string) string { return strconv.Quote(s) }
 
-// ReadProfile parses a profile written by WriteProfile. The reconstructed
+// ReadProfile parses a profile written by WriteProfile (v2, footer
+// verified) or by earlier releases (v1, no footer). The reconstructed
 // Result carries the full calltree and all statistics; the Program pointer
-// is nil (the binary itself is not part of a profile).
+// is nil (the binary itself is not part of a profile). A v2 stream that
+// ends before its footer returns ErrProfileTruncated; a footer that
+// disagrees with the records returns ErrProfileCorrupt.
 func ReadProfile(r io.Reader) (*Result, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
 		return nil, fmt.Errorf("core: empty profile")
 	}
-	if strings.TrimSpace(sc.Text()) != profileMagic {
+	version := 0
+	switch strings.TrimSpace(sc.Text()) {
+	case profileMagic:
+		version = 2
+	case profileMagicV1:
+		version = 1
+	default:
 		return nil, fmt.Errorf("core: not a sigil profile (bad header)")
 	}
 	res := &Result{Profile: &callgrind.Profile{}}
 	parents := map[int]int{}
 	rootID := -1
 	lineNo := 1
+	var (
+		crc        uint32
+		records    uint64
+		footerSeen bool
+	)
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
+		if version >= 2 {
+			if footerSeen {
+				return nil, fmt.Errorf("%w: record after end on line %d", ErrProfileCorrupt, lineNo)
+			}
+			if fields[0] == "end" {
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("%w: malformed end record", ErrProfileCorrupt)
+				}
+				wantN, err1 := strconv.ParseUint(fields[1], 10, 64)
+				wantCRC, err2 := strconv.ParseUint(fields[2], 10, 32)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("%w: malformed end record", ErrProfileCorrupt)
+				}
+				if wantN != records || uint32(wantCRC) != crc {
+					return nil, fmt.Errorf("%w: footer says %d records crc %#x, stream has %d records crc %#x",
+						ErrProfileCorrupt, wantN, uint32(wantCRC), records, crc)
+				}
+				footerSeen = true
+				continue
+			}
+			crc = crc32.Update(crc, crc32.IEEETable, []byte(raw))
+			crc = crc32.Update(crc, crc32.IEEETable, []byte{'\n'})
+			records++
+		}
 		bad := func(err error) error {
 			return fmt.Errorf("core: profile line %d (%s): %v", lineNo, fields[0], err)
 		}
@@ -160,6 +248,15 @@ func ReadProfile(r io.Reader) (*Result, error) {
 			if err != nil {
 				return nil, bad(err)
 			}
+			if v[0] < 0 || v[0] >= maxProfileID {
+				return nil, bad(fmt.Errorf("context id %d out of range", v[0]))
+			}
+			if v[1] < -1 || v[1] >= maxProfileID {
+				return nil, bad(fmt.Errorf("parent id %d out of range", v[1]))
+			}
+			if v[2] < 0 {
+				return nil, bad(fmt.Errorf("negative call count %d", v[2]))
+			}
 			id := int(v[0])
 			for len(res.Profile.Nodes) <= id {
 				res.Profile.Nodes = append(res.Profile.Nodes, nil)
@@ -172,6 +269,9 @@ func ReadProfile(r io.Reader) (*Result, error) {
 			v, err := nums(1, 14)
 			if err != nil {
 				return nil, bad(err)
+			}
+			if v[0] >= maxProfileID {
+				return nil, bad(fmt.Errorf("context id %d out of range", v[0]))
 			}
 			id := int(v[0])
 			if id >= len(res.Profile.Nodes) || res.Profile.Nodes[id] == nil {
@@ -188,6 +288,9 @@ func ReadProfile(r io.Reader) (*Result, error) {
 			if err != nil {
 				return nil, bad(err)
 			}
+			if v[0] >= maxProfileID {
+				return nil, bad(fmt.Errorf("context id %d out of range", v[0]))
+			}
 			id := int(v[0])
 			for len(res.Comm) <= id {
 				res.Comm = append(res.Comm, CommStats{})
@@ -202,6 +305,13 @@ func ReadProfile(r io.Reader) (*Result, error) {
 			if err != nil {
 				return nil, bad(err)
 			}
+			if v[0] < -maxProfileID || v[0] >= maxProfileID ||
+				v[1] < -maxProfileID || v[1] >= maxProfileID {
+				return nil, bad(fmt.Errorf("edge context out of range"))
+			}
+			if v[2] < 0 || v[3] < 0 {
+				return nil, bad(fmt.Errorf("negative edge count"))
+			}
 			res.Edges = append(res.Edges, Edge{
 				Src: int32(v[0]), Dst: int32(v[1]),
 				Unique: uint64(v[2]), NonUnique: uint64(v[3]),
@@ -210,6 +320,9 @@ func ReadProfile(r io.Reader) (*Result, error) {
 			v, err := nums(1, 8)
 			if err != nil {
 				return nil, bad(err)
+			}
+			if v[0] >= maxProfileID {
+				return nil, bad(fmt.Errorf("context id %d out of range", v[0]))
 			}
 			id := int(v[0])
 			for len(res.Reuse) <= id {
@@ -224,9 +337,17 @@ func ReadProfile(r io.Reader) (*Result, error) {
 			if err != nil {
 				return nil, bad(err)
 			}
+			if v[0] >= maxProfileID {
+				return nil, bad(fmt.Errorf("context id %d out of range", v[0]))
+			}
 			id := int(v[0])
 			if id >= len(res.Reuse) {
 				return nil, bad(fmt.Errorf("rhist for undeclared reuse context %d", id))
+			}
+			// Bins are lifetime/LifetimeBin, so they grow with run length;
+			// the cap only bounds what a hostile file can make us allocate.
+			if v[1] >= 1<<22 {
+				return nil, bad(fmt.Errorf("histogram bin %d out of range", v[1]))
 			}
 			bin := int(v[1])
 			h := res.Reuse[id].LifetimeHist
@@ -239,6 +360,9 @@ func ReadProfile(r io.Reader) (*Result, error) {
 			v, err := nums(1, 7)
 			if err != nil {
 				return nil, bad(err)
+			}
+			if v[0] == 0 || v[0] > 1<<20 {
+				return nil, bad(fmt.Errorf("line size %d out of range", v[0]))
 			}
 			res.Lines = &LineReport{LineSize: int(v[0]), TotalLines: v[1]}
 			for i := 0; i < 5; i++ {
@@ -267,6 +391,9 @@ func ReadProfile(r io.Reader) (*Result, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if version >= 2 && !footerSeen {
+		return nil, ErrProfileTruncated
+	}
 	// Resolve the tree.
 	for id, n := range res.Profile.Nodes {
 		if n == nil {
@@ -276,8 +403,20 @@ func ReadProfile(r io.Reader) (*Result, error) {
 			if pid >= len(res.Profile.Nodes) || res.Profile.Nodes[pid] == nil {
 				return nil, fmt.Errorf("core: context %d has unknown parent %d", id, pid)
 			}
+			if pid == id {
+				return nil, fmt.Errorf("core: context %d is its own parent", id)
+			}
 			n.Parent = res.Profile.Nodes[pid]
 			n.Parent.Children = append(n.Parent.Children, n)
+		}
+	}
+	// Reject parent cycles: walking up from any node must terminate.
+	for id, n := range res.Profile.Nodes {
+		steps := 0
+		for p := n.Parent; p != nil; p = p.Parent {
+			if steps++; steps > len(res.Profile.Nodes) {
+				return nil, fmt.Errorf("core: context %d has a parent cycle", id)
+			}
 		}
 	}
 	if rootID >= 0 {

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// profileSeed serializes a small real profile for the fuzzer and the
+// format-integrity tests.
+func profileSeed(t interface {
+	Helper()
+	Fatalf(string, ...any)
+}) []byte {
+	t.Helper()
+	b := bytes.Buffer{}
+	res, err := Run(producerConsumerProg(16, 2), Options{TrackReuse: true}, nil)
+	if err != nil {
+		t.Fatalf("profiling seed workload: %v", err)
+	}
+	if err := WriteProfile(&b, res); err != nil {
+		t.Fatalf("WriteProfile: %v", err)
+	}
+	return b.Bytes()
+}
+
+// FuzzReadProfile checks the text-profile parser never panics or
+// over-allocates on corrupt input — profiles are meant to be shared between
+// machines, so the reader must survive files it did not write.
+func FuzzReadProfile(f *testing.F) {
+	seed := profileSeed(f)
+	f.Add(seed)
+	f.Add([]byte(profileMagic + "\n"))
+	f.Add([]byte(profileMagicV1 + "\n"))
+	f.Add([]byte(profileMagicV1 + "\nctx 0 -1 1 \"main\"\ncost 0 1 2 3 4 5 6 7 8 9 10 11 12 13\n"))
+	// Historic crashers: negative ids indexed slices, huge ids allocated them.
+	f.Add([]byte(profileMagicV1 + "\nctx -5 -1 1 \"x\"\n"))
+	f.Add([]byte(profileMagicV1 + "\nctx 0 -1 1 \"x\"\ncost 18446744073709551615 1 2 3 4 5 6 7 8 9 10 11 12 13\n"))
+	f.Add([]byte(profileMagicV1 + "\ncomm 99999999999 1 2 3 4 5 6\n"))
+	f.Add([]byte(profileMagicV1 + "\nctx 0 1 1 \"a\"\nctx 1 0 1 \"b\"\n"))
+	f.Add(bytes.Replace(seed, []byte("end "), []byte("end 0 "), 1))
+	f.Add(seed[:len(seed)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := ReadProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted profiles must be safe to analyze.
+		_ = res.CommByFunction()
+		_ = res.TotalCommunicated()
+		_ = res.CtxName(0)
+		for _, n := range res.Profile.Nodes {
+			_ = n.Path()
+		}
+	})
+}
+
+func TestReadProfileRejectsHostileIDs(t *testing.T) {
+	cases := map[string]string{
+		"negative ctx":   "ctx -5 -1 1 \"x\"\n",
+		"huge ctx":       "ctx 9999999 -1 1 \"x\"\n",
+		"huge cost id":   "ctx 0 -1 1 \"x\"\ncost 18446744073709551615 1 2 3 4 5 6 7 8 9 10 11 12 13\n",
+		"huge comm id":   "comm 99999999999 1 2 3 4 5 6\n",
+		"huge reuse id":  "reuse 99999999999 1 2 3 4 5 6 7\n",
+		"huge rhist bin": "ctx 0 -1 1 \"x\"\ncost 0 1 2 3 4 5 6 7 8 9 10 11 12 13\nreuse 0 1 2 3 4 5 6 7\nrhist 0 99999999 5\n",
+		"parent cycle":   "ctx 0 1 1 \"a\"\nctx 1 0 1 \"b\"\n",
+		"self parent":    "ctx 0 0 1 \"a\"\n",
+		"negative calls": "ctx 0 -1 -4 \"a\"\n",
+		"huge line size": "lines 99999999999 1 1 1 1 1 1\n",
+	}
+	for name, body := range cases {
+		if _, err := ReadProfile(strings.NewReader(profileMagicV1 + "\n" + body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadProfileV1Compat(t *testing.T) {
+	v1 := profileMagicV1 + "\n" +
+		"total 100\n" +
+		"root 0\n" +
+		"ctx 0 -1 1 \"main\"\n" +
+		"cost 0 100 1 2 3 4 5 6 7 8 9 10 11 12\n" +
+		"comm 0 1 2 3 4 5 6\n" +
+		"shadow 1 1 0 1 4096 1\n" +
+		"external 1 2 3\n"
+	res, err := ReadProfile(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 profile rejected: %v", err)
+	}
+	if res.Profile.TotalInstrs != 100 || len(res.Profile.Nodes) != 1 {
+		t.Errorf("v1 profile misread: %+v", res.Profile)
+	}
+}
+
+func TestReadProfileTruncated(t *testing.T) {
+	seed := profileSeed(t)
+	// Cut at several line boundaries and mid-line: every cut must be
+	// detected (missing footer), never silently under-report.
+	for _, frac := range []int{4, 3, 2} {
+		cut := len(seed) * (frac - 1) / frac
+		_, err := ReadProfile(bytes.NewReader(seed[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d accepted", cut)
+		}
+	}
+	_, err := ReadProfile(bytes.NewReader(seed[:len(seed)-2]))
+	if err == nil {
+		t.Fatal("footer-less profile accepted")
+	}
+}
+
+func TestReadProfileCorrupt(t *testing.T) {
+	seed := profileSeed(t)
+	// Damage one digit of a record line; the footer checksum must notice.
+	idx := bytes.Index(seed, []byte("cost "))
+	mut := append([]byte{}, seed...)
+	mut[idx+5] = '9'
+	_, err := ReadProfile(bytes.NewReader(mut))
+	if err == nil {
+		t.Fatalf("corrupt profile accepted")
+	}
+	// Garbage after the footer is also corruption.
+	_, err = ReadProfile(bytes.NewReader(append(append([]byte{}, seed...), []byte("comm 0 1 2 3 4 5 6\n")...)))
+	if !errors.Is(err, ErrProfileCorrupt) {
+		t.Fatalf("record after footer: err = %v", err)
+	}
+}
+
+func TestWriteProfileFileAtomic(t *testing.T) {
+	res, err := Run(producerConsumerProg(8, 1), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/p.profile"
+	if err := WriteProfileFile(path, res); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadProfileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Profile.TotalInstrs != res.Profile.TotalInstrs {
+		t.Error("round-trip through file lost totals")
+	}
+}

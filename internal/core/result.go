@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"sigil/internal/callgrind"
@@ -156,26 +158,89 @@ func (r *Result) TotalCommunicated() CommStats {
 }
 
 // Run profiles one program under Sigil with a fresh machine and substrate,
-// returning the completed result. It is the package's one-call entry point;
+// returning the completed result. It is RunContext without cancellation;
 // callers needing the substrate mid-run (or custom chaining) can assemble
 // the tools themselves.
 func Run(p *vm.Program, opts Options, input []byte) (*Result, error) {
-	sub := callgrind.New(opts.Substrate)
+	return RunContext(context.Background(), p, opts, input)
+}
+
+// RunContext profiles one program under Sigil with cooperative
+// cancellation and the resource budgets of Options. Instrumented runs are
+// ~100x slower than native, so interrupted and over-budget runs are the
+// normal case at scale, not a failure: whenever the run ends early — the
+// context is cancelled, a budget is exhausted, the program faults, or the
+// instrumentation path panics — RunContext salvages and returns the
+// partial Result collected so far alongside a typed error (*BudgetError,
+// *vm.CancelError wrapping the context error, or *PanicError). Only setup
+// failures return a nil Result.
+func RunContext(ctx context.Context, p *vm.Program, opts Options, input []byte) (res *Result, err error) {
+	sub, err := callgrind.New(opts.Substrate)
+	if err != nil {
+		return nil, err
+	}
 	tool, err := New(sub, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := dbi.Run(p, dbi.Chain{sub, tool}, input)
-	if err != nil {
-		return nil, err
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			// Salvage what the run collected before the panic: finish
+			// observation (the machine never reached ProgramEnd) and
+			// freeze the partial aggregates.
+			tool.abort()
+			res, _ = tool.Result()
+			if res != nil {
+				res.Wall = time.Since(start)
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+
+	stop := budgetCheck(opts, tool, start)
+	run, runErr := dbi.RunContext(ctx, p, dbi.Chain{sub, tool}, input, stop)
+	out, resErr := tool.Result()
+	if out != nil {
+		out.Wall = run.Duration
 	}
-	if err := tool.EventError(); err != nil {
-		return nil, fmt.Errorf("core: event sink failed: %w", err)
+	if runErr != nil {
+		// Early stop or fault: hand back the partial result with the
+		// typed cause so callers keep the data already collected.
+		return out, runErr
 	}
-	out, err := tool.Result()
-	if err != nil {
-		return nil, err
+	if evErr := tool.EventError(); evErr != nil {
+		return out, fmt.Errorf("core: event sink failed: %w", evErr)
 	}
-	out.Wall = res.Duration
+	if resErr != nil {
+		return nil, resErr
+	}
 	return out, nil
+}
+
+// budgetCheck builds the machine stop hook enforcing the Options budgets;
+// it returns nil when no budget is set, keeping the dispatch loop free of
+// polling.
+func budgetCheck(opts Options, tool *Tool, start time.Time) func() error {
+	if opts.MaxWall <= 0 && opts.MaxInstrs == 0 && opts.MaxShadowChunksHard == 0 {
+		return nil
+	}
+	return func() error {
+		if opts.MaxInstrs > 0 {
+			if used := tool.sub.Now(); used >= opts.MaxInstrs {
+				return &BudgetError{Resource: "instructions", Limit: opts.MaxInstrs, Used: used}
+			}
+		}
+		if opts.MaxWall > 0 {
+			if used := time.Since(start); used >= opts.MaxWall {
+				return &BudgetError{Resource: "wall-clock", Limit: uint64(opts.MaxWall), Used: uint64(used)}
+			}
+		}
+		if opts.MaxShadowChunksHard > 0 {
+			if used := tool.shadow.allocated; used >= uint64(opts.MaxShadowChunksHard) {
+				return &BudgetError{Resource: "shadow-chunks", Limit: uint64(opts.MaxShadowChunksHard), Used: used}
+			}
+		}
+		return nil
+	}
 }

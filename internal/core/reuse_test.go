@@ -7,7 +7,13 @@ import (
 	"sigil/internal/vm"
 )
 
-func newSubstrate() *callgrind.Tool { return callgrind.New(callgrind.Options{}) }
+func newSubstrate() *callgrind.Tool {
+	sub, err := callgrind.New(callgrind.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return sub
+}
 
 func reuseOf(t *testing.T, r *Result, name string) ReuseStats {
 	t.Helper()
@@ -75,7 +81,7 @@ func TestReuseHighBucket(t *testing.T) {
 	hot.Addi(vm.R3, vm.R3, 1)
 	hot.Blt(vm.R3, vm.R4, top)
 	hot.Ret()
-	r := mustRun(t, b.MustBuild(), Options{TrackReuse: true})
+	r := mustRun(t, mustBuild(b), Options{TrackReuse: true})
 	s := reuseOf(t, r, "hot")
 	if s.High != 1 || s.Episodes != 1 {
 		t.Errorf("high=%d episodes=%d, want 1/1", s.High, s.Episodes)
@@ -101,7 +107,7 @@ func TestEpisodeSplitsAcrossCalls(t *testing.T) {
 	tw.Load(vm.R3, vm.R1, 0, 1)
 	tw.Load(vm.R4, vm.R1, 0, 1)
 	tw.Ret()
-	r := mustRun(t, b.MustBuild(), Options{TrackReuse: true})
+	r := mustRun(t, mustBuild(b), Options{TrackReuse: true})
 	s := reuseOf(t, r, "twice")
 	if s.Episodes != 2 || s.Low != 2 || s.SumReuseCount != 2 {
 		t.Errorf("episodes=%d low=%d sum=%d, want 2/2/2",
@@ -129,7 +135,7 @@ func TestLifetimeHistogramBinning(t *testing.T) {
 	sr.Blt(vm.R4, vm.R5, top)
 	sr.Load(vm.R6, vm.R1, 0, 1)
 	sr.Ret()
-	r := mustRun(t, b.MustBuild(), Options{TrackReuse: true})
+	r := mustRun(t, mustBuild(b), Options{TrackReuse: true})
 	s := reuseOf(t, r, "slowreader")
 	if s.ReusedBytes != 1 {
 		t.Fatalf("reused = %d, want 1", s.ReusedBytes)
@@ -165,7 +171,7 @@ func TestLineGranularityReport(t *testing.T) {
 	main.Addi(vm.R3, vm.R3, 1)
 	main.Blt(vm.R3, vm.R4, top)
 	main.Halt()
-	r := mustRun(t, b.MustBuild(), Options{LineGranularity: true})
+	r := mustRun(t, mustBuild(b), Options{LineGranularity: true})
 	if r.Lines == nil {
 		t.Fatal("no line report")
 	}
@@ -193,7 +199,7 @@ func TestLineGranularityCoalescesAccesses(t *testing.T) {
 		main.Store(vm.R1, off, vm.R2, 8)
 	}
 	main.Halt()
-	r := mustRun(t, b.MustBuild(), Options{LineGranularity: true})
+	r := mustRun(t, mustBuild(b), Options{LineGranularity: true})
 	if r.Lines.TotalLines != 2 {
 		t.Errorf("lines touched = %d, want 2", r.Lines.TotalLines)
 	}
@@ -211,7 +217,7 @@ func TestLineSizeConfigurable(t *testing.T) {
 	main.Store(vm.R1, 0, vm.R2, 8)
 	main.Store(vm.R1, 128, vm.R2, 8)
 	main.Halt()
-	r := mustRun(t, b.MustBuild(), Options{LineGranularity: true, LineSize: 128})
+	r := mustRun(t, mustBuild(b), Options{LineGranularity: true, LineSize: 128})
 	if r.Lines.LineSize != 128 {
 		t.Errorf("line size = %d", r.Lines.LineSize)
 	}
@@ -252,7 +258,7 @@ func TestFIFOEvictionBoundsMemory(t *testing.T) {
 	main.Addi(vm.R1, vm.R1, 512)
 	main.Bltu(vm.R1, vm.R2, top)
 	main.Halt()
-	r := mustRun(t, b.MustBuild(), Options{MaxShadowChunks: 3})
+	r := mustRun(t, mustBuild(b), Options{MaxShadowChunks: 3})
 	if r.Shadow.PeakLiveChunks > 3 {
 		t.Errorf("peak live chunks = %d, want <= 3", r.Shadow.PeakLiveChunks)
 	}
@@ -282,7 +288,7 @@ func TestFIFOEvictionFlushesEpisodes(t *testing.T) {
 	w.Addi(vm.R1, vm.R1, 4096)
 	w.Bltu(vm.R1, vm.R2, top)
 	w.Ret()
-	r := mustRun(t, b.MustBuild(), Options{TrackReuse: true, MaxShadowChunks: 2})
+	r := mustRun(t, mustBuild(b), Options{TrackReuse: true, MaxShadowChunks: 2})
 	s := reuseOf(t, r, "walker")
 	wantEpisodes := uint64(6*chunkGranules/4096) * 8 // bytes per load
 	if s.Episodes != wantEpisodes {
@@ -319,7 +325,7 @@ func TestEvictionLosesProducerInfo(t *testing.T) {
 	rr.MoviU(vm.R1, vm.HeapBase)
 	rr.Load(vm.R2, vm.R1, 0, 8)
 	rr.Ret()
-	r := mustRun(t, b.MustBuild(), Options{MaxShadowChunks: 2})
+	r := mustRun(t, mustBuild(b), Options{MaxShadowChunks: 2})
 	if _, ok := edgeBetween(r, "writerfn", "rereader"); ok {
 		t.Error("edge survived eviction; expected producer info loss")
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sigil/internal/callgrind"
 	"sigil/internal/trace"
@@ -32,6 +33,25 @@ type Options struct {
 	// execution as a sequence of dependent events.
 	Events trace.Sink
 
+	// MaxWall bounds the instrumented run's wall-clock time (0 means
+	// unlimited). Exceeding it ends the run with a *BudgetError while
+	// RunContext still returns the partial Result collected so far —
+	// instrumented runs are ~100x native, so long workloads need a way to
+	// stop on schedule without losing their data.
+	MaxWall time.Duration
+
+	// MaxInstrs bounds retired instructions (0 = unlimited), the
+	// platform-independent analogue of MaxWall. Checked every
+	// vm.StopCheckInterval instructions, so runs overshoot by at most
+	// that much.
+	MaxInstrs uint64
+
+	// MaxShadowChunksHard bounds total shadow chunks ever materialized
+	// (0 = unlimited). Unlike MaxShadowChunks, which evicts and keeps
+	// going, exhausting this budget ends the run with a *BudgetError and
+	// a partial Result — a hard memory ceiling for embedding services.
+	MaxShadowChunksHard int
+
 	// Substrate configures the Callgrind-analogue tool Run creates
 	// (cache geometry, branch predictor, prefetcher). Ignored when the
 	// caller assembles its own tool chain via New.
@@ -51,6 +71,12 @@ func (o Options) validate() error {
 	}
 	if o.MaxShadowChunks < 0 {
 		return fmt.Errorf("core: negative shadow chunk limit")
+	}
+	if o.MaxShadowChunksHard < 0 {
+		return fmt.Errorf("core: negative shadow chunk budget")
+	}
+	if o.MaxWall < 0 {
+		return fmt.Errorf("core: negative wall-clock budget")
 	}
 	if o.TrackReuse && o.LineGranularity {
 		// Line mode reports per-line access counts globally; per-context
@@ -141,15 +167,6 @@ func New(sub *callgrind.Tool, opts Options) (*Tool, error) {
 	wantReuse := opts.TrackReuse || opts.LineGranularity
 	t.shadow = newShadowTable(opts.MaxShadowChunks, wantReuse, t.flushChunk)
 	return t, nil
-}
-
-// MustNew is New for statically valid options.
-func MustNew(sub *callgrind.Tool, opts Options) *Tool {
-	t, err := New(sub, opts)
-	if err != nil {
-		panic(err)
-	}
-	return t
 }
 
 // ProgramStart implements dbi.Tool. The loader's initialized data segments
@@ -296,6 +313,28 @@ func (t *Tool) ProgramEnd() {
 		t.stack = t.stack[:len(t.stack)-1]
 	}
 	t.shadow.forEach(t.flushChunk)
+	t.finished = true
+}
+
+// abort force-finishes observation after a mid-run failure (typically a
+// recovered panic that skipped the machine's ProgramEnd), so the aggregates
+// collected up to the failure can still be frozen into a Result. A second
+// failure while finalizing is swallowed: salvage is best-effort.
+func (t *Tool) abort() {
+	if t.finished {
+		return
+	}
+	// The event sink may be the very thing that panicked: stop emitting
+	// while finalizing, and attempt each finalization step independently.
+	t.events = nil
+	func() {
+		defer func() { _ = recover() }()
+		t.sub.ProgramEnd()
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		t.ProgramEnd()
+	}()
 	t.finished = true
 }
 

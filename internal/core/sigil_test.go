@@ -44,7 +44,7 @@ func producerConsumer(t *testing.T, n int64, passes int64) *vm.Program {
 	c.Addi(vm.R6, vm.R6, 1)
 	c.Blt(vm.R6, vm.R3, pass)
 	c.Ret()
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func mustRun(t *testing.T, p *vm.Program, opts Options) *Result {
@@ -124,7 +124,7 @@ func TestLocalClassification(t *testing.T) {
 	main.Load(vm.R3, vm.R1, 0, 8)
 	main.Load(vm.R4, vm.R1, 0, 8)
 	main.Halt()
-	r := mustRun(t, b.MustBuild(), Options{})
+	r := mustRun(t, mustBuild(b), Options{})
 	m := commOf(t, r, "main")
 	if m.LocalUnique != 8 {
 		t.Errorf("local unique = %d, want 8", m.LocalUnique)
@@ -155,7 +155,7 @@ func TestDistinctCallsReadNonUnique(t *testing.T) {
 	rd := b.Func("reader")
 	rd.Load(vm.R3, vm.R1, 0, 8)
 	rd.Ret()
-	r := mustRun(t, b.MustBuild(), Options{})
+	r := mustRun(t, mustBuild(b), Options{})
 	s := commOf(t, r, "reader")
 	if s.InputUnique != 8 || s.InputNonUnique != 8 {
 		t.Errorf("two calls: unique=%d nonunique=%d, want 8/8",
@@ -185,7 +185,7 @@ func TestAlternatingReadersStayUnique(t *testing.T) {
 	rb := b.Func("readerB")
 	rb.Load(vm.R3, vm.R1, 0, 8)
 	rb.Ret()
-	r := mustRun(t, b.MustBuild(), Options{})
+	r := mustRun(t, mustBuild(b), Options{})
 	for _, name := range []string{"readerA", "readerB"} {
 		s := commOf(t, r, name)
 		if s.InputUnique != 16 || s.InputNonUnique != 0 {
@@ -202,7 +202,7 @@ func TestStartupProducer(t *testing.T) {
 	main.MoviU(vm.R1, addr)
 	main.Load(vm.R2, vm.R1, 0, 8)
 	main.Halt()
-	r := mustRun(t, b.MustBuild(), Options{})
+	r := mustRun(t, mustBuild(b), Options{})
 	m := commOf(t, r, "main")
 	if m.InputUnique != 8 {
 		t.Errorf("startup input = %d, want 8", m.InputUnique)
@@ -222,7 +222,7 @@ func TestNeverWrittenMemoryIsStartup(t *testing.T) {
 	main.MoviU(vm.R1, addr)
 	main.Load(vm.R2, vm.R1, 0, 4)
 	main.Halt()
-	r := mustRun(t, b.MustBuild(), Options{})
+	r := mustRun(t, mustBuild(b), Options{})
 	if _, ok := edgeBetween(r, "@startup", "main"); !ok {
 		t.Error("never-written read should come from @startup")
 	}
@@ -246,7 +246,7 @@ func TestKernelProducerAndConsumer(t *testing.T) {
 	main.Movi(vm.R2, 8)
 	main.Sys(vm.SysWrite)
 	main.Halt()
-	p := b.MustBuild()
+	p := mustBuild(b)
 	r, err := Run(p, Options{}, []byte("12345678"))
 	if err != nil {
 		t.Fatal(err)
@@ -289,7 +289,7 @@ func TestContextSeparatedComm(t *testing.T) {
 	h := b.Func("helper")
 	h.Load(vm.R3, vm.R1, 0, 8)
 	h.Ret()
-	r := mustRun(t, b.MustBuild(), Options{})
+	r := mustRun(t, mustBuild(b), Options{})
 	var paths []string
 	for id := range r.Profile.Nodes {
 		if r.Comm[id].InputUnique > 0 && r.Profile.Nodes[id].Name == "helper" {
@@ -331,7 +331,7 @@ func TestOverwriteKeepsLastReaderSemantics(t *testing.T) {
 	rw := b.Func("rewriter")
 	rw.Store(vm.R1, 0, vm.R4, 8)
 	rw.Ret()
-	r := mustRun(t, b.MustBuild(), Options{})
+	r := mustRun(t, mustBuild(b), Options{})
 	s := commOf(t, r, "reader2")
 	if s.InputUnique != 8 || s.InputNonUnique != 8 {
 		t.Errorf("overwrite semantics: unique=%d nonunique=%d, want 8/8",
@@ -357,7 +357,7 @@ func TestTotalCommunicatedAndTotalRead(t *testing.T) {
 
 func TestResultBeforeEndFails(t *testing.T) {
 	sub := newSubstrate()
-	tool := MustNew(sub, Options{})
+	tool := mustNew(sub, Options{})
 	if _, err := tool.Result(); err == nil {
 		t.Error("Result before run accepted")
 	}

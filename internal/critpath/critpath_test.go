@@ -120,7 +120,7 @@ func TestIndependentChildrenParallel(t *testing.T) {
 	heavyLoop(fb, 5000)
 	fb.Ret()
 
-	a, err := Analyze(runWithEvents(t, b.MustBuild()))
+	a, err := Analyze(runWithEvents(t, mustBuild(b)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestDependentChainSerial(t *testing.T) {
 	heavyLoop(s2, 5000)
 	s2.Ret()
 
-	a, err := Analyze(runWithEvents(t, b.MustBuild()))
+	a, err := Analyze(runWithEvents(t, mustBuild(b)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestManyShortPathsHighParallelism(t *testing.T) {
 	heavyLoop(sw, 500)
 	sw.Ret()
 
-	a, err := Analyze(runWithEvents(t, b.MustBuild()))
+	a, err := Analyze(runWithEvents(t, mustBuild(b)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestSequentialSegmentsWithinCallOrdered(t *testing.T) {
 	c := b.Func("child")
 	c.Movi(vm.R1, 1)
 	c.Ret()
-	a, err := Analyze(runWithEvents(t, b.MustBuild()))
+	a, err := Analyze(runWithEvents(t, mustBuild(b)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestAnalyzeReaderMatchesInMemory(t *testing.T) {
 
 	var sink bytes.Buffer
 	w := trace.NewWriter(&sink)
-	prog := b.MustBuild()
+	prog := mustBuild(b)
 	if _, err := core.Run(prog, core.Options{Events: w}, nil); err != nil {
 		t.Fatal(err)
 	}

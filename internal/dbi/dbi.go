@@ -7,6 +7,7 @@
 package dbi
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -97,13 +98,23 @@ type RunResult struct {
 // Run executes the program on a fresh machine under the given tool (nil for
 // a native run) with the given syscall input stream.
 func Run(p *vm.Program, tool Tool, input []byte) (RunResult, error) {
+	return RunContext(context.Background(), p, tool, input, nil)
+}
+
+// RunContext is Run with cooperative cancellation and an optional stop hook
+// polled alongside the context (see vm.Machine.StopCheck). On an early stop
+// or fault the returned RunResult still describes the work performed, so
+// callers can salvage partially collected profiles.
+func RunContext(ctx context.Context, p *vm.Program, tool Tool, input []byte, stopCheck func() error) (RunResult, error) {
 	m := vm.NewMachine()
 	m.SetInput(input)
+	m.StopCheck = stopCheck
 	start := time.Now()
-	stats, err := m.Run(p, tool)
+	stats, err := m.RunContext(ctx, p, tool)
 	elapsed := time.Since(start)
+	res := RunResult{Stats: stats, Duration: elapsed}
 	if err != nil {
-		return RunResult{}, fmt.Errorf("dbi: run failed: %w", err)
+		return res, fmt.Errorf("dbi: run failed: %w", err)
 	}
-	return RunResult{Stats: stats, Duration: elapsed}, nil
+	return res, nil
 }

@@ -41,7 +41,7 @@ func testProgram(t *testing.T) *vm.Program {
 	main.Bind(next)
 	main.Sys(vm.SysRand)
 	main.Halt()
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func TestChainOrderAndFanout(t *testing.T) {
@@ -94,7 +94,7 @@ func TestRunPropagatesFaults(t *testing.T) {
 	f.Movi(vm.R2, 0)
 	f.Div(vm.R3, vm.R1, vm.R2)
 	f.Halt()
-	if _, err := Run(b.MustBuild(), nil, nil); err == nil {
+	if _, err := Run(mustBuild(b), nil, nil); err == nil {
 		t.Error("fault not propagated")
 	}
 }

@@ -165,7 +165,7 @@ func (s *Suite) MemoryLimitAccuracy(name string, limitChunks int) (*AccuracyRow,
 	if err != nil {
 		return nil, err
 	}
-	exact, err := core.Run(prog, core.Options{}, input)
+	exact, err := core.RunContext(s.ctx(), prog, core.Options{}, input)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +173,7 @@ func (s *Suite) MemoryLimitAccuracy(name string, limitChunks int) (*AccuracyRow,
 	if err != nil {
 		return nil, err
 	}
-	limited, err := core.Run(prog2, core.Options{MaxShadowChunks: limitChunks}, input2)
+	limited, err := core.RunContext(s.ctx(), prog2, core.Options{MaxShadowChunks: limitChunks}, input2)
 	if err != nil {
 		return nil, err
 	}

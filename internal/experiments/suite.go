@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -80,6 +81,17 @@ type Suite struct {
 	// unlimited), reproducing the paper's dedup slowdown outlier and its
 	// bounded memory bar.
 	DedupShadowLimit int
+
+	// Ctx, when non-nil, cancels the suite's profiling runs cooperatively
+	// (cmd/experiments wires it to SIGINT/SIGTERM).
+	Ctx context.Context
+}
+
+func (s *Suite) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // NewSuite returns an empty suite.
@@ -122,7 +134,7 @@ func (s *Suite) Profile(name string, class workloads.Class, mode Mode) (*core.Re
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building %s/%s: %w", name, class, err)
 	}
-	r, err := core.Run(prog, s.coreOptions(name, mode), input)
+	r, err := core.RunContext(s.ctx(), prog, s.coreOptions(name, mode), input)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: profiling %s/%s: %w", name, class, err)
 	}
@@ -148,7 +160,7 @@ func (s *Suite) Trace(name string) (*trace.Trace, error) {
 	var buf trace.Buffer
 	opts := s.coreOptions(name, ModeBaseline)
 	opts.Events = &buf
-	if _, err := core.Run(prog, opts, input); err != nil {
+	if _, err := core.RunContext(s.ctx(), prog, opts, input); err != nil {
 		return nil, fmt.Errorf("experiments: tracing %s: %w", name, err)
 	}
 	t := trace.FromBuffer(&buf)
@@ -197,7 +209,7 @@ func (s *Suite) Timing(name string, class workloads.Class) (Timing, error) {
 	}
 
 	t.Native, err = median(func() (time.Duration, error) {
-		res, err := dbi.Run(prog, nil, input)
+		res, err := dbi.RunContext(s.ctx(), prog, nil, input, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -209,19 +221,26 @@ func (s *Suite) Timing(name string, class workloads.Class) (Timing, error) {
 		return Timing{}, err
 	}
 	t.Callgrnd, err = median(func() (time.Duration, error) {
-		res, err := dbi.Run(prog, callgrind.New(callgrind.Options{}), input)
+		sub, err := callgrind.New(callgrind.Options{})
+		if err != nil {
+			return 0, err
+		}
+		res, err := dbi.RunContext(s.ctx(), prog, sub, input, nil)
 		return res.Duration, err
 	})
 	if err != nil {
 		return Timing{}, err
 	}
 	t.Sigil, err = median(func() (time.Duration, error) {
-		sub := callgrind.New(callgrind.Options{})
+		sub, err := callgrind.New(callgrind.Options{})
+		if err != nil {
+			return 0, err
+		}
 		tool, err := core.New(sub, s.coreOptions(name, ModeBaseline))
 		if err != nil {
 			return 0, err
 		}
-		res, err := dbi.Run(prog, dbi.Chain{sub, tool}, input)
+		res, err := dbi.RunContext(s.ctx(), prog, dbi.Chain{sub, tool}, input, nil)
 		if err != nil {
 			return 0, err
 		}

@@ -67,7 +67,7 @@ func mixedReuse(t *testing.T) *vm.Program {
 	hot.Addi(vm.R5, vm.R5, 1)
 	hot.Blt(vm.R5, vm.R6, ht)
 	hot.Ret()
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func runReuse(t *testing.T, opts core.Options) *core.Result {

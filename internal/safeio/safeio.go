@@ -1,0 +1,42 @@
+// Package safeio writes files crash-safely: content goes to a temporary
+// file in the destination directory and is renamed into place only after a
+// successful flush and fsync. A reader therefore never observes a
+// half-written profile or report — the path either holds the previous
+// complete file or the new complete one.
+package safeio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with whatever fill writes. If fill (or
+// any write/sync/rename step) fails, the temporary file is removed and the
+// destination is left untouched.
+func WriteFile(path string, fill func(w io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	discard := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := fill(f); err != nil {
+		return discard(err)
+	}
+	if err := f.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}

@@ -26,6 +26,11 @@ func FuzzReader(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("SIGEVT"))
 	f.Add(append(append([]byte{}, buf.Bytes()...), 0xFF, 0xFF, 0xFF))
+	// A v1 stream (no footer) and a v2 stream cut mid-footer.
+	v1 := append([]byte{}, buf.Bytes()[:len(buf.Bytes())-4]...)
+	v1[len(magic)-1] = 1
+	f.Add(v1)
+	f.Add(buf.Bytes()[:len(buf.Bytes())-2])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SalvageReport describes what a Salvage pass recovered from a (possibly
+// truncated or corrupt) event file.
+type SalvageReport struct {
+	Events     int   // records recovered (context definitions included)
+	Contexts   int   // context definitions among them
+	BytesValid int64 // bytes of valid prefix consumed (header excluded)
+	BytesTotal int64 // total record bytes present in the input
+	Complete   bool  // footer present and verified: nothing was lost
+	Err        error // the decode error that ended the scan (nil when Complete)
+}
+
+// EstimatedTotal extrapolates how many events the intact file likely held,
+// from the valid prefix's mean event size. For a complete file it is exact.
+func (r SalvageReport) EstimatedTotal() int {
+	if r.Complete || r.Events == 0 || r.BytesValid == 0 {
+		return r.Events
+	}
+	return int(float64(r.Events) * float64(r.BytesTotal) / float64(r.BytesValid))
+}
+
+// String renders the paper-trail summary, e.g. "recovered 812 of ~1024
+// events (truncated after 12640 of 15980 bytes)".
+func (r SalvageReport) String() string {
+	if r.Complete {
+		return fmt.Sprintf("recovered all %d events (footer verified)", r.Events)
+	}
+	if r.BytesTotal > r.BytesValid {
+		return fmt.Sprintf("recovered %d of ~%d events (truncated after %d of %d bytes)",
+			r.Events, r.EstimatedTotal(), r.BytesValid, r.BytesTotal)
+	}
+	// Truncated exactly at end of input: every byte present parsed, so
+	// there is no tail to extrapolate the original length from.
+	return fmt.Sprintf("recovered %d of ~%d events (stream cut short after %d bytes)",
+		r.Events, r.EstimatedTotal(), r.BytesValid)
+}
+
+// Salvage reads the valid prefix of an event stream, stopping at the first
+// decode failure instead of propagating it: crashed profiling runs leave
+// truncated event files, and the data before the cut is still good. It
+// returns the recovered Trace and a report saying precisely how much of the
+// stream survived. Only an unreadable header (not an event file at all)
+// returns an error.
+func Salvage(r io.Reader) (*Trace, *SalvageReport, error) {
+	rd := NewReader(r)
+	tr := &Trace{Contexts: make(map[int32]CtxInfo)}
+	rep := &SalvageReport{}
+	for {
+		e, err := rd.Next()
+		if err != nil {
+			if !rd.started {
+				return nil, nil, err
+			}
+			if errors.Is(err, io.EOF) {
+				rep.Complete = rd.version < 2 || rd.footerSeen
+			} else {
+				rep.Err = err
+			}
+			break
+		}
+		rep.Events++
+		if e.Kind == KindDefCtx {
+			rep.Contexts++
+			tr.Contexts[e.Ctx] = CtxInfo{ID: e.Ctx, Parent: e.SrcCtx, Name: e.Name}
+			continue
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	rep.BytesValid = rd.r.bytes
+	rep.BytesTotal = rd.r.bytes + drain(rd.r.r)
+	return tr, rep, nil
+}
+
+// drain counts the bytes left unread after the scan stopped.
+func drain(r io.Reader) int64 {
+	n, _ := io.Copy(io.Discard, r)
+	return n
+}
+
+// FileSink streams events to a temporary file next to path and renames it
+// into place only on Commit, after the footer is written and the file
+// synced — so path either does not exist or holds a complete,
+// footer-verified event file, never a truncated one.
+type FileSink struct {
+	w    *Writer
+	f    *os.File
+	path string
+	done bool
+}
+
+// CreateFile opens a FileSink writing the event file that will appear at
+// path on Commit.
+func CreateFile(path string) (*FileSink, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{w: NewWriter(f), f: f, path: path}, nil
+}
+
+// Emit implements Sink.
+func (s *FileSink) Emit(e Event) error { return s.w.Emit(e) }
+
+// Commit finalizes the stream (footer, flush, fsync) and atomically renames
+// it to the target path.
+func (s *FileSink) Commit() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	if err := s.w.Close(); err != nil {
+		s.discard()
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.discard()
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		os.Remove(s.f.Name())
+		return err
+	}
+	if err := os.Rename(s.f.Name(), s.path); err != nil {
+		os.Remove(s.f.Name())
+		return err
+	}
+	return nil
+}
+
+// Abort discards the temporary file, leaving the target path untouched.
+func (s *FileSink) Abort() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.discard()
+}
+
+func (s *FileSink) discard() {
+	s.f.Close()
+	os.Remove(s.f.Name())
+}

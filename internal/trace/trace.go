@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -92,17 +93,38 @@ func (b *Buffer) Emit(e Event) error {
 }
 
 // magic identifies event files; the trailing byte is the format version.
-var magic = []byte{'S', 'I', 'G', 'E', 'V', 'T', 0, 1}
+// Version 2 appends an end-of-stream footer (event count + CRC-32) so a
+// truncated or corrupt file is detectable; version 1 files (no footer) are
+// still read.
+var (
+	magic   = []byte{'S', 'I', 'G', 'E', 'V', 'T', 0, 2}
+	magicV1 = []byte{'S', 'I', 'G', 'E', 'V', 'T', 0, 1}
+)
 
-// Writer encodes events to an io.Writer.
+// footerByte opens the v2 end-of-stream footer record. It is far outside
+// the Kind range, so it can never collide with an event.
+const footerByte = 0xF6
+
+// ErrTruncated reports a v2 stream that ended without its footer: the
+// writer crashed (or the file was cut) mid-stream.
+var ErrTruncated = errors.New("trace: stream truncated (missing footer)")
+
+// ErrCorrupt reports a v2 footer whose event count or checksum does not
+// match the stream read.
+var ErrCorrupt = errors.New("trace: footer mismatch (corrupt stream)")
+
+// Writer encodes events to an io.Writer in the v2 format.
 type Writer struct {
 	w      *bufio.Writer
 	buf    [10 * 7]byte
 	wrote  bool
 	closed bool
+	count  uint64 // events emitted
+	crc    uint32 // running CRC-32 (IEEE) over all record bytes
 }
 
-// NewWriter returns a Writer targeting w. Call Close to flush.
+// NewWriter returns a Writer targeting w. Call Close to write the footer
+// and flush; without it the stream is detectably incomplete.
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
 }
@@ -131,15 +153,19 @@ func (w *Writer) Emit(e Event) error {
 	if _, err := w.w.Write(b); err != nil {
 		return err
 	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
 	if len(e.Name) > 0 {
 		if _, err := w.w.WriteString(e.Name); err != nil {
 			return err
 		}
+		w.crc = crc32.Update(w.crc, crc32.IEEETable, []byte(e.Name))
 	}
+	w.count++
 	return nil
 }
 
-// Close flushes buffered events. The underlying writer is not closed.
+// Close writes the end-of-stream footer and flushes buffered events. The
+// underlying writer is not closed.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -149,6 +175,13 @@ func (w *Writer) Close() error {
 		if _, err := w.w.Write(magic); err != nil {
 			return err
 		}
+	}
+	b := w.buf[:0]
+	b = append(b, footerByte)
+	b = binary.AppendUvarint(b, w.count)
+	b = binary.AppendUvarint(b, uint64(w.crc))
+	if _, err := w.w.Write(b); err != nil {
+		return err
 	}
 	return w.w.Flush()
 }
@@ -161,37 +194,114 @@ func unzigzag(u uint64) int32 {
 	return int32(uint32(u)>>1) ^ -int32(u&1)
 }
 
-// Reader decodes an event stream.
+// hashReader tees every byte delivered to the decoder into a running
+// CRC-32 and byte count, so the Reader can verify the v2 footer and
+// Salvage can report how many bytes of valid prefix it consumed.
+type hashReader struct {
+	r     *bufio.Reader
+	crc   uint32
+	bytes int64
+}
+
+func (h *hashReader) ReadByte() (byte, error) {
+	b, err := h.r.ReadByte()
+	if err == nil {
+		h.crc = crc32.Update(h.crc, crc32.IEEETable, []byte{b})
+		h.bytes++
+	}
+	return b, err
+}
+
+func (h *hashReader) readFull(p []byte) error {
+	// Count partial reads too: on a mid-record cut the consumed bytes must
+	// still show up in Salvage's byte accounting.
+	n, err := io.ReadFull(h.r, p)
+	h.crc = crc32.Update(h.crc, crc32.IEEETable, p[:n])
+	h.bytes += int64(n)
+	return err
+}
+
+// Reader decodes an event stream (v1 or v2). For v2 streams, hitting end of
+// input without the footer yields ErrTruncated instead of io.EOF, and a
+// footer that disagrees with the bytes read yields ErrCorrupt — so a clean
+// io.EOF from a v2 file certifies the stream complete and checksummed.
 type Reader struct {
-	r       *bufio.Reader
-	started bool
+	r          *hashReader
+	started    bool
+	version    int
+	count      uint64 // events decoded so far
+	footerSeen bool
 }
 
 // NewReader returns a Reader over r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	return &Reader{r: &hashReader{r: bufio.NewReaderSize(r, 1<<16)}}
 }
 
-// Next returns the next event, or io.EOF at end of stream.
+// Version returns the stream's format version (0 before the header is read).
+func (r *Reader) Version() int { return r.version }
+
+// trunc types a mid-record read failure: on a v2 stream an EOF inside a
+// record is a truncated file (ErrTruncated), matching the end-of-stream
+// case; other causes pass through.
+func (r *Reader) trunc(what string, err error) error {
+	if r.version >= 2 && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+		return fmt.Errorf("%w: %s cut short", ErrTruncated, what)
+	}
+	return fmt.Errorf("trace: truncated %s: %w", what, err)
+}
+
+// Next returns the next event, or io.EOF at a verified end of stream.
 func (r *Reader) Next() (Event, error) {
 	if !r.started {
 		head := make([]byte, len(magic))
-		if _, err := io.ReadFull(r.r, head); err != nil {
+		if _, err := io.ReadFull(r.r.r, head); err != nil {
 			return Event{}, fmt.Errorf("trace: reading header: %w", err)
 		}
-		for i, m := range magic {
+		for i, m := range magic[:len(magic)-1] {
 			if head[i] != m {
 				return Event{}, errors.New("trace: bad magic (not an event file)")
 			}
 		}
+		switch head[len(magic)-1] {
+		case 1, 2:
+			r.version = int(head[len(magic)-1])
+		default:
+			return Event{}, fmt.Errorf("trace: unsupported format version %d", head[len(magic)-1])
+		}
 		r.started = true
 	}
+	if r.footerSeen {
+		return Event{}, io.EOF
+	}
+	// Snapshot the digest before this record: the footer's checksum covers
+	// everything up to (not including) the footer itself.
+	preCRC := r.r.crc
 	kb, err := r.r.ReadByte()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
+			if r.version >= 2 {
+				return Event{}, ErrTruncated
+			}
 			return Event{}, io.EOF
 		}
 		return Event{}, err
+	}
+	if r.version >= 2 && kb == footerByte {
+		wantCount, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("%w: footer cut short", ErrTruncated)
+		}
+		wantCRC, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("%w: footer cut short", ErrTruncated)
+		}
+		if wantCount != r.count || uint32(wantCRC) != preCRC {
+			return Event{}, fmt.Errorf("%w: footer says %d events crc %#x, stream has %d events crc %#x",
+				ErrCorrupt, wantCount, uint32(wantCRC), r.count, preCRC)
+		}
+		r.footerSeen = true
+		return Event{}, io.EOF
 	}
 	var e Event
 	e.Kind = Kind(kb)
@@ -199,7 +309,7 @@ func (r *Reader) Next() (Event, error) {
 	for i := range fields {
 		v, err := binary.ReadUvarint(r.r)
 		if err != nil {
-			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+			return Event{}, r.trunc("event", err)
 		}
 		fields[i] = v
 	}
@@ -212,18 +322,19 @@ func (r *Reader) Next() (Event, error) {
 	e.Time = fields[6]
 	nameLen, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		return Event{}, r.trunc("event", err)
 	}
 	if nameLen > 0 {
 		if nameLen > 1<<20 {
 			return Event{}, fmt.Errorf("trace: implausible name length %d", nameLen)
 		}
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(r.r, name); err != nil {
-			return Event{}, fmt.Errorf("trace: truncated name: %w", err)
+		if err := r.r.readFull(name); err != nil {
+			return Event{}, r.trunc("name", err)
 		}
 		e.Name = string(name)
 	}
+	r.count++
 	return e, nil
 }
 

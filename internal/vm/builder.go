@@ -101,16 +101,6 @@ func (b *Builder) Build() (*Program, error) {
 	return p, nil
 }
 
-// MustBuild is Build that panics on error, for tests and generators whose
-// programs are statically known to be well-formed.
-func (b *Builder) MustBuild() *Program {
-	p, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // Label is an abstract jump target within one function. Create with
 // FuncBuilder.NewLabel, place with Bind, and reference from branch emitters
 // before or after binding.

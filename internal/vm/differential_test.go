@@ -153,5 +153,5 @@ func randomProgram(rng *rand.Rand) (*Program, *model) {
 		}
 	}
 	f.Halt()
-	return b.MustBuild(), mo
+	return mustBuild(b), mo
 }

@@ -111,7 +111,7 @@ func TestWriteListingLabels(t *testing.T) {
 	f.Blt(R1, R2, top)
 	f.Halt()
 	var sb strings.Builder
-	if err := b.MustBuild().WriteListing(&sb); err != nil {
+	if err := mustBuild(b).WriteListing(&sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "L0:") {

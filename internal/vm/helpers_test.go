@@ -1,0 +1,12 @@
+package vm
+
+// mustBuild keeps hand-assembled test programs terse now that Builder
+// returns errors instead of panicking; a panic here only ever reports a
+// typo in the test's own program.
+func mustBuild(b *Builder) *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

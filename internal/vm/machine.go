@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,13 @@ type Machine struct {
 
 	// MaxCallDepth aborts runaway recursion (0 means DefaultMaxCallDepth).
 	MaxCallDepth int
+
+	// StopCheck, when non-nil, is polled every StopCheckInterval retired
+	// instructions; a non-nil return aborts the run with that error while
+	// keeping the state collected so far (observers still see ProgramEnd).
+	// Callers use it to enforce resource budgets the machine itself does
+	// not know about.
+	StopCheck func() error
 
 	prog    *Program
 	obs     Observer
@@ -50,6 +58,26 @@ const (
 	DefaultMaxInstrs    = 2_000_000_000
 	DefaultMaxCallDepth = 1 << 14
 )
+
+// StopCheckInterval is the cancellation/budget polling cadence in retired
+// instructions: frequent enough that a cancelled run stops well inside
+// 100ms, rare enough to stay invisible in the dispatch loop.
+const StopCheckInterval = 1 << 14
+
+// CancelError reports a run stopped cooperatively because its context was
+// done. It wraps the context's error, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) both see through it.
+type CancelError struct {
+	Instrs uint64 // instructions retired when the run stopped
+	Cause  error  // the context's error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("vm: run cancelled after %d instructions: %v", e.Instrs, e.Cause)
+}
+
+// Unwrap exposes the context error.
+func (e *CancelError) Unwrap() error { return e.Cause }
 
 // NewMachine returns a machine with fresh memory and a deterministic RNG.
 func NewMachine() *Machine {
@@ -80,6 +108,16 @@ type RunStats struct {
 // Run executes the program to completion, driving obs (which may be nil for
 // an uninstrumented "native" run) with the primitive stream.
 func (m *Machine) Run(p *Program, obs Observer) (RunStats, error) {
+	return m.RunContext(context.Background(), p, obs)
+}
+
+// RunContext is Run with cooperative cancellation: the machine polls ctx
+// (and StopCheck, if set) every StopCheckInterval retired instructions and
+// stops with a *CancelError when the context is done. Observers still
+// receive ProgramEnd on early stops, so partially collected profiles stay
+// internally consistent, and the returned stats describe the work actually
+// performed.
+func (m *Machine) RunContext(ctx context.Context, p *Program, obs Observer) (RunStats, error) {
 	if err := p.Validate(); err != nil {
 		return RunStats{}, err
 	}
@@ -109,7 +147,7 @@ func (m *Machine) Run(p *Program, obs Observer) (RunStats, error) {
 		obs.ProgramStart(p, m)
 		obs.FnEnter(p.Entry)
 	}
-	err := m.loop(p, obs, maxInstrs, maxDepth)
+	err := m.loop(ctx, p, obs, maxInstrs, maxDepth)
 	if obs != nil {
 		obs.ProgramEnd()
 	}
@@ -125,7 +163,7 @@ func (m *Machine) Run(p *Program, obs Observer) (RunStats, error) {
 // errHalt signals normal termination from inside the dispatch loop.
 var errHalt = errors.New("halt")
 
-func (m *Machine) loop(p *Program, obs Observer, maxInstrs uint64, maxDepth int) error {
+func (m *Machine) loop(ctx context.Context, p *Program, obs Observer, maxInstrs uint64, maxDepth int) error {
 	fn := int32(p.Entry)
 	code := p.Funcs[fn].Code
 	pc := int32(0)
@@ -133,6 +171,9 @@ func (m *Machine) loop(p *Program, obs Observer, maxInstrs uint64, maxDepth int)
 	fault := func(format string, args ...any) error {
 		return fmt.Errorf("vm: %s+%d: %s", p.FuncName(int(fn)), pc, fmt.Sprintf(format, args...))
 	}
+
+	done := ctx.Done()
+	poll := done != nil || m.StopCheck != nil
 
 	for {
 		if int(pc) >= len(code) {
@@ -142,6 +183,18 @@ func (m *Machine) loop(p *Program, obs Observer, maxInstrs uint64, maxDepth int)
 		m.instret++
 		if m.instret > maxInstrs {
 			return fault("instruction budget of %d exhausted", maxInstrs)
+		}
+		if poll && m.instret&(StopCheckInterval-1) == 0 {
+			select {
+			case <-done:
+				return &CancelError{Instrs: m.instret, Cause: context.Cause(ctx)}
+			default:
+			}
+			if m.StopCheck != nil {
+				if err := m.StopCheck(); err != nil {
+					return err
+				}
+			}
 		}
 		nextPC := pc + 1
 

@@ -338,7 +338,7 @@ func TestSysRandDeterministic(t *testing.T) {
 		f.Mov(R1, R0)
 		f.Sys(SysRand)
 		f.Halt()
-		return b.MustBuild()
+		return mustBuild(b)
 	}
 	m1, m2 := NewMachine(), NewMachine()
 	if _, err := m1.Run(build(), nil); err != nil {
@@ -377,7 +377,7 @@ func TestDivideByZeroFaults(t *testing.T) {
 	f.Movi(R2, 0)
 	f.Div(R3, R1, R2)
 	f.Halt()
-	p := b.MustBuild()
+	p := mustBuild(b)
 	if _, err := NewMachine().Run(p, nil); err == nil {
 		t.Fatal("expected divide-by-zero fault")
 	}
@@ -388,7 +388,7 @@ func TestInstrBudgetFaults(t *testing.T) {
 	f := b.Func("main")
 	top := f.Here()
 	f.Br(top)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	m := NewMachine()
 	m.MaxInstrs = 1000
 	if _, err := m.Run(p, nil); err == nil {
@@ -404,7 +404,7 @@ func TestCallDepthFaults(t *testing.T) {
 	l := b.Func("loop")
 	l.Call("loop")
 	l.Ret()
-	p := b.MustBuild()
+	p := mustBuild(b)
 	m := NewMachine()
 	m.MaxCallDepth = 64
 	if _, err := m.Run(p, nil); err == nil {
@@ -610,7 +610,7 @@ func TestObserverStream(t *testing.T) {
 	rd := b.Func("reader")
 	rd.Load(R3, R1, 0, 4)
 	rd.Ret()
-	p := b.MustBuild()
+	p := mustBuild(b)
 
 	rec := &observerRecorder{}
 	if _, err := NewMachine().Run(p, rec); err != nil {
@@ -648,7 +648,7 @@ func TestObserverBranchStream(t *testing.T) {
 	f.Blt(R1, R2, top)
 	f.Halt()
 	rec := &observerRecorder{}
-	p := b.MustBuild()
+	p := mustBuild(b)
 	if _, err := NewMachine().Run(p, rec); err != nil {
 		t.Fatal(err)
 	}
@@ -681,7 +681,7 @@ func TestRegisterIsolationProperty(t *testing.T) {
 		}
 		cl.Ret()
 		m := NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			return false
 		}
 		for i, v := range vals {

@@ -198,7 +198,7 @@ func TestLibcFunctions(t *testing.T) {
 		main.Load(vm.R6, vm.R4, 27, 8)
 		main.Halt()
 		m := vm.NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			t.Fatal(err)
 		}
 		buf := make([]byte, 35)
@@ -223,7 +223,7 @@ func TestLibcFunctions(t *testing.T) {
 		main.Call("memchr")
 		main.Halt()
 		m := vm.NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			t.Fatal(err)
 		}
 		if m.Regs[vm.R10] != 4 {
@@ -244,7 +244,7 @@ func TestLibcFunctions(t *testing.T) {
 		main.Call("strtof")
 		main.Halt()
 		m := vm.NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			t.Fatal(err)
 		}
 		if got := m.FRegs[vm.F0]; got != 42.5 {
@@ -263,7 +263,7 @@ func TestLibcFunctions(t *testing.T) {
 		main.Call("adler32")
 		main.Halt()
 		m := vm.NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			t.Fatal(err)
 		}
 		if got := uint64(m.Regs[vm.R0]); got != 0x11E60398 {
@@ -294,7 +294,7 @@ func TestLibcFunctions(t *testing.T) {
 		main.Call("isnan")
 		main.Halt()
 		m := vm.NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			t.Fatal(err)
 		}
 		if m.Regs[vm.R10] != 1 {
@@ -323,7 +323,7 @@ func TestLibcFunctions(t *testing.T) {
 		main.Call("std::string::compare")
 		main.Halt()
 		m := vm.NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			t.Fatal(err)
 		}
 		if m.Regs[vm.R10] >= 0 {
@@ -344,7 +344,7 @@ func TestLibcFunctions(t *testing.T) {
 		main.Call("lrand48")
 		main.Halt()
 		m := vm.NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			t.Fatal(err)
 		}
 		if m.Regs[vm.R10] == m.Regs[vm.R0] {
@@ -373,7 +373,7 @@ func TestLibcFunctions(t *testing.T) {
 		main.Load(vm.R8, vm.R7, 0, 8)
 		main.Halt()
 		m := vm.NewMachine()
-		if _, err := m.Run(b.MustBuild(), nil); err != nil {
+		if _, err := m.Run(mustBuild(b), nil); err != nil {
 			t.Fatal(err)
 		}
 		if m.Regs[vm.R8] != 1<<12 {

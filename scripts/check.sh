@@ -1,0 +1,22 @@
+#!/bin/sh
+# Full pre-merge check: vet, build, race-enabled tests, and a short fuzz
+# smoke over both input parsers (event files and text profiles).
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-5s}"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz smoke ($FUZZTIME each)"
+go test -run '^$' -fuzz FuzzReader -fuzztime "$FUZZTIME" ./internal/trace
+go test -run '^$' -fuzz FuzzReadProfile -fuzztime "$FUZZTIME" ./internal/core
+
+echo "== all checks passed"
