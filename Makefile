@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check fuzz
+.PHONY: build test race check fuzz fmt bench
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+bench:
+	sh scripts/bench.sh
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $${FUZZTIME:-5s} ./internal/trace

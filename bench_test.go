@@ -16,6 +16,7 @@ import (
 	"sigil/internal/core"
 	"sigil/internal/dbi"
 	"sigil/internal/experiments"
+	"sigil/internal/telemetry"
 	"sigil/internal/trace"
 	"sigil/internal/workloads"
 )
@@ -217,6 +218,32 @@ func BenchmarkAblationShadowLimit(b *testing.B) {
 				sub := mustSub()
 				return dbi.Chain{sub, mustCore(sub, core.Options{MaxShadowChunks: limit})}
 			})
+		})
+	}
+}
+
+// BenchmarkAblationTelemetry measures the live-metrics sampler on top of
+// profiling: the full core.Run path with and without a Metrics block on
+// Options, so the per-poll sampleInto cost (and final-snapshot cost) is the
+// only difference. The acceptance bar is ≤3% on fft.
+func BenchmarkAblationTelemetry(b *testing.B) {
+	for _, sampled := range []bool{false, true} {
+		b.Run(fmt.Sprintf("telemetry=%v", sampled), func(b *testing.B) {
+			prog, input, err := workloads.Build("fft", workloads.SimSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{}
+				if sampled {
+					opts.Telemetry = &telemetry.Metrics{}
+				}
+				if _, err := core.Run(prog, opts, input); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

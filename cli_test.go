@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -129,6 +130,48 @@ func TestCLIReportAndExperiments(t *testing.T) {
 	}
 	if out := runCmd(t, expBin, "-only", "memlimit"); !strings.Contains(out, "relative error") {
 		t.Errorf("experiments memlimit malformed:\n%s", out)
+	}
+}
+
+// TestCLITelemetry drives the observability surface end to end: a profiled
+// run with -progress emits JSON heartbeats and phase spans on stderr, and
+// -telemetry-dump prints a final snapshot whose instruction count matches
+// the summary the profile itself reports.
+func TestCLITelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	sigilBin := buildCmd(t, dir, "sigil")
+
+	cmd := exec.Command(sigilBin, "-workload", "fft",
+		"-progress", "5ms", "-log-format", "json", "-telemetry-dump")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("telemetry run failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	logs := stderr.String()
+	if !strings.Contains(logs, `"msg":"heartbeat"`) || !strings.Contains(logs, `"instrs_per_sec"`) {
+		t.Errorf("no heartbeat on stderr:\n%s", logs)
+	}
+	for _, phase := range []string{`"name":"assemble"`, `"name":"run"`, `"name":"postprocess"`} {
+		if !strings.Contains(logs, phase) {
+			t.Errorf("missing phase span %s:\n%s", phase, logs)
+		}
+	}
+
+	// The dump's instruction count must equal the profile's own total.
+	out := stdout.String()
+	summary := regexp.MustCompile(`instructions: (\d+)`).FindStringSubmatch(out)
+	dump := regexp.MustCompile(`instrs (\d+)`).FindStringSubmatch(out)
+	if summary == nil || dump == nil {
+		t.Fatalf("summary/dump instruction lines not found:\n%s", out)
+	}
+	if summary[1] != dump[1] {
+		t.Errorf("telemetry dump instrs %s != profile instrs %s", dump[1], summary[1])
 	}
 }
 

@@ -7,35 +7,36 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
+	"sigil/internal/cli"
 	"sigil/internal/experiments"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: table1, fig4..fig13, table2, table3, chains")
+	only := flag.String("only", "", "run a single experiment: table1, fig4..fig13, table2, table3, telemetry, chains")
 	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
+	tel := cli.RegisterTelemetry(flag.CommandLine, "experiments")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context()
 	defer stop()
+	stopTel, err := tel.Start()
+	if err != nil {
+		cli.Fatal("experiments", err)
+	}
+	defer stopTel()
 
 	s := experiments.NewSuite()
 	s.TimingReps = *reps
 	s.Ctx = ctx
+	s.Telemetry = tel.Metrics()
 
 	fail := func(err error) {
-		if errors.Is(err, context.Canceled) {
-			os.Exit(130)
-		}
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 	run := func(name string, f func() (string, error)) {
 		if *only != "" && !strings.EqualFold(*only, name) {
@@ -80,6 +81,7 @@ func main() {
 	run("fig11", func() (string, error) { r, err := s.Figure11(); return render(r, err) })
 	run("fig12", func() (string, error) { r, err := s.Figure12(); return render(r, err) })
 	run("fig13", func() (string, error) { r, err := s.Figure13(); return render(r, err) })
+	run("telemetry", func() (string, error) { r, err := s.RunTelemetry(); return render(r, err) })
 	run("schedule", func() (string, error) {
 		r, err := s.ScheduleCurve([]int{2, 4, 8, 16})
 		return render(r, err)

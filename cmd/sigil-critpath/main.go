@@ -14,13 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
+	"sigil/internal/cli"
 	"sigil/internal/core"
 	"sigil/internal/critpath"
+	"sigil/internal/telemetry"
 	"sigil/internal/trace"
 	"sigil/internal/workloads"
 )
@@ -34,12 +34,18 @@ func main() {
 		slots    = flag.String("slots", "", "comma-separated slot counts to schedule onto (e.g. 2,4,8)")
 		salvage  = flag.Bool("salvage", false, "recover the valid prefix of a truncated/corrupt event file")
 	)
+	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-critpath")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context()
 	defer stop()
+	stopTel, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTel()
 
-	tr, err := loadTrace(ctx, *evtFile, *workload, *class, *salvage)
+	tr, err := loadTrace(ctx, *evtFile, *workload, *class, *salvage, tel.Metrics())
 	if err != nil {
 		fatal(err)
 	}
@@ -79,7 +85,7 @@ func main() {
 	}
 }
 
-func loadTrace(ctx context.Context, evtFile, workload, class string, salvage bool) (*trace.Trace, error) {
+func loadTrace(ctx context.Context, evtFile, workload, class string, salvage bool, m *telemetry.Metrics) (*trace.Trace, error) {
 	switch {
 	case evtFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -events or -workload")
@@ -112,7 +118,7 @@ func loadTrace(ctx context.Context, evtFile, workload, class string, salvage boo
 			return nil, err
 		}
 		var buf trace.Buffer
-		if _, err := core.RunContext(ctx, prog, core.Options{Events: &buf}, input); err != nil {
+		if _, err := core.RunContext(ctx, prog, core.Options{Events: &buf, Telemetry: m}, input); err != nil {
 			return nil, err
 		}
 		return trace.FromBuffer(&buf), nil
@@ -122,9 +128,5 @@ func loadTrace(ctx context.Context, evtFile, workload, class string, salvage boo
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sigil-critpath:", err)
-	if errors.Is(err, context.Canceled) {
-		os.Exit(130)
-	}
-	os.Exit(1)
+	cli.Fatal("sigil-critpath", err)
 }

@@ -11,18 +11,17 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"sigil/internal/cdfg"
+	"sigil/internal/cli"
 	"sigil/internal/core"
 	"sigil/internal/safeio"
+	"sigil/internal/telemetry"
 	"sigil/internal/workloads"
 )
 
@@ -38,12 +37,18 @@ func main() {
 		offload  = flag.Float64("offload", 0, "estimate app speedup assuming this accelerator speedup (0 = skip)")
 		accels   = flag.Int("accelerators", 0, "accelerator budget for -offload (0 = unlimited)")
 	)
+	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-part")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context()
 	defer stop()
+	stopTel, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTel()
 
-	res, err := loadResult(ctx, *profFile, *workload, *class)
+	res, err := loadResult(ctx, *profFile, *workload, *class, tel.Metrics())
 	if err != nil {
 		fatal(err)
 	}
@@ -99,7 +104,7 @@ func printCands(cands []cdfg.Candidate) {
 	}
 }
 
-func loadResult(ctx context.Context, profFile, workload, class string) (*core.Result, error) {
+func loadResult(ctx context.Context, profFile, workload, class string, m *telemetry.Metrics) (*core.Result, error) {
 	switch {
 	case profFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -profile or -workload")
@@ -119,7 +124,7 @@ func loadResult(ctx context.Context, profFile, workload, class string) (*core.Re
 		if err != nil {
 			return nil, err
 		}
-		return core.RunContext(ctx, prog, core.Options{}, input)
+		return core.RunContext(ctx, prog, core.Options{Telemetry: m}, input)
 	default:
 		return nil, fmt.Errorf("need -profile or -workload")
 	}
@@ -133,9 +138,5 @@ func clip(s string, n int) string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sigil-part:", err)
-	if errors.Is(err, context.Canceled) {
-		os.Exit(130)
-	}
-	os.Exit(1)
+	cli.Fatal("sigil-part", err)
 }

@@ -8,18 +8,15 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"sigil/internal/cdfg"
+	"sigil/internal/cli"
 	"sigil/internal/core"
 	"sigil/internal/report"
 	"sigil/internal/safeio"
@@ -36,6 +33,7 @@ func main() {
 		slotsArg = flag.String("slots", "2,4,8", "slot counts for the scheduling study")
 		top      = flag.Int("top", 12, "rows per table")
 	)
+	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-report")
 	flag.Parse()
 	if *workload == "" {
 		fatal(fmt.Errorf("need -workload (see `sigil -list`)"))
@@ -49,18 +47,23 @@ func main() {
 		fatal(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context()
 	defer stop()
+	stopTel, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTel()
 
 	// One run collects aggregates + events; a second collects reuse. A
 	// report needs both complete, so an interrupt aborts rather than
 	// rendering from half the data.
 	var buf trace.Buffer
-	res, err := core.RunContext(ctx, prog, core.Options{TrackReuse: true}, input)
+	res, err := core.RunContext(ctx, prog, core.Options{TrackReuse: true, Telemetry: tel.Metrics()}, input)
 	if err != nil {
 		fatal(err)
 	}
-	if _, err := core.RunContext(ctx, prog, core.Options{Events: &buf}, input); err != nil {
+	if _, err := core.RunContext(ctx, prog, core.Options{Events: &buf, Telemetry: tel.Metrics()}, input); err != nil {
 		fatal(err)
 	}
 	tr := trace.FromBuffer(&buf)
@@ -97,9 +100,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sigil-report:", err)
-	if errors.Is(err, context.Canceled) {
-		os.Exit(130)
-	}
-	os.Exit(1)
+	cli.Fatal("sigil-report", err)
 }

@@ -12,16 +12,15 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
+	"sigil/internal/cli"
 	"sigil/internal/core"
 	"sigil/internal/reuse"
+	"sigil/internal/telemetry"
 	"sigil/internal/workloads"
 )
 
@@ -34,12 +33,18 @@ func main() {
 		top      = flag.Int("top", 10, "functions to rank by reused bytes")
 		lineMode = flag.Bool("line", false, "collect line-granularity re-use (with -workload)")
 	)
+	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-reuse")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context()
 	defer stop()
+	stopTel, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTel()
 
-	res, err := loadResult(ctx, *profFile, *workload, *class, *lineMode)
+	res, err := loadResult(ctx, *profFile, *workload, *class, *lineMode, tel.Metrics())
 	if err != nil {
 		fatal(err)
 	}
@@ -90,7 +95,7 @@ func main() {
 	}
 }
 
-func loadResult(ctx context.Context, profFile, workload, class string, lineMode bool) (*core.Result, error) {
+func loadResult(ctx context.Context, profFile, workload, class string, lineMode bool, m *telemetry.Metrics) (*core.Result, error) {
 	switch {
 	case profFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -profile or -workload")
@@ -110,16 +115,12 @@ func loadResult(ctx context.Context, profFile, workload, class string, lineMode 
 		if err != nil {
 			return nil, err
 		}
-		return core.RunContext(ctx, prog, core.Options{TrackReuse: !lineMode, LineGranularity: lineMode}, input)
+		return core.RunContext(ctx, prog, core.Options{TrackReuse: !lineMode, LineGranularity: lineMode, Telemetry: m}, input)
 	default:
 		return nil, fmt.Errorf("need -profile or -workload")
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sigil-reuse:", err)
-	if errors.Is(err, context.Canceled) {
-		os.Exit(130)
-	}
-	os.Exit(1)
+	cli.Fatal("sigil-reuse", err)
 }

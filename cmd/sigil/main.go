@@ -9,10 +9,16 @@
 // profile and exit 0. All output files are written atomically, so an
 // interrupted invocation leaves either no file or a complete one.
 //
+// Long runs are observable: -progress logs periodic heartbeats
+// (instructions/sec, shadow growth, remaining budget), -telemetry-addr
+// serves live Prometheus metrics, expvar, and pprof over HTTP, and
+// -log-format switches the run log between text and JSON.
+//
 // Usage:
 //
 //	sigil -workload dedup [-class simsmall] [-reuse] [-line] [-o out.profile] [-events out.evt]
 //	sigil -asm prog.sasm [-input data.bin] [-timeout 30s] [-maxinstrs 1000000]
+//	sigil -workload fft -progress 1s -telemetry-addr :8080
 package main
 
 import (
@@ -22,11 +28,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 
 	"sigil/internal/callgrind"
+	"sigil/internal/cli"
 	"sigil/internal/core"
 	"sigil/internal/safeio"
 	"sigil/internal/trace"
@@ -58,7 +63,9 @@ func run() int {
 		prefetch = flag.Bool("prefetch", false, "enable the substrate's next-line prefetcher")
 		top      = flag.Int("top", 15, "functions to print, by unique input bytes")
 		list     = flag.Bool("list", false, "list bundled workloads and exit")
+		telSnap  = flag.Bool("telemetry-dump", false, "print the final telemetry snapshot after the run")
 	)
+	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil")
 	flag.Parse()
 
 	if *list {
@@ -69,7 +76,15 @@ func run() int {
 		return 0
 	}
 
+	stopTel, err := tel.Start()
+	if err != nil {
+		return fail(err)
+	}
+	defer stopTel()
+
+	assemble := tel.StartSpan("assemble")
 	prog, input, err := loadProgram(*workload, *class, *asmFile, *inFile)
+	assemble.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -86,6 +101,7 @@ func run() int {
 			Gshare:   *gshare,
 			Prefetch: *prefetch,
 		},
+		Telemetry: tel.Metrics(),
 	}
 	var sink *trace.FileSink
 	if *outEvt != "" {
@@ -97,10 +113,12 @@ func run() int {
 		opts.Events = sink
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context()
 	defer stop()
 
+	runSpan := tel.StartSpan("run")
 	res, runErr := core.RunContext(ctx, prog, opts, input)
+	runSpan.End()
 	exit := 0
 	if runErr != nil {
 		if res == nil {
@@ -122,6 +140,7 @@ func run() int {
 			exit = 1
 		}
 	}
+	write := tel.StartSpan("write")
 	if sink != nil {
 		if err := sink.Commit(); err != nil {
 			return fail(err)
@@ -143,8 +162,14 @@ func run() int {
 		}
 		fmt.Printf("callgrind-format profile written to %s\n", *outCg)
 	}
+	write.End()
 
+	post := tel.StartSpan("postprocess")
 	printSummary(res, *top)
+	post.End()
+	if *telSnap && res.Telemetry != nil {
+		fmt.Printf("\ntelemetry snapshot:\n%s", res.Telemetry.Text())
+	}
 	return exit
 }
 

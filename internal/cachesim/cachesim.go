@@ -164,6 +164,28 @@ func NewHierarchy(l1, ll Config) (*Hierarchy, error) {
 // Prefetches reports how many next-line fills the prefetcher issued.
 func (h *Hierarchy) Prefetches() uint64 { return h.prefetches }
 
+// Stats is a point-in-time view of the hierarchy's global counters, read
+// by the telemetry sampler while the simulation runs. Accesses counts
+// line-level L1 lookups (an unaligned access touching two lines counts
+// twice, matching the simulation).
+type Stats struct {
+	Accesses   uint64 // L1 lookups
+	L1Misses   uint64 // lookups that missed L1
+	LLMisses   uint64 // lookups that also missed the last level
+	Prefetches uint64 // next-line fills issued
+}
+
+// Stats returns the current counters. Only the run goroutine may call it;
+// readers elsewhere consume the sampler's atomic copies.
+func (h *Hierarchy) Stats() Stats {
+	return Stats{
+		Accesses:   h.L1.Accesses(),
+		L1Misses:   h.L1.Misses(),
+		LLMisses:   h.LL.Misses(),
+		Prefetches: h.prefetches,
+	}
+}
+
 // DefaultHierarchy uses the default L1/LL geometries, which are statically
 // valid.
 func DefaultHierarchy() *Hierarchy {

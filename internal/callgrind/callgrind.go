@@ -337,6 +337,38 @@ func (t *Tool) Now() uint64 {
 // Program returns the program under instrumentation.
 func (t *Tool) Program() *vm.Program { return t.prog }
 
+// Live is a point-in-time view of the substrate's counters, the raw
+// material of the telemetry sampler. Unlike Profile it is valid mid-run
+// and costs only a handful of loads.
+type Live struct {
+	Instrs      uint64 // retired instructions so far
+	CallDepth   int    // live machine call-stack depth
+	Contexts    int    // calling contexts materialized
+	HeapBytes   uint64 // program heap bytes bump-allocated
+	MemPages    int    // program memory pages materialized
+	Cache       cachesim.Stats
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// Live returns the current counters. Only the run goroutine may call it
+// (the same constraint as every other mid-run query on the tool).
+func (t *Tool) Live() Live {
+	l := Live{
+		Contexts:    len(t.nodes),
+		Cache:       t.caches.Stats(),
+		Branches:    t.bp.Branches(),
+		Mispredicts: t.bp.Mispredicts(),
+	}
+	if t.mach != nil {
+		l.Instrs = t.mach.InstrCount()
+		l.CallDepth = t.mach.CallDepth()
+		l.HeapBytes = t.mach.HeapUsed()
+		l.MemPages = t.mach.Mem.PagesAllocated()
+	}
+	return l
+}
+
 // Profile returns the completed profile. Call after the run ends.
 func (t *Tool) Profile() *Profile {
 	return &Profile{

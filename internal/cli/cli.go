@@ -1,0 +1,165 @@
+// Package cli factors the plumbing every sigil command shares: one
+// signal-cancellation path, one exit-code convention, and the telemetry
+// flag set (live endpoints, progress heartbeats, structured run logs)
+// registered the same way by every tool.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sigil/internal/telemetry"
+)
+
+// Context returns a context cancelled on SIGINT or SIGTERM — the one
+// cooperative-shutdown path all tools run under. The CancelFunc restores
+// default signal handling, so a second signal kills the process outright.
+func Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitCode maps an error to the tools' shared exit convention: 0 for
+// success, 130 for an interrupted run (the shell convention for SIGINT),
+// 1 for everything else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled):
+		return 130
+	default:
+		return 1
+	}
+}
+
+// Fatal prints err prefixed with the tool name and exits with the
+// conventional code. It never returns.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	if code := ExitCode(err); code != 0 {
+		os.Exit(code)
+	}
+	os.Exit(1)
+}
+
+// Telemetry bundles the observation flags every tool registers: the live
+// HTTP endpoint, the progress heartbeat, and the structured-log format.
+// Zero flags set means zero cost — Metrics returns nil and the run's
+// sampler stays off the interpreter's poll path.
+type Telemetry struct {
+	Addr      string        // -telemetry-addr
+	Progress  time.Duration // -progress
+	LogFormat string        // -log-format
+
+	tool    string
+	log     *slog.Logger
+	metrics telemetry.Metrics
+	srv     *telemetry.Server
+}
+
+// RegisterTelemetry registers the shared telemetry flags on fs and returns
+// the handle the tool later Starts. tool names the command in log records.
+func RegisterTelemetry(fs *flag.FlagSet, tool string) *Telemetry {
+	t := &Telemetry{tool: tool}
+	fs.StringVar(&t.Addr, "telemetry-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080, or :0 for a free port)")
+	fs.DurationVar(&t.Progress, "progress", 0,
+		"log a progress heartbeat at this interval (0 = off)")
+	fs.StringVar(&t.LogFormat, "log-format", "text",
+		"run log format: text or json")
+	return t
+}
+
+// Enabled reports whether any live-telemetry flag was set.
+func (t *Telemetry) Enabled() bool { return t.Addr != "" || t.Progress > 0 }
+
+// Metrics returns the live counter block to hand to core.Options.Telemetry,
+// or nil when no telemetry was requested — the sampler then never runs.
+func (t *Telemetry) Metrics() *telemetry.Metrics {
+	if !t.Enabled() {
+		return nil
+	}
+	return &t.metrics
+}
+
+// Logger returns the tool's structured run logger (stderr, -log-format).
+// Phase spans and heartbeats log at Info, which is only emitted when a
+// telemetry flag was set; otherwise the level is Warn so tools stay quiet
+// by default.
+func (t *Telemetry) Logger() (*slog.Logger, error) {
+	if t.log != nil {
+		return t.log, nil
+	}
+	level := slog.LevelWarn
+	if t.Enabled() {
+		level = slog.LevelInfo
+	}
+	log, err := telemetry.NewLogger(os.Stderr, t.LogFormat, level)
+	if err != nil {
+		return nil, err
+	}
+	t.log = log.With(slog.String("tool", t.tool))
+	return t.log, nil
+}
+
+// StartSpan opens a phase span on the tool logger, attached to the live
+// metrics when telemetry is enabled. Call after Start (or Logger) has
+// validated the log format.
+func (t *Telemetry) StartSpan(name string) *telemetry.Span {
+	log, err := t.Logger()
+	if err != nil {
+		// An invalid -log-format is reported by Start; a span opened
+		// anyway still measures, it just logs in the default format.
+		log, _ = telemetry.NewLogger(os.Stderr, "text", slog.LevelWarn)
+	}
+	return telemetry.StartSpan(log, t.Metrics(), name)
+}
+
+// ServerAddr returns the address the telemetry endpoint is bound to, or
+// "" before Start / when no endpoint was requested. Useful with
+// -telemetry-addr :0, where the kernel picks the port.
+func (t *Telemetry) ServerAddr() string {
+	if t.srv == nil {
+		return ""
+	}
+	return t.srv.Addr()
+}
+
+// Start brings up whatever the flags requested — the HTTP endpoint and the
+// heartbeat — and returns the function that tears them down (the heartbeat
+// emits a final beat first). With no telemetry flags set it validates the
+// log format and returns a no-op.
+func (t *Telemetry) Start() (stop func(), err error) {
+	log, err := t.Logger()
+	if err != nil {
+		return nil, err
+	}
+	var srv *telemetry.Server
+	if t.Addr != "" {
+		srv, err = telemetry.Serve(t.Addr, &t.metrics)
+		if err != nil {
+			return nil, err
+		}
+		t.srv = srv
+		log.Info("telemetry listening", slog.String("addr", srv.Addr()))
+	}
+	var hb *telemetry.Heartbeat
+	if t.Progress > 0 {
+		hb = telemetry.StartHeartbeat(log, &t.metrics, t.Progress)
+	}
+	return func() {
+		if hb != nil {
+			hb.Stop()
+		}
+		if srv != nil {
+			_ = srv.Close()
+		}
+	}, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"sigil/internal/callgrind"
 	"sigil/internal/dbi"
+	"sigil/internal/telemetry"
 	"sigil/internal/trace"
 	"sigil/internal/vm"
 )
@@ -49,6 +50,13 @@ type Result struct {
 	// Wall is the instrumented run's wall-clock duration; Native runs of
 	// the same program are measured separately for slowdown figures.
 	Wall time.Duration
+
+	// Telemetry is the run's final telemetry snapshot — the same
+	// counters the live endpoints serve, frozen at end of run, so the
+	// profiler's own cost (shadow footprint, sim work, event volume) is
+	// a first-class output. Populated by Run/RunContext; nil for results
+	// reloaded from profile files.
+	Telemetry *telemetry.Snapshot
 }
 
 // freeze assembles the Result after ProgramEnd.
@@ -193,16 +201,41 @@ func RunContext(ctx context.Context, p *vm.Program, opts Options, input []byte) 
 			res, _ = tool.Result()
 			if res != nil {
 				res.Wall = time.Since(start)
+				// Best-effort final snapshot: the sampler walks the
+				// same structures that just panicked, so a second
+				// failure leaves Telemetry nil rather than masking
+				// the original panic.
+				func() {
+					defer func() { _ = recover() }()
+					res.Telemetry = finalSnapshot(tool, opts, start, res.Wall)
+				}()
 			}
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 
+	if opts.Telemetry != nil {
+		opts.Telemetry.BeginRun(start, opts.MaxInstrs, opts.MaxWall)
+	}
 	stop := budgetCheck(opts, tool, start)
+	if tel := opts.Telemetry; tel != nil {
+		// Piggyback sampling on the machine's poll point: the hot loop
+		// already branches here every vm.StopCheckInterval instructions,
+		// so live metrics cost one extra call per poll, not per event.
+		inner := stop
+		stop = func() error {
+			tool.sampleInto(tel)
+			if inner != nil {
+				return inner()
+			}
+			return nil
+		}
+	}
 	run, runErr := dbi.RunContext(ctx, p, dbi.Chain{sub, tool}, input, stop)
 	out, resErr := tool.Result()
 	if out != nil {
 		out.Wall = run.Duration
+		out.Telemetry = finalSnapshot(tool, opts, start, run.Duration)
 	}
 	if runErr != nil {
 		// Early stop or fault: hand back the partial result with the

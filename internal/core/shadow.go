@@ -213,8 +213,14 @@ type ShadowStats struct {
 	GranuleBytes    uint64 // data bytes covered per granule (1 or line size)
 }
 
+// bytesPerChunk reports the shadow cost of one resident chunk, shared by
+// end-of-run stats and the live telemetry sampler.
+func (t *shadowTable) bytesPerChunk() uint64 {
+	return uint64(chunkGranules) * shadowBytesPerGranule(t.reuse)
+}
+
 func (t *shadowTable) stats(granuleBytes uint64) ShadowStats {
-	perChunk := uint64(chunkGranules) * shadowBytesPerGranule(t.reuse)
+	perChunk := t.bytesPerChunk()
 	return ShadowStats{
 		ChunksAllocated: t.allocated,
 		ChunksLive:      uint64(len(t.chunks)),

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sigil/internal/callgrind"
+	"sigil/internal/telemetry"
 	"sigil/internal/trace"
 	"sigil/internal/vm"
 )
@@ -56,6 +57,14 @@ type Options struct {
 	// (cache geometry, branch predictor, prefetcher). Ignored when the
 	// caller assembles its own tool chain via New.
 	Substrate callgrind.Options
+
+	// Telemetry, when non-nil, receives live run metrics: the tool
+	// samples its counters into it at the machine's existing
+	// 16K-instruction poll point, so heartbeats and the -telemetry-addr
+	// endpoints can watch the run from other goroutines. The final
+	// snapshot always lands on Result.Telemetry whether or not this is
+	// set.
+	Telemetry *telemetry.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -113,9 +122,10 @@ type Tool struct {
 
 	lines *LineReport
 
-	stack  []segFrame
-	events trace.Sink
-	evErr  error
+	stack   []segFrame
+	events  trace.Sink
+	evErr   error
+	emitted uint64 // events accepted by the sink, for telemetry sampling
 	// defined tracks which contexts have had a KindDefCtx emitted.
 	defined []bool
 
@@ -571,7 +581,9 @@ func (t *Tool) emit(e trace.Event) {
 	}
 	if err := t.events.Emit(e); err != nil {
 		t.evErr = err
+		return
 	}
+	t.emitted++
 }
 
 // EventError returns the first event-sink error, if any (profiling continues

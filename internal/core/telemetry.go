@@ -1,0 +1,70 @@
+package core
+
+import (
+	"time"
+
+	"sigil/internal/telemetry"
+)
+
+// sampleInto publishes the tool's live counters into m with atomic stores.
+// It is called from the machine's StopCheck poll point (every
+// vm.StopCheckInterval retired instructions) and once more after the run
+// ends, always on the run goroutine — the single-writer side of the
+// telemetry contract. Readers (heartbeat, /metrics, expvar) never touch
+// the tool; they load the atomics.
+//
+// Cost: a pass over the per-context aggregates plus ~30 atomic stores,
+// every 16K instructions — far below the per-instruction instrumentation
+// work the poll interval already amortizes.
+func (t *Tool) sampleInto(m *telemetry.Metrics) {
+	var c CommStats
+	for i := range t.comm {
+		c.Add(t.comm[i])
+	}
+	m.InputUniqueBytes.Store(c.InputUnique)
+	m.InputNonUniqueBytes.Store(c.InputNonUnique)
+	m.OutputUniqueBytes.Store(c.OutputUnique)
+	m.OutputNonUniqueBytes.Store(c.OutputNonUnique)
+	m.LocalUniqueBytes.Store(c.LocalUnique)
+	m.LocalNonUniqueBytes.Store(c.LocalNonUnique)
+
+	live := t.sub.Live()
+	m.Instrs.Store(live.Instrs)
+	m.CallDepth.Store(uint64(live.CallDepth))
+	m.Contexts.Store(uint64(live.Contexts))
+	m.HeapBytes.Store(live.HeapBytes)
+	m.MemPages.Store(uint64(live.MemPages))
+	m.CacheAccesses.Store(live.Cache.Accesses)
+	m.CacheL1Misses.Store(live.Cache.L1Misses)
+	m.CacheLLMisses.Store(live.Cache.LLMisses)
+	m.CachePrefetches.Store(live.Cache.Prefetches)
+	m.Branches.Store(live.Branches)
+	m.BranchMispredicts.Store(live.Mispredicts)
+
+	perChunk := t.shadow.bytesPerChunk()
+	m.ShadowChunksAllocated.Store(t.shadow.allocated)
+	m.ShadowChunksLive.Store(uint64(len(t.shadow.chunks)))
+	m.ShadowChunksEvicted.Store(t.shadow.evicted)
+	m.ShadowChunksPeak.Store(uint64(t.shadow.peakLive))
+	m.ShadowBytesResident.Store(uint64(len(t.shadow.chunks)) * perChunk)
+	m.ShadowBytesPeak.Store(uint64(t.shadow.peakLive) * perChunk)
+
+	m.EventsEmitted.Store(t.emitted)
+	m.Samples.Add(1)
+}
+
+// finalSnapshot takes the end-of-run sample and freezes it for the Result.
+// When the caller supplied live Metrics the final sample lands there too,
+// so /metrics keeps serving the finished run's totals; otherwise a private
+// Metrics is used so Result.Telemetry is populated either way.
+func finalSnapshot(tool *Tool, opts Options, start time.Time, wall time.Duration) *telemetry.Snapshot {
+	m := opts.Telemetry
+	if m == nil {
+		m = &telemetry.Metrics{}
+		m.BeginRun(start, opts.MaxInstrs, opts.MaxWall)
+	}
+	tool.sampleInto(m)
+	snap := m.Snapshot()
+	snap.WallNanos = int64(wall)
+	return &snap
+}

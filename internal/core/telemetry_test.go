@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"sigil/internal/telemetry"
+	"sigil/internal/trace"
+)
+
+// TestFinalSnapshotMatchesResult reconciles the telemetry counters against
+// the Result's own aggregates: the snapshot is a live view of the same
+// run, so at end of run the two accountings must agree exactly.
+func TestFinalSnapshotMatchesResult(t *testing.T) {
+	var buf trace.Buffer
+	m := &telemetry.Metrics{}
+	res, err := Run(producerConsumer(t, 64, 3), Options{Telemetry: m, Events: &buf}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Telemetry
+	if snap == nil {
+		t.Fatal("Result.Telemetry not populated")
+	}
+
+	if snap.Instrs != res.Profile.TotalInstrs {
+		t.Errorf("Instrs = %d, Profile.TotalInstrs = %d", snap.Instrs, res.Profile.TotalInstrs)
+	}
+	if snap.EventsEmitted != uint64(len(buf.Events)) {
+		t.Errorf("EventsEmitted = %d, buffer holds %d", snap.EventsEmitted, len(buf.Events))
+	}
+	if snap.Contexts != uint64(len(res.Profile.Nodes)) {
+		t.Errorf("Contexts = %d, profile has %d", snap.Contexts, len(res.Profile.Nodes))
+	}
+
+	total := res.TotalCommunicated()
+	if snap.InputUniqueBytes != total.InputUnique ||
+		snap.InputNonUniqueBytes != total.InputNonUnique ||
+		snap.OutputUniqueBytes != total.OutputUnique ||
+		snap.OutputNonUniqueBytes != total.OutputNonUnique ||
+		snap.LocalUniqueBytes != total.LocalUnique ||
+		snap.LocalNonUniqueBytes != total.LocalNonUnique {
+		t.Errorf("comm axes diverge: snapshot %+v, result %+v", snap, total)
+	}
+
+	sh := res.Shadow
+	if snap.ShadowChunksAllocated != sh.ChunksAllocated ||
+		snap.ShadowChunksLive != sh.ChunksLive ||
+		snap.ShadowChunksEvicted != sh.ChunksEvicted ||
+		snap.ShadowChunksPeak != sh.PeakLiveChunks {
+		t.Errorf("shadow chunks diverge: snapshot %+v, result %+v", snap, sh)
+	}
+	if snap.ShadowBytesPeak != sh.PeakBytes {
+		t.Errorf("ShadowBytesPeak = %d, result %d", snap.ShadowBytesPeak, sh.PeakBytes)
+	}
+	if snap.ShadowBytesResident != sh.ChunksLive*sh.BytesPerChunk {
+		t.Errorf("ShadowBytesResident = %d, want %d", snap.ShadowBytesResident, sh.ChunksLive*sh.BytesPerChunk)
+	}
+
+	if snap.WallNanos != int64(res.Wall) {
+		t.Errorf("WallNanos = %d, res.Wall = %d", snap.WallNanos, res.Wall)
+	}
+	if snap.Samples == 0 {
+		t.Error("no sampler invocations recorded")
+	}
+	// The caller's live block saw the same final sample.
+	if live := m.Snapshot(); live.Instrs != snap.Instrs {
+		t.Errorf("live metrics (%d instrs) diverge from snapshot (%d)", live.Instrs, snap.Instrs)
+	}
+}
+
+// TestSnapshotWithoutMetrics: Result.Telemetry is populated even when the
+// caller supplied no live Metrics block (the sampler then only runs once,
+// at end of run).
+func TestSnapshotWithoutMetrics(t *testing.T) {
+	res, err := Run(producerConsumer(t, 16, 1), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("Result.Telemetry nil without Options.Telemetry")
+	}
+	if res.Telemetry.Instrs != res.Profile.TotalInstrs {
+		t.Errorf("Instrs = %d, want %d", res.Telemetry.Instrs, res.Profile.TotalInstrs)
+	}
+}
+
+// TestSnapshotCarriesBudgets: budget framing flows into the snapshot so
+// heartbeats and endpoints can report remaining headroom.
+func TestSnapshotCarriesBudgets(t *testing.T) {
+	res, err := Run(producerConsumer(t, 16, 1), Options{MaxInstrs: 1 << 30, MaxWall: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry.BudgetInstrs != 1<<30 {
+		t.Errorf("BudgetInstrs = %d", res.Telemetry.BudgetInstrs)
+	}
+	if res.Telemetry.BudgetWallNanos != int64(time.Hour) {
+		t.Errorf("BudgetWallNanos = %d", res.Telemetry.BudgetWallNanos)
+	}
+}
+
+// TestConcurrentSnapshotReaders exercises the single-writer/multi-reader
+// contract under the race detector: readers snapshot continuously while
+// the sampler publishes from the run goroutine, and the run is cancelled
+// mid-flight like a real interrupted profile. Fields are independent
+// atomics, so readers only check per-field monotonicity, not cross-field
+// invariants.
+func TestConcurrentSnapshotReaders(t *testing.T) {
+	m := &telemetry.Metrics{}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastInstrs uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					s := m.Snapshot()
+					if s.Instrs < lastInstrs {
+						t.Errorf("instruction counter went backwards: %d -> %d", lastInstrs, s.Instrs)
+						return
+					}
+					lastInstrs = s.Instrs
+				}
+			}
+		}()
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+
+	// Large enough to outlive the cancel timer at instrumented speed.
+	res, err := RunContext(ctx, producerConsumer(t, 4096, 10000), Options{Telemetry: m}, nil)
+	close(done)
+	wg.Wait()
+	if err == nil {
+		t.Skip("run finished before cancellation; nothing to assert")
+	}
+	if res == nil {
+		t.Fatal("cancelled run salvaged no result")
+	}
+	if res.Telemetry == nil {
+		t.Error("cancelled run has no telemetry snapshot")
+	}
+}

@@ -322,6 +322,7 @@ func (s *Suite) RenderAll() (string, error) {
 		func() (interface{ Render() string }, error) { return s.Figure11() },
 		func() (interface{ Render() string }, error) { return s.Figure12() },
 		func() (interface{ Render() string }, error) { return s.Figure13() },
+		func() (interface{ Render() string }, error) { return s.RunTelemetry() },
 	}
 	for _, step := range steps {
 		r, err := step()

@@ -57,6 +57,8 @@ func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
+func u(v uint64) string { return fmt.Sprintf("%d", v) }
+
 func mib(bytes uint64) string {
 	return fmt.Sprintf("%.1f MiB", float64(bytes)/(1<<20))
 }

@@ -14,6 +14,7 @@ import (
 	"sigil/internal/callgrind"
 	"sigil/internal/core"
 	"sigil/internal/dbi"
+	"sigil/internal/telemetry"
 	"sigil/internal/trace"
 	"sigil/internal/workloads"
 )
@@ -85,6 +86,11 @@ type Suite struct {
 	// Ctx, when non-nil, cancels the suite's profiling runs cooperatively
 	// (cmd/experiments wires it to SIGINT/SIGTERM).
 	Ctx context.Context
+
+	// Telemetry, when non-nil, receives live counters from every profiling
+	// run the suite performs, so a long suite invocation is observable via
+	// heartbeats and the HTTP endpoint like any single-run tool.
+	Telemetry *telemetry.Metrics
 }
 
 func (s *Suite) ctx() context.Context {
@@ -116,6 +122,7 @@ func (s *Suite) coreOptions(name string, mode Mode) core.Options {
 	if name == "dedup" && s.DedupShadowLimit > 0 {
 		opts.MaxShadowChunks = s.DedupShadowLimit
 	}
+	opts.Telemetry = s.Telemetry
 	return opts
 }
 

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarMetrics is the Metrics block the process-wide expvar export reads.
+// expvar's registry is append-only, so the "sigil" var is published once
+// and indirects through this pointer; re-serving (e.g. one run per
+// invocation in tests) just swaps the pointer.
+var (
+	expvarMetrics atomic.Pointer[Metrics]
+	expvarOnce    sync.Once
+)
+
+func publishExpvar(m *Metrics) {
+	expvarMetrics.Store(m)
+	expvarOnce.Do(func() {
+		expvar.Publish("sigil", expvar.Func(func() any {
+			if cur := expvarMetrics.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Server is the optional live-observation endpoint behind -telemetry-addr:
+// it serves the current metrics in Prometheus text format on /metrics,
+// the expvar JSON dump on /debug/vars, and the standard net/http/pprof
+// profiling handlers — the runtime half of observing a profiler that is
+// itself the subject of the paper's overhead study.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks a free port) and starts serving m in the
+// background. The caller owns shutdown via Close.
+func Serve(addr string, m *Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	publishExpvar(m)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "sigil telemetry\n\n/metrics\t\tPrometheus text format\n/metrics.json\tsnapshot as JSON\n/debug/vars\texpvar\n/debug/pprof/\truntime profiles\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := m.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"syscall"
+	"time"
+)
+
+// NewLogger builds the run logger behind the -log-format flag: "text"
+// (default) or "json", both via log/slog so phase spans and heartbeats
+// carry structured fields either way.
+func NewLogger(w io.Writer, format string, level slog.Leveler) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}
+
+// Span is one traced phase of a tool invocation (assemble → run →
+// postprocess → write). It captures wall and CPU time plus the metric
+// deltas accrued while it was open, and logs them all on End.
+type Span struct {
+	name  string
+	log   *slog.Logger
+	m     *Metrics
+	start time.Time
+	cpu   time.Duration
+	base  Snapshot
+}
+
+// StartSpan opens a phase span. log must be non-nil; m may be nil when no
+// metrics are collected (the span then reports only wall/CPU time).
+func StartSpan(log *slog.Logger, m *Metrics, name string) *Span {
+	s := &Span{name: name, log: log, m: m, start: time.Now(), cpu: processCPUTime()}
+	if m != nil {
+		s.base = m.Snapshot()
+	}
+	return s
+}
+
+// End closes the span and logs its name, wall time, CPU time, and — when
+// metrics are attached — the instructions, events, and shadow growth the
+// phase accounted for.
+func (s *Span) End() {
+	wall := time.Since(s.start)
+	attrs := []any{
+		slog.String("name", s.name),
+		slog.Duration("wall", wall),
+		slog.Duration("cpu", processCPUTime()-s.cpu),
+	}
+	if s.m != nil {
+		cur := s.m.Snapshot()
+		attrs = append(attrs,
+			slog.Uint64("instrs", delta(cur.Instrs, s.base.Instrs)),
+			slog.Uint64("events", delta(cur.EventsEmitted, s.base.EventsEmitted)),
+			slog.Uint64("shadow_bytes", delta(cur.ShadowBytesResident, s.base.ShadowBytesResident)),
+		)
+	}
+	s.log.Info("phase", attrs...)
+}
+
+// delta is a reset-tolerant subtraction: BeginRun zeroes counters, so a
+// span straddling run boundaries reports the new run's absolute value
+// rather than a wrapped difference.
+func delta(cur, base uint64) uint64 {
+	if cur < base {
+		return cur
+	}
+	return cur - base
+}
+
+// processCPUTime returns the process's user+system CPU time, the span
+// cost axis that distinguishes "slow because working" from "slow because
+// blocked".
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,324 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBeginRunResetsProgress(t *testing.T) {
+	m := &Metrics{}
+	m.Instrs.Store(123)
+	m.ShadowChunksLive.Store(7)
+	m.EventsEmitted.Store(9)
+	start := time.Unix(1700000000, 0)
+	m.BeginRun(start, 5000, 2*time.Second)
+
+	s := m.Snapshot()
+	if s.Instrs != 0 || s.ShadowChunksLive != 0 || s.EventsEmitted != 0 {
+		t.Errorf("progress counters not reset: %+v", s)
+	}
+	if s.RunEpoch != 1 {
+		t.Errorf("RunEpoch = %d, want 1", s.RunEpoch)
+	}
+	if s.BudgetInstrs != 5000 || s.BudgetWallNanos != int64(2*time.Second) {
+		t.Errorf("budgets not stored: %+v", s)
+	}
+	if s.RunStartNanos != start.UnixNano() {
+		t.Errorf("RunStartNanos = %d, want %d", s.RunStartNanos, start.UnixNano())
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	s := Snapshot{
+		InputUniqueBytes: 1, InputNonUniqueBytes: 2,
+		OutputUniqueBytes: 3, OutputNonUniqueBytes: 4,
+		LocalUniqueBytes: 5, LocalNonUniqueBytes: 6,
+	}
+	if got := s.TotalCommBytes(); got != 21 {
+		t.Errorf("TotalCommBytes = %d, want 21", got)
+	}
+
+	s = Snapshot{Instrs: 1000, WallNanos: int64(2 * time.Second)}
+	if got := s.InstrsPerSec(time.Time{}); got != 500 {
+		t.Errorf("InstrsPerSec = %g, want 500", got)
+	}
+	start := time.Unix(100, 0)
+	s = Snapshot{Instrs: 300, RunStartNanos: start.UnixNano()}
+	if got := s.InstrsPerSec(start.Add(time.Second)); got != 300 {
+		t.Errorf("live InstrsPerSec = %g, want 300", got)
+	}
+	if got := (Snapshot{}).InstrsPerSec(time.Time{}); got != 0 {
+		t.Errorf("zero snapshot InstrsPerSec = %g, want 0", got)
+	}
+}
+
+// TestPrometheusFormat checks every emitted line against the text
+// exposition format: HELP/TYPE metadata per series and a parseable
+// integer sample whose value round-trips from the snapshot.
+func TestPrometheusFormat(t *testing.T) {
+	m := &Metrics{}
+	m.BeginRun(time.Unix(42, 0), 0, 0)
+	m.Instrs.Store(16384)
+	m.ShadowBytesResident.Store(1 << 20)
+	m.Samples.Store(3)
+	snap := m.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	values := map[string]string{}
+	types := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Errorf("HELP line without text: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge") {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			types[parts[0]] = parts[1]
+		default:
+			parts := strings.SplitN(line, " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("bad sample line: %q", line)
+			}
+			values[parts[0]] = parts[1]
+		}
+	}
+	for name := range values {
+		if _, ok := types[name]; !ok {
+			t.Errorf("series %s has no TYPE metadata", name)
+		}
+	}
+	for name, want := range map[string]uint64{
+		"sigil_instructions_total":    16384,
+		"sigil_shadow_bytes_resident": 1 << 20,
+		"sigil_samples_total":         3,
+		"sigil_run_epoch":             1,
+	} {
+		got, err := strconv.ParseUint(values[name], 10, 64)
+		if err != nil || got != want {
+			t.Errorf("%s = %q, want %d (%v)", name, values[name], want, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "sigil_run_start_seconds 42.000") {
+		t.Errorf("missing run start series:\n%s", buf.String())
+	}
+	// Counter/gauge suffix convention: every *_total series is a counter.
+	for name, kind := range types {
+		if strings.HasSuffix(name, "_total") && kind != "counter" {
+			t.Errorf("%s declared %s, want counter", name, kind)
+		}
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	m := &Metrics{}
+	m.BeginRun(time.Now(), 0, 0)
+	m.Instrs.Store(777)
+	srv, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string, http.Header) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "sigil_instructions_total 777") {
+		t.Errorf("/metrics: %d\n%s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q lacks exposition version", ct)
+	}
+
+	code, body, _ = get("/metrics.json")
+	var snap Snapshot
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &snap) != nil || snap.Instrs != 777 {
+		t.Errorf("/metrics.json: %d\n%s", code, body)
+	}
+
+	code, body, _ = get("/debug/vars")
+	var vars map[string]json.RawMessage
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &vars) != nil {
+		t.Fatalf("/debug/vars: %d\n%s", code, body)
+	}
+	if _, ok := vars["sigil"]; !ok {
+		t.Errorf("/debug/vars missing sigil var: %s", body)
+	}
+
+	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, body, _ = get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: %d\n%s", code, body)
+	}
+	if code, _, _ = get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: %d, want 404", code)
+	}
+}
+
+// TestServeTwice covers the expvar publish-once path: a second server (a
+// second run in the same process) must not panic and must serve the newer
+// metrics block.
+func TestServeTwice(t *testing.T) {
+	m1 := &Metrics{}
+	srv1, err := Serve("127.0.0.1:0", m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	m2 := &Metrics{}
+	m2.Instrs.Store(42)
+	srv2, err := Serve("127.0.0.1:0", m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp, err := http.Get("http://" + srv2.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"instrs": 42`) && !strings.Contains(string(body), `"instrs":42`) {
+		t.Errorf("expvar serves stale metrics: %s", body)
+	}
+}
+
+func TestHeartbeatFires(t *testing.T) {
+	var buf syncBuffer
+	log := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	m := &Metrics{}
+	m.BeginRun(time.Now(), 1000, time.Minute)
+	m.Instrs.Store(100)
+
+	h := StartHeartbeat(log, m, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.Count("heartbeat") == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	h.Stop()
+
+	out := buf.String()
+	if !strings.Contains(out, `"msg":"heartbeat"`) {
+		t.Fatalf("no heartbeat logged:\n%s", out)
+	}
+	if !strings.Contains(out, `"instrs":100`) || !strings.Contains(out, `"budget_instrs_left":900`) {
+		t.Errorf("heartbeat missing progress fields:\n%s", out)
+	}
+	if !strings.Contains(out, `"final":true`) {
+		t.Errorf("Stop did not emit a final beat:\n%s", out)
+	}
+}
+
+func TestSpanLogsDeltas(t *testing.T) {
+	var buf syncBuffer
+	log := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	m := &Metrics{}
+	m.Instrs.Store(50)
+
+	sp := StartSpan(log, m, "run")
+	m.Instrs.Store(80)
+	sp.End()
+
+	out := buf.String()
+	if !strings.Contains(out, `"msg":"phase"`) || !strings.Contains(out, `"name":"run"`) {
+		t.Fatalf("span not logged:\n%s", out)
+	}
+	if !strings.Contains(out, `"instrs":30`) {
+		t.Errorf("span delta wrong (want instrs=30):\n%s", out)
+	}
+
+	// A span with no metrics still logs timing.
+	buf.Reset()
+	sp = StartSpan(log, nil, "write")
+	sp.End()
+	if !strings.Contains(buf.String(), `"name":"write"`) {
+		t.Errorf("metric-less span not logged:\n%s", buf.String())
+	}
+}
+
+func TestDeltaResetTolerant(t *testing.T) {
+	if got := delta(10, 3); got != 7 {
+		t.Errorf("delta(10,3) = %d", got)
+	}
+	// Counter reset mid-span (BeginRun): report the new absolute value.
+	if got := delta(4, 100); got != 4 {
+		t.Errorf("delta(4,100) = %d", got)
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	for _, format := range []string{"", "text", "json"} {
+		log, err := NewLogger(&buf, format, slog.LevelInfo)
+		if err != nil || log == nil {
+			t.Errorf("NewLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := NewLogger(&buf, "yaml", slog.LevelInfo); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+
+	buf.Reset()
+	log, _ := NewLogger(&buf, "json", slog.LevelInfo)
+	log.Info("x", slog.Int("v", 1))
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Errorf("json log line does not parse: %v\n%s", err, buf.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer for handlers written to from the
+// heartbeat goroutine while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *syncBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.Reset()
+}
+
+func (b *syncBuffer) Count(substr string) int {
+	return strings.Count(b.String(), fmt.Sprintf("%q", substr))
+}

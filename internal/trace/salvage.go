@@ -110,6 +110,10 @@ func CreateFile(path string) (*FileSink, error) {
 // Emit implements Sink.
 func (s *FileSink) Emit(e Event) error { return s.w.Emit(e) }
 
+// EventsWritten reports how many events the sink has accepted, so tools
+// can reconcile the file against the run's telemetry snapshot.
+func (s *FileSink) EventsWritten() uint64 { return s.w.Count() }
+
 // Commit finalizes the stream (footer, flush, fsync) and atomically renames
 // it to the target path.
 func (s *FileSink) Commit() error {

@@ -164,6 +164,10 @@ func (w *Writer) Emit(e Event) error {
 	return nil
 }
 
+// Count reports the number of events emitted so far, for progress
+// reporting and end-of-run accounting against telemetry snapshots.
+func (w *Writer) Count() uint64 { return w.count }
+
 // Close writes the end-of-stream footer and flushes buffered events. The
 // underlying writer is not closed.
 func (w *Writer) Close() error {

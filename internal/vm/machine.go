@@ -97,6 +97,11 @@ func (m *Machine) OutputBytes() uint64 { return m.outBytes }
 // HeapUsed returns the number of heap bytes bump-allocated by OpAlloc.
 func (m *Machine) HeapUsed() uint64 { return m.heap - HeapBase }
 
+// CallDepth returns the live call-stack depth. It is a telemetry gauge:
+// sampled at the StopCheck poll point it distinguishes a run grinding in a
+// hot loop from one descending into deep recursion.
+func (m *Machine) CallDepth() int { return len(m.frames) }
+
 // RunStats summarizes a completed run.
 type RunStats struct {
 	Instrs      uint64 // retired instructions

@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"sigil/internal/vm"
+)
+
+// fft is a radix-2 iterative Cooley-Tukey FFT over a synthetic signal. It
+// is the observability smoke workload: the butterfly kernel has a steady,
+// predictable instruction and communication rate (log2(n) passes over one
+// buffer against a read-only twiddle table), which makes heartbeat
+// instrs/sec and shadow-growth numbers easy to eyeball. The spectrum
+// magnitudes leave through SysWrite, so the kernel-output axis is
+// exercised too.
+func init() {
+	register(&Spec{
+		Name:        "fft",
+		Description: "radix-2 FFT over a synthetic signal: bit-reverse, butterfly stages, magnitude output",
+		Build:       buildFFT,
+	})
+}
+
+func buildFFT(c Class) (*vm.Program, []byte, error) {
+	n := scale(c, 1024)
+	log2n := int64(bits.Len64(uint64(n)) - 1)
+
+	// Input samples (startup data): two tones, real-valued.
+	samples := make([]byte, n*16)
+	for i := int64(0); i < n; i++ {
+		re := math.Sin(2*math.Pi*5*float64(i)/float64(n)) +
+			0.5*math.Sin(2*math.Pi*13*float64(i)/float64(n))
+		binary.LittleEndian.PutUint64(samples[i*16:], math.Float64bits(re))
+		binary.LittleEndian.PutUint64(samples[i*16+8:], math.Float64bits(0))
+	}
+
+	// Twiddle table: w_k = exp(-2πik/n), k in [0, n/2).
+	twiddles := make([]byte, (n/2)*16)
+	for k := int64(0); k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		binary.LittleEndian.PutUint64(twiddles[k*16:], math.Float64bits(math.Cos(ang)))
+		binary.LittleEndian.PutUint64(twiddles[k*16+8:], math.Float64bits(math.Sin(ang)))
+	}
+
+	b := vm.NewBuilder()
+	samplesAddr := b.Data("samples", samples)
+	twiddleAddr := b.Data("twiddles", twiddles)
+	work := b.Reserve("workbuf", uint64(n*16))
+	mags := b.Reserve("mags", uint64(n*8))
+
+	// fft_bit_reverse(R1=src, R2=dst, R3=n, R4=log2n): dst[rev(i)] = src[i].
+	fbr := b.Func("fft_bit_reverse")
+	fbr.Movi(vm.R10, 0) // i
+	iTop := fbr.Here()
+	fbr.Movi(vm.R11, 0)     // j = rev(i)
+	fbr.Mov(vm.R12, vm.R10) // t
+	fbr.Movi(vm.R13, 0)     // bit
+	bitTop := fbr.Here()
+	fbr.Shli(vm.R11, vm.R11, 1)
+	fbr.Andi(vm.R14, vm.R12, 1)
+	fbr.Or(vm.R11, vm.R11, vm.R14)
+	fbr.Shri(vm.R12, vm.R12, 1)
+	fbr.Addi(vm.R13, vm.R13, 1)
+	fbr.Blt(vm.R13, vm.R4, bitTop)
+	fbr.Shli(vm.R14, vm.R10, 4)
+	fbr.Add(vm.R14, vm.R14, vm.R1)
+	fbr.Shli(vm.R15, vm.R11, 4)
+	fbr.Add(vm.R15, vm.R15, vm.R2)
+	fbr.FLoad(vm.F1, vm.R14, 0)
+	fbr.FLoad(vm.F2, vm.R14, 8)
+	fbr.FStore(vm.R15, 0, vm.F1)
+	fbr.FStore(vm.R15, 8, vm.F2)
+	fbr.Addi(vm.R10, vm.R10, 1)
+	fbr.Blt(vm.R10, vm.R3, iTop)
+	fbr.Ret()
+
+	// fft_butterfly(R1=&a, R2=&b, R3=&w): t = w*b; b = a-t; a = a+t.
+	fb := b.Func("fft_butterfly")
+	fb.FLoad(vm.F1, vm.R1, 0) // ar
+	fb.FLoad(vm.F2, vm.R1, 8) // ai
+	fb.FLoad(vm.F3, vm.R2, 0) // br
+	fb.FLoad(vm.F4, vm.R2, 8) // bi
+	fb.FLoad(vm.F5, vm.R3, 0) // wr
+	fb.FLoad(vm.F6, vm.R3, 8) // wi
+	fb.FMul(vm.F7, vm.F5, vm.F3)
+	fb.FMul(vm.F8, vm.F6, vm.F4)
+	fb.FSub(vm.F7, vm.F7, vm.F8) // tr
+	fb.FMul(vm.F8, vm.F5, vm.F4)
+	fb.FMul(vm.F9, vm.F6, vm.F3)
+	fb.FAdd(vm.F8, vm.F8, vm.F9) // ti
+	fb.FSub(vm.F10, vm.F1, vm.F7)
+	fb.FSub(vm.F11, vm.F2, vm.F8)
+	fb.FAdd(vm.F12, vm.F1, vm.F7)
+	fb.FAdd(vm.F13, vm.F2, vm.F8)
+	fb.FStore(vm.R2, 0, vm.F10)
+	fb.FStore(vm.R2, 8, vm.F11)
+	fb.FStore(vm.R1, 0, vm.F12)
+	fb.FStore(vm.R1, 8, vm.F13)
+	fb.Ret()
+
+	// cmplx_mag(R1=buf, R2=out, R3=n): out[i] = |buf[i]|, then the whole
+	// magnitude array leaves through SysWrite.
+	cm := b.Func("cmplx_mag")
+	cm.Mov(vm.R10, vm.R1)
+	cm.Mov(vm.R11, vm.R2)
+	cm.Movi(vm.R12, 0)
+	magTop := cm.Here()
+	cm.FLoad(vm.F1, vm.R10, 0)
+	cm.FLoad(vm.F2, vm.R10, 8)
+	cm.FMul(vm.F1, vm.F1, vm.F1)
+	cm.FMul(vm.F2, vm.F2, vm.F2)
+	cm.FAdd(vm.F1, vm.F1, vm.F2)
+	cm.FSqrt(vm.F1, vm.F1)
+	cm.FStore(vm.R11, 0, vm.F1)
+	cm.Addi(vm.R10, vm.R10, 16)
+	cm.Addi(vm.R11, vm.R11, 8)
+	cm.Addi(vm.R12, vm.R12, 1)
+	cm.Blt(vm.R12, vm.R3, magTop)
+	cm.Shli(vm.R13, vm.R3, 3)
+	cm.Mov(vm.R1, vm.R2)
+	cm.Mov(vm.R2, vm.R13)
+	cm.Sys(vm.SysWrite)
+	cm.Ret()
+
+	main := b.Func("main")
+	main.MoviU(vm.R1, samplesAddr)
+	main.MoviU(vm.R2, work)
+	main.Movi(vm.R3, n)
+	main.Movi(vm.R4, log2n)
+	main.Call("fft_bit_reverse")
+
+	// Stage loop: m doubles 2..n, twiddle stride tstep halves n/2..1.
+	main.MoviU(vm.R8, work)
+	main.MoviU(vm.R9, twiddleAddr)
+	main.Movi(vm.R15, n)
+	main.Movi(vm.R16, 2) // m
+	main.Movi(vm.R18, n) // 2*tstep, halved at stage top
+	stageTop := main.Here()
+	main.Shri(vm.R18, vm.R18, 1) // tstep = n/m
+	main.Shri(vm.R17, vm.R16, 1) // half = m/2
+	main.Movi(vm.R19, 0)         // k: block start
+	blockTop := main.Here()
+	main.Movi(vm.R20, 0) // j: butterfly within block
+	bflyTop := main.Here()
+	main.Add(vm.R21, vm.R19, vm.R20)
+	main.Shli(vm.R21, vm.R21, 4)
+	main.Add(vm.R1, vm.R8, vm.R21) // &a = buf[k+j]
+	main.Shli(vm.R22, vm.R17, 4)
+	main.Add(vm.R2, vm.R1, vm.R22) // &b = &a + half
+	main.Mul(vm.R23, vm.R20, vm.R18)
+	main.Shli(vm.R23, vm.R23, 4)
+	main.Add(vm.R3, vm.R9, vm.R23) // &w = twiddles[j*tstep]
+	main.Call("fft_butterfly")
+	main.Addi(vm.R20, vm.R20, 1)
+	main.Blt(vm.R20, vm.R17, bflyTop)
+	main.Add(vm.R19, vm.R19, vm.R16)
+	main.Blt(vm.R19, vm.R15, blockTop)
+	main.Shli(vm.R16, vm.R16, 1)
+	main.Bge(vm.R15, vm.R16, stageTop)
+
+	main.MoviU(vm.R1, work)
+	main.MoviU(vm.R2, mags)
+	main.Movi(vm.R3, n)
+	main.Call("cmplx_mag")
+	main.Halt()
+
+	p, err := b.Build()
+	return p, nil, err
+}

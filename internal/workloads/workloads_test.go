@@ -25,8 +25,8 @@ func runNative(t *testing.T, name string, c Class) vm.RunStats {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"blackscholes", "bodytrack", "canneal", "dedup", "facesim",
-		"ferret", "fluidanimate", "freqmine", "libquantum", "raytrace",
-		"streamcluster", "swaptions", "vips", "x264",
+		"ferret", "fft", "fluidanimate", "freqmine", "libquantum",
+		"raytrace", "streamcluster", "swaptions", "vips", "x264",
 	}
 	names := Names()
 	if len(names) != len(want) {

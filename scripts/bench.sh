@@ -1,0 +1,36 @@
+#!/bin/sh
+# Run the self-overhead benchmarks and write BENCH_1.json: a map from
+# benchmark name to ns/op and bytes/op, so successive runs can be diffed
+# (e.g. to confirm the telemetry sampler stays within its ≤3% budget).
+#
+# Usage: scripts/bench.sh [go-test -bench regexp]   (default: Overhead|Ablation)
+set -eu
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-Overhead|Ablation}"
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_1.json}"
+
+raw=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . )
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "{"; n = 0 }
+$1 ~ /^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")  ns = $(i - 1)
+        if ($(i) == "B/op")   bytes = $(i - 1)
+    }
+    if (ns == "") next
+    if (n > 0) printf ",\n"
+    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    printf "}"
+    n++
+}
+END { print "\n}" }
+' > "$OUT"
+
+echo "wrote $OUT"

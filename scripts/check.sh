@@ -6,6 +6,14 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-5s}"
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:"
+    echo "$unformatted"
+    exit 1
+fi
+
 echo "== go vet"
 go vet ./...
 
@@ -18,5 +26,8 @@ go test -race ./...
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -run '^$' -fuzz FuzzReader -fuzztime "$FUZZTIME" ./internal/trace
 go test -run '^$' -fuzz FuzzReadProfile -fuzztime "$FUZZTIME" ./internal/core
+
+echo "== bench smoke (BENCH_1.json)"
+BENCHTIME=1x sh scripts/bench.sh 'AblationTelemetry' > /dev/null
 
 echo "== all checks passed"

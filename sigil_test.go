@@ -203,8 +203,8 @@ func TestPublicReuse(t *testing.T) {
 
 func TestPublicWorkloads(t *testing.T) {
 	names := Workloads()
-	if len(names) != 14 {
-		t.Fatalf("workloads = %d, want 14", len(names))
+	if len(names) != 15 {
+		t.Fatalf("workloads = %d, want 15", len(names))
 	}
 	desc, err := WorkloadDescription("vips")
 	if err != nil || !strings.Contains(desc, "image") {
