@@ -21,6 +21,7 @@ bench:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $${FUZZTIME:-5s} ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzReadProfile -fuzztime $${FUZZTIME:-5s} ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzBatchedClassifier -fuzztime $${FUZZTIME:-5s} ./internal/core
 
 check:
 	sh scripts/check.sh

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"sigil/internal/cli"
@@ -19,6 +20,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment: table1, fig4..fig13, table2, table3, telemetry, chains")
 	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
+	par := flag.Int("p", runtime.GOMAXPROCS(0), "parallel workers for profile/trace generation (timings always run sequentially; live telemetry attaches to runs only with -p=1)")
 	tel := cli.RegisterTelemetry(flag.CommandLine, "experiments")
 	flag.Parse()
 
@@ -32,6 +34,7 @@ func main() {
 
 	s := experiments.NewSuite()
 	s.TimingReps = *reps
+	s.Workers = *par
 	s.Ctx = ctx
 	s.Telemetry = tel.Metrics()
 
@@ -51,6 +54,13 @@ func main() {
 	}
 
 	if *only == "" {
+		// Generate the profile/trace matrix on all workers up front; the
+		// figures then render from cache (timings still measure
+		// sequentially for wall-clock fidelity).
+		if err := s.Prewarm(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: prewarm: %v\n", err)
+			fail(err)
+		}
 		out, err := s.RenderAll()
 		fmt.Print(out)
 		if err != nil {

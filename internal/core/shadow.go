@@ -12,10 +12,16 @@
 // the executing context and classify every access.
 package core
 
+import "sync"
+
 // shadowObj is the baseline shadow-memory object, one per granule (byte or
 // line). It matches Table I of the paper: last writer, last reader, and the
 // last reader's call number (the writer's call number is kept as well; the
 // event representation needs it to name the producing call).
+//
+// The struct is deliberately comparable: the batched classifier detects runs
+// of granules in identical state with a single struct equality, so adding a
+// non-comparable field here would break the hot path.
 //
 // Context identities are stored in an encoded form so the zero value means
 // "invalid" and chunks need no initialization pass:
@@ -40,6 +46,14 @@ type reuseObj struct {
 	first uint64
 	last  uint64
 }
+
+// Shadow-object sizes used by the memory accounting (Fig 6, telemetry
+// shadow-bytes gauges). TestShadowObjSizes pins them to unsafe.Sizeof so
+// they cannot silently drift when the structs change.
+const (
+	shadowObjBytes = 16
+	reuseObjBytes  = 24
+)
 
 // Encoded pseudo-context identities.
 const (
@@ -82,6 +96,22 @@ const (
 	chunkMask     = chunkGranules - 1
 )
 
+// The first-level lookup keeps a small direct-mapped cache of chunk
+// pointers in front of the map, indexed by the low chunk-key bits. A
+// single-entry cache thrashes as soon as an access pattern alternates
+// between two regions (stack vs heap is enough); 64 slots absorb the
+// working set of every workload in the suite while staying small enough
+// to live in L1.
+const (
+	shadowCacheSlots = 64
+	shadowCacheMask  = shadowCacheSlots - 1
+)
+
+type shadowCacheSlot struct {
+	key uint64
+	ch  *shadowChunk
+}
+
 // shadowChunk is one second-level structure: a block of shadow objects
 // created on first touch, exactly like the paper's lazily allocated
 // second-level table. The reuse extension is only allocated in re-use mode,
@@ -95,32 +125,39 @@ type shadowChunk struct {
 // shadowBytesPerGranule reports the shadow cost per granule for memory
 // accounting (Fig 6).
 func shadowBytesPerGranule(reuse bool) uint64 {
-	n := uint64(16) // sizeof(shadowObj)
+	n := uint64(shadowObjBytes)
 	if reuse {
-		n += 24 // sizeof(reuseObj)
+		n += reuseObjBytes
 	}
 	return n
 }
 
 // shadowTable is the first level: a sparse map from chunk index to chunk,
-// with a one-entry lookup cache and an optional FIFO capacity limit. When
-// the limit is reached the oldest chunk is evicted through the onEvict
+// with a direct-mapped lookup cache and an optional FIFO capacity limit.
+// When the limit is reached the oldest chunk is evicted through the onEvict
 // callback (which flushes its open re-use episodes), trading a small,
 // bounded accuracy loss for bounded memory — the paper's memory-limit
-// command-line option, needed there only for dedup.
+// command-line option, needed there only for dedup. Evicted chunks are
+// zeroed and recycled through a sync.Pool, so sustained eviction churn under
+// MaxShadowChunks reuses the same few buffers instead of hammering the
+// allocator with 256KiB blocks.
 type shadowTable struct {
 	chunks  map[uint64]*shadowChunk
-	order   []uint64 // chunk keys in creation order (FIFO)
+	cache   [shadowCacheSlots]shadowCacheSlot
+	order   []uint64 // chunk keys in creation order (FIFO); order[head:] is live
+	head    int      // first live index into order
 	max     int      // max live chunks; 0 = unlimited
 	reuse   bool
 	onEvict func(key uint64, ch *shadowChunk)
+	pool    sync.Pool // evicted *shadowChunk, zeroed and ready for reuse
 
-	lastKey uint64
-	last    *shadowChunk
-
-	allocated uint64 // chunks ever created
+	allocated uint64 // chunks ever created (including recycled buffers)
 	evicted   uint64
+	recycled  uint64 // materializations served from the pool
 	peakLive  int
+
+	cacheHits   uint64
+	cacheMisses uint64
 }
 
 func newShadowTable(maxChunks int, reuse bool, onEvict func(uint64, *shadowChunk)) *shadowTable {
@@ -129,7 +166,6 @@ func newShadowTable(maxChunks int, reuse bool, onEvict func(uint64, *shadowChunk
 		max:     maxChunks,
 		reuse:   reuse,
 		onEvict: onEvict,
-		lastKey: ^uint64(0),
 	}
 }
 
@@ -137,15 +173,15 @@ func newShadowTable(maxChunks int, reuse bool, onEvict func(uint64, *shadowChunk
 // the chunk on first touch.
 func (t *shadowTable) get(g uint64) (*shadowChunk, uint32) {
 	key := g >> chunkBits
-	if key == t.lastKey {
-		return t.last, uint32(g & chunkMask)
+	slot := &t.cache[key&shadowCacheMask]
+	if slot.ch != nil && slot.key == key {
+		t.cacheHits++
+		return slot.ch, uint32(g & chunkMask)
 	}
+	t.cacheMisses++
 	ch := t.chunks[key]
 	if ch == nil {
-		ch = &shadowChunk{objs: make([]shadowObj, chunkGranules)}
-		if t.reuse {
-			ch.reuse = make([]reuseObj, chunkGranules)
-		}
+		ch = t.newChunk()
 		if t.max > 0 && len(t.chunks) >= t.max {
 			t.evictOldest()
 		}
@@ -155,28 +191,46 @@ func (t *shadowTable) get(g uint64) (*shadowChunk, uint32) {
 		if live := len(t.chunks); live > t.peakLive {
 			t.peakLive = live
 		}
+		// Eviction may have cleared this slot; reload it either way.
+		slot = &t.cache[key&shadowCacheMask]
 	}
-	t.lastKey, t.last = key, ch
+	slot.key, slot.ch = key, ch
 	return ch, uint32(g & chunkMask)
 }
 
 // peek returns the chunk for granule g without materializing it.
 func (t *shadowTable) peek(g uint64) (*shadowChunk, uint32) {
 	key := g >> chunkBits
-	if key == t.lastKey {
-		return t.last, uint32(g & chunkMask)
+	slot := &t.cache[key&shadowCacheMask]
+	if slot.ch != nil && slot.key == key {
+		return slot.ch, uint32(g & chunkMask)
 	}
 	ch := t.chunks[key]
 	if ch != nil {
-		t.lastKey, t.last = key, ch
+		slot.key, slot.ch = key, ch
 	}
 	return ch, uint32(g & chunkMask)
 }
 
+// newChunk materializes a chunk buffer, recycling an evicted one when the
+// pool has it.
+func (t *shadowTable) newChunk() *shadowChunk {
+	if v := t.pool.Get(); v != nil {
+		t.recycled++
+		return v.(*shadowChunk)
+	}
+	ch := &shadowChunk{objs: make([]shadowObj, chunkGranules)}
+	if t.reuse {
+		ch.reuse = make([]reuseObj, chunkGranules)
+	}
+	return ch
+}
+
 func (t *shadowTable) evictOldest() {
-	for len(t.order) > 0 {
-		key := t.order[0]
-		t.order = t.order[1:]
+	for t.head < len(t.order) {
+		key := t.order[t.head]
+		t.head++
+		t.compactOrder()
 		ch, ok := t.chunks[key]
 		if !ok {
 			continue // already evicted
@@ -185,12 +239,31 @@ func (t *shadowTable) evictOldest() {
 			t.onEvict(key, ch)
 		}
 		delete(t.chunks, key)
-		if t.lastKey == key {
-			t.lastKey = ^uint64(0)
-			t.last = nil
+		if slot := &t.cache[key&shadowCacheMask]; slot.ch == ch {
+			slot.key, slot.ch = 0, nil
 		}
+		clear(ch.objs)
+		if ch.reuse != nil {
+			clear(ch.reuse)
+		}
+		t.pool.Put(ch)
 		t.evicted++
 		return
+	}
+	t.order = t.order[:0]
+	t.head = 0
+}
+
+// compactOrder bounds the FIFO bookkeeping: re-slicing order on every
+// eviction would pin the full backing array and let consumed keys
+// accumulate forever under a chunk limit, so once the consumed prefix
+// reaches half the slice (and is large enough to be worth the copy) the
+// live tail shifts to the front and the slice truncates in place.
+func (t *shadowTable) compactOrder() {
+	if t.head >= 32 && t.head*2 >= len(t.order) {
+		n := copy(t.order, t.order[t.head:])
+		t.order = t.order[:n]
+		t.head = 0
 	}
 }
 

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestShadowObjSizes pins the size constants used by the memory accounting
+// (Fig 6, telemetry shadow-bytes gauges) to the real struct layouts, so
+// shadowBytesPerGranule cannot silently drift when a field is added.
+func TestShadowObjSizes(t *testing.T) {
+	if got := unsafe.Sizeof(shadowObj{}); got != shadowObjBytes {
+		t.Errorf("sizeof(shadowObj) = %d, accounting constant says %d", got, shadowObjBytes)
+	}
+	if got := unsafe.Sizeof(reuseObj{}); got != reuseObjBytes {
+		t.Errorf("sizeof(reuseObj) = %d, accounting constant says %d", got, reuseObjBytes)
+	}
+	if got := shadowBytesPerGranule(false); got != shadowObjBytes {
+		t.Errorf("shadowBytesPerGranule(false) = %d, want %d", got, shadowObjBytes)
+	}
+	if got := shadowBytesPerGranule(true); got != shadowObjBytes+reuseObjBytes {
+		t.Errorf("shadowBytesPerGranule(true) = %d, want %d", got, shadowObjBytes+reuseObjBytes)
+	}
+}
+
+// TestEvictionOrderBounded streams far more distinct chunks through a
+// limited table than the limit allows and checks that the FIFO bookkeeping
+// stays bounded: the old `order = order[1:]` re-slicing pinned the backing
+// array and let consumed keys accumulate one per eviction forever.
+func TestEvictionOrderBounded(t *testing.T) {
+	const max = 4
+	const touched = 10000
+	tb := newShadowTable(max, false, nil)
+	for i := 0; i < touched; i++ {
+		tb.get(uint64(i) << chunkBits)
+	}
+	if live := len(tb.chunks); live != max {
+		t.Errorf("live chunks = %d, want %d", live, max)
+	}
+	// The compaction keeps at most ~2x the compaction threshold of consumed
+	// keys in front of the live tail; anything near `touched` means the
+	// bookkeeping leaks again.
+	if len(tb.order) > 100 {
+		t.Errorf("len(order) = %d after %d evictions, want bounded (<=100)", len(tb.order), touched-max)
+	}
+	if tb.head > len(tb.order) {
+		t.Errorf("head %d beyond order length %d", tb.head, len(tb.order))
+	}
+	if tb.allocated != touched {
+		t.Errorf("allocated = %d, want %d", tb.allocated, touched)
+	}
+	if tb.evicted != touched-max {
+		t.Errorf("evicted = %d, want %d", tb.evicted, touched-max)
+	}
+	if tb.recycled == 0 {
+		t.Error("sustained eviction churn recycled no chunk buffers")
+	}
+	// Live chunks must be exactly the FIFO tail.
+	for _, key := range tb.order[tb.head:] {
+		if tb.chunks[key] == nil {
+			t.Errorf("order tail key %d not live", key)
+		}
+	}
+}
+
+// TestEvictInvalidatesCacheAndRecycles checks the two hazards of the
+// direct-mapped cache + pool combination: an evicted chunk must not be
+// served from the cache, and a recycled buffer must come back fully zeroed.
+func TestEvictInvalidatesCacheAndRecycles(t *testing.T) {
+	tb := newShadowTable(1, true, nil)
+	chA, idx := tb.get(0)
+	if idx != 0 {
+		t.Fatalf("intra-chunk index = %d, want 0", idx)
+	}
+	chA.objs[7] = shadowObj{writer: 99, writerCall: 3, reader: 12, readerCall: 1}
+	chA.reuse[7] = reuseObj{count: 5, first: 10, last: 20}
+
+	// Materializing a second chunk evicts A (max=1).
+	tb.get(1 << chunkBits)
+	if tb.evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", tb.evicted)
+	}
+
+	// Re-touching A's range must rematerialize a zeroed chunk, not serve the
+	// stale cache entry or a dirty pooled buffer.
+	chA2, _ := tb.get(0)
+	if chA2.objs[7] != (shadowObj{}) {
+		t.Errorf("recycled chunk has stale shadow state: %+v", chA2.objs[7])
+	}
+	if chA2.reuse[7] != (reuseObj{}) {
+		t.Errorf("recycled chunk has stale reuse state: %+v", chA2.reuse[7])
+	}
+	if tb.recycled == 0 {
+		t.Error("second materialization did not recycle the evicted buffer")
+	}
+}
+
+// TestShadowCacheCounts pins the hit/miss accounting of the direct-mapped
+// cache: repeat touches of a chunk hit, alternating between two chunks that
+// map to different slots hits too (the single-entry cache this replaced
+// thrashed on exactly that pattern).
+func TestShadowCacheCounts(t *testing.T) {
+	tb := newShadowTable(0, false, nil)
+	tb.get(0)
+	tb.get(1) // same chunk
+	if tb.cacheHits != 1 || tb.cacheMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", tb.cacheHits, tb.cacheMisses)
+	}
+	other := uint64(7) << chunkBits // different chunk, different slot
+	tb.get(other)
+	tb.get(0)
+	tb.get(other)
+	if tb.cacheHits != 3 {
+		t.Errorf("alternating chunks should stay cached: hits = %d, want 3", tb.cacheHits)
+	}
+}

@@ -65,6 +65,13 @@ type Options struct {
 	// snapshot always lands on Result.Telemetry whether or not this is
 	// set.
 	Telemetry *telemetry.Metrics
+
+	// refScalar forces the retained granule-at-a-time reference
+	// classification path instead of the batched chunk-run path. The two
+	// are required to produce byte-identical results; this knob exists so
+	// the differential and fuzz harnesses can prove it, and is therefore
+	// unexported: it is not a supported production mode.
+	refScalar bool
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +129,18 @@ type Tool struct {
 
 	lines *LineReport
 
+	// scalar selects the retained reference classification path (see
+	// Options.refScalar). The default is the batched chunk-run path.
+	scalar bool
+
+	// Batch-classifier telemetry: spans are per-chunk segments of an
+	// access, runs are the state-uniform sub-segments classified at once,
+	// granules is the total granule count they covered. runs/granules is
+	// the amortization factor the batching achieves.
+	spans    uint64
+	runs     uint64
+	granules uint64
+
 	stack   []segFrame
 	events  trace.Sink
 	evErr   error
@@ -165,6 +184,7 @@ func New(sub *callgrind.Tool, opts Options) (*Tool, error) {
 		edges:   make(map[uint64]*Edge),
 		events:  opts.Events,
 		edgeKey: ^uint64(0),
+		scalar:  opts.refScalar,
 	}
 	if opts.LineGranularity {
 		for 1<<t.shift < opts.LineSize {
@@ -188,10 +208,20 @@ func (t *Tool) ProgramStart(p *vm.Program, m *vm.Machine) {
 		}
 		g0 := s.Addr >> t.shift
 		g1 := (s.Addr + uint64(len(s.Data)) - 1) >> t.shift
-		for g := g0; g <= g1; g++ {
+		// One chunk lookup per span; startup marking never touches the
+		// re-use extension, so this is not writeRange.
+		for g := g0; g <= g1; {
 			ch, idx := t.shadow.get(g)
-			ch.objs[idx].writer = encStartup
-			ch.objs[idx].writerCall = 0
+			end := g | chunkMask
+			if end > g1 {
+				end = g1
+			}
+			objs := ch.objs[idx : idx+uint32(end-g+1)]
+			for k := range objs {
+				objs[k].writer = encStartup
+				objs[k].writerCall = 0
+			}
+			g = end + 1
 		}
 	}
 }
@@ -245,6 +275,8 @@ func (t *Tool) Op(class vm.OpClass) {
 func (t *Tool) Branch(site uint64, taken bool) {}
 
 // MemRead implements dbi.Tool: every granule of the access is classified.
+// Each granule counts one unit: a byte in byte mode (g1-g0+1 == size), a
+// line-touch in line-granularity mode.
 func (t *Tool) MemRead(addr uint64, size uint8) {
 	if len(t.stack) == 0 {
 		return
@@ -252,12 +284,7 @@ func (t *Tool) MemRead(addr uint64, size uint8) {
 	f := &t.stack[len(t.stack)-1]
 	g0 := addr >> t.shift
 	g1 := (addr + uint64(size) - 1) >> t.shift
-	now := t.sub.Now()
-	// Each granule counts one unit: a byte in byte mode (g1-g0+1 == size),
-	// a line-touch in line-granularity mode.
-	for g := g0; g <= g1; g++ {
-		t.readGranule(f, g, now, 1)
-	}
+	t.readRange(f, g0, g1, t.sub.Now())
 }
 
 // MemWrite implements dbi.Tool: the writer takes ownership of the granules.
@@ -268,10 +295,7 @@ func (t *Tool) MemWrite(addr uint64, size uint8) {
 	f := &t.stack[len(t.stack)-1]
 	g0 := addr >> t.shift
 	g1 := (addr + uint64(size) - 1) >> t.shift
-	now := t.sub.Now()
-	for g := g0; g <= g1; g++ {
-		t.writeGranule(f.enc, f.call, g, now)
-	}
+	t.writeRange(f.enc, f.call, g0, g1, t.sub.Now())
 }
 
 // Syscall implements dbi.Tool. The calling context consumes the input
@@ -285,9 +309,7 @@ func (t *Tool) Syscall(sys vm.Sys, inAddr, inLen, outAddr, outLen uint64) {
 		f := &t.stack[len(t.stack)-1]
 		g0 := inAddr >> t.shift
 		g1 := (inAddr + inLen - 1) >> t.shift
-		for g := g0; g <= g1; g++ {
-			t.readGranule(f, g, now, 1)
-		}
+		t.readRange(f, g0, g1, now)
 		units := g1 - g0 + 1
 		t.kernelIn += units
 		if f.ctx >= 0 {
@@ -298,9 +320,7 @@ func (t *Tool) Syscall(sys vm.Sys, inAddr, inLen, outAddr, outLen uint64) {
 	if outLen > 0 {
 		g0 := outAddr >> t.shift
 		g1 := (outAddr + outLen - 1) >> t.shift
-		for g := g0; g <= g1; g++ {
-			t.writeGranule(encKernel, 0, g, now)
-		}
+		t.writeRange(encKernel, 0, g0, g1, now)
 	}
 	if t.events != nil && len(t.stack) > 0 {
 		f := &t.stack[len(t.stack)-1]
@@ -347,6 +367,204 @@ func (t *Tool) abort() {
 	}()
 	t.finished = true
 }
+
+// --- batched classification hot path ---
+//
+// The paper pays 20-99x over native for byte-level shadowing; the batched
+// path claws a large constant factor back by amortizing the two per-granule
+// costs of the scalar reference: the first-level chunk lookup (now one per
+// per-chunk span instead of one per granule) and the fully branchy
+// classification (now one per run of granules in identical shadow state,
+// counted n times). Workload accesses are overwhelmingly runs: a function
+// streaming over a buffer leaves every byte with the same (writer,
+// writerCall, reader, readerCall) tuple, so an 8-byte load classifies once,
+// and a syscall marshalling 4KiB classifies a handful of times.
+
+// readRange classifies the granule range [g0,g1] read by frame f at time
+// now. It splits the range into per-chunk spans and classifies each with
+// the run fast path; the retained scalar reference walks granule by
+// granule instead so the two can be diffed.
+func (t *Tool) readRange(f *segFrame, g0, g1, now uint64) {
+	if t.scalar {
+		for g := g0; g <= g1; g++ {
+			t.readGranule(f, g, now, 1)
+		}
+		return
+	}
+	for g := g0; g <= g1; {
+		ch, idx := t.shadow.get(g)
+		end := g | chunkMask
+		if end > g1 {
+			end = g1
+		}
+		t.readSpan(f, ch, idx, uint32(end-g+1), now)
+		g = end + 1
+	}
+}
+
+// readSpan classifies n granules of one chunk starting at intra-chunk index
+// idx: consecutive granules in identical shadow state form a run that is
+// classified once and counted len(run) times; state changes within the span
+// simply start the next run, so the worst case degrades to the scalar cost
+// plus one comparison per granule.
+func (t *Tool) readSpan(f *segFrame, ch *shadowChunk, idx, n uint32, now uint64) {
+	t.spans++
+	t.granules += uint64(n)
+	objs := ch.objs[idx : idx+n]
+	call32 := uint32(f.call)
+	for i := uint32(0); i < n; {
+		st := objs[i]
+		j := i + 1
+		for j < n && objs[j] == st {
+			j++
+		}
+		t.runs++
+		t.classifyRun(f, st, uint64(j-i))
+		if ch.reuse != nil {
+			t.reuseRun(f, ch.reuse[idx+i:idx+j], st, call32, now)
+		}
+		for k := i; k < j; k++ {
+			objs[k].reader = f.enc
+			objs[k].readerCall = call32
+		}
+		i = j
+	}
+}
+
+// classifyRun applies the scalar readGranule classification once for a run
+// of `bytes` granules sharing the shadow state obj. It must mirror
+// readGranule exactly; the differential and fuzz tests enforce that.
+func (t *Tool) classifyRun(f *segFrame, obj shadowObj, bytes uint64) {
+	sameReader := obj.reader == f.enc
+	src := obj.writer
+	if src == encInvalid {
+		src = encStartup
+	}
+	if src == f.enc {
+		if f.ctx >= 0 {
+			s := &t.comm[f.ctx]
+			if sameReader {
+				s.LocalNonUnique += bytes
+			} else {
+				s.LocalUnique += bytes
+			}
+		}
+		return
+	}
+	if f.ctx >= 0 {
+		s := &t.comm[f.ctx]
+		if sameReader {
+			s.InputNonUnique += bytes
+		} else {
+			s.InputUnique += bytes
+		}
+	} else if f.enc == encKernel {
+		t.kernelIn += bytes
+	}
+	switch src {
+	case encStartup:
+		if !sameReader {
+			t.startupOut += bytes
+		}
+	case encKernel:
+		if !sameReader {
+			t.kernelOut += bytes
+		}
+	default:
+		s := &t.comm[src-encBias]
+		if sameReader {
+			s.OutputNonUnique += bytes
+		} else {
+			s.OutputUnique += bytes
+		}
+	}
+	e := t.edge(src, f.enc)
+	if sameReader {
+		e.NonUnique += bytes
+	} else {
+		e.Unique += bytes
+	}
+	if !sameReader && t.events != nil && f.ctx >= 0 {
+		t.accumulateComm(f, src, uint64(obj.writerCall), bytes)
+	}
+}
+
+// reuseRun updates the re-use extension for one run. The branch structure
+// of the scalar path is uniform across a run (the run key includes reader
+// and readerCall), so it hoists here; the per-granule counters and
+// timestamps still update individually.
+func (t *Tool) reuseRun(f *segFrame, ros []reuseObj, st shadowObj, call32 uint32, now uint64) {
+	if t.opts.LineGranularity {
+		// Line mode: global per-line access counting, no resets.
+		for k := range ros {
+			ro := &ros[k]
+			if ro.count == 0 && ro.first == 0 {
+				ro.first = now
+			}
+			ro.count++
+			ro.last = now
+		}
+		return
+	}
+	if st.reader == f.enc && st.readerCall == call32 {
+		// Same function call re-reading the granules: the episodes
+		// continue (re-use lifetimes are per function call).
+		for k := range ros {
+			ros[k].count++
+			ros[k].last = now
+		}
+		return
+	}
+	flush := st.reader != encInvalid
+	for k := range ros {
+		ro := &ros[k]
+		if flush {
+			t.flushEpisode(st.reader, ro)
+		}
+		ro.count = 0
+		ro.first = now
+		ro.last = now
+	}
+}
+
+// writeRange records the producer of the granule range [g0,g1], one chunk
+// lookup per span.
+func (t *Tool) writeRange(enc uint32, call uint64, g0, g1, now uint64) {
+	if t.scalar {
+		for g := g0; g <= g1; g++ {
+			t.writeGranule(enc, call, g, now)
+		}
+		return
+	}
+	call32 := uint32(call)
+	lineReuse := t.opts.LineGranularity
+	for g := g0; g <= g1; {
+		ch, idx := t.shadow.get(g)
+		end := g | chunkMask
+		if end > g1 {
+			end = g1
+		}
+		objs := ch.objs[idx : idx+uint32(end-g+1)]
+		for k := range objs {
+			objs[k].writer = enc
+			objs[k].writerCall = call32
+		}
+		if lineReuse && ch.reuse != nil {
+			ros := ch.reuse[idx : idx+uint32(len(objs))]
+			for k := range ros {
+				ro := &ros[k]
+				if ro.count == 0 && ro.first == 0 {
+					ro.first = now
+				}
+				ro.count++
+				ro.last = now
+			}
+		}
+		g = end + 1
+	}
+}
+
+// --- retained scalar reference path ---
 
 // readGranule classifies one granule read by frame f at time now, counting
 // `bytes` toward the communication aggregates.

@@ -48,6 +48,13 @@ func (t *Tool) sampleInto(m *telemetry.Metrics) {
 	m.ShadowChunksPeak.Store(uint64(t.shadow.peakLive))
 	m.ShadowBytesResident.Store(uint64(len(t.shadow.chunks)) * perChunk)
 	m.ShadowBytesPeak.Store(uint64(t.shadow.peakLive) * perChunk)
+	m.ShadowCacheHits.Store(t.shadow.cacheHits)
+	m.ShadowCacheMisses.Store(t.shadow.cacheMisses)
+	m.ShadowChunksRecycled.Store(t.shadow.recycled)
+
+	m.ClassifySpans.Store(t.spans)
+	m.ClassifyRuns.Store(t.runs)
+	m.ClassifyGranules.Store(t.granules)
 
 	m.EventsEmitted.Store(t.emitted)
 	m.Samples.Add(1)

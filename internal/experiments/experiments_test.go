@@ -18,6 +18,15 @@ func suite() *Suite {
 	testSuiteOnce.Do(func() {
 		testSuite = NewSuite()
 		testSuite.TimingReps = 1
+		testSuite.Workers = 4
+		// Generate the shared profile/trace matrix through the worker pool
+		// (the figure tests would build the same matrix lazily one run at a
+		// time); skipped under -short, where most matrix consumers skip too.
+		if !testing.Short() {
+			if err := testSuite.Prewarm(); err != nil {
+				panic(err)
+			}
+		}
 	})
 	return testSuite
 }

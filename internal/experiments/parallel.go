@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"sync"
+
+	"sigil/internal/workloads"
+)
+
+// Prewarm generates the suite's profile and trace matrix — every workload at
+// simsmall in all three modes, plus the event traces the critical-path and
+// communication figures replay — through a bounded worker pool of
+// s.Workers goroutines. Profiling runs are independent (fresh machine,
+// substrate and shadow memory each), so the matrix is embarrassingly
+// parallel; the per-key singleflight in Profile/Trace keeps figure code
+// that races with (or follows) the prewarm from duplicating any run.
+//
+// Timings are deliberately not prewarmed: Fig 4-6 measure wall-clock
+// slowdowns, and co-running profiles would inflate them. RenderAll measures
+// those sequentially as before.
+func (s *Suite) Prewarm() error {
+	var jobs []func() error
+	for _, name := range workloads.Names() {
+		name := name
+		for _, mode := range []Mode{ModeBaseline, ModeReuse, ModeLine} {
+			mode := mode
+			jobs = append(jobs, func() error {
+				_, err := s.Profile(name, workloads.SimSmall, mode)
+				return err
+			})
+		}
+		jobs = append(jobs, func() error {
+			_, err := s.Trace(name)
+			return err
+		})
+	}
+	return s.runPool(jobs)
+}
+
+// runPool drains jobs through at most s.workers() goroutines, stopping the
+// feed on the first error or on suite-context cancellation and reporting
+// the first error observed.
+func (s *Suite) runPool(jobs []func() error) error {
+	n := s.workers()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		for _, job := range jobs {
+			if err := s.ctx().Err(); err != nil {
+				return err
+			}
+			if err := job(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	feed := make(chan func() error)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range feed {
+				if err := job(); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	ctx := s.ctx()
+	for _, job := range jobs {
+		if ctx.Err() != nil || failed() {
+			break
+		}
+		feed <- job
+	}
+	close(feed)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

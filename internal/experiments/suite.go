@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -66,12 +67,15 @@ func ratio(a, b time.Duration) float64 {
 }
 
 // Suite caches profiling runs so every figure can share them; it is safe
-// for concurrent use.
+// for concurrent use. Concurrent requests for the same profile are
+// deduplicated: the first caller runs it, later callers wait for the cached
+// result — so the parallel prewarm pool and figure code never repeat a run.
 type Suite struct {
 	mu       sync.Mutex
 	profiles map[profileKey]*core.Result
 	traces   map[string]*trace.Trace // events, simsmall, keyed by workload
 	timings  map[profileKey]Timing   // mode field unused (always baseline)
+	flights  map[any]*flight         // in-progress computations, by cache key
 
 	// TimingReps is the number of repetitions whose median is reported
 	// (default 3).
@@ -82,6 +86,12 @@ type Suite struct {
 	// unlimited), reproducing the paper's dedup slowdown outlier and its
 	// bounded memory bar.
 	DedupShadowLimit int
+
+	// Workers bounds the worker pool Prewarm uses to generate the profile
+	// and trace matrix (0 means GOMAXPROCS). With more than one worker the
+	// suite's runs no longer attach the shared Telemetry metrics — see
+	// coreOptions.
+	Workers int
 
 	// Ctx, when non-nil, cancels the suite's profiling runs cooperatively
 	// (cmd/experiments wires it to SIGINT/SIGTERM).
@@ -98,6 +108,59 @@ func (s *Suite) ctx() context.Context {
 		return s.Ctx
 	}
 	return context.Background()
+}
+
+// workers returns the effective worker-pool size.
+func (s *Suite) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// flight is one in-progress cache fill; waiters block on done and read err
+// afterwards (the close happens-after the err store).
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// shared deduplicates concurrent computations of one cache key. lookup and
+// store run under s.mu; compute runs unlocked. The first caller for a key
+// computes and stores, concurrent callers wait and then re-read the cache.
+func (s *Suite) shared(key any, lookup func() (any, bool), compute func() (any, error), store func(any)) (any, error) {
+	for {
+		s.mu.Lock()
+		if v, ok := lookup(); ok {
+			s.mu.Unlock()
+			return v, nil
+		}
+		if f, ok := s.flights[key]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, f.err
+			}
+			continue // the flight stored its result; re-read the cache
+		}
+		if s.flights == nil {
+			s.flights = make(map[any]*flight)
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+
+		v, err := compute()
+		s.mu.Lock()
+		if err == nil {
+			store(v)
+		}
+		delete(s.flights, key)
+		s.mu.Unlock()
+		f.err = err
+		close(f.done)
+		return v, err
+	}
 }
 
 // NewSuite returns an empty suite.
@@ -122,7 +185,15 @@ func (s *Suite) coreOptions(name string, mode Mode) core.Options {
 	if name == "dedup" && s.DedupShadowLimit > 0 {
 		opts.MaxShadowChunks = s.DedupShadowLimit
 	}
-	opts.Telemetry = s.Telemetry
+	// The shared live Metrics are a single-writer surface: every run calls
+	// BeginRun (a reset) and samples its own counters into the same gauges,
+	// so concurrent runs would interleave garbage. Attach them only when
+	// the suite runs one profile at a time; parallel runs fall back to the
+	// private per-run Metrics core always snapshots into Result.Telemetry,
+	// which keeps the per-run telemetry table exact either way.
+	if s.workers() == 1 {
+		opts.Telemetry = s.Telemetry
+	}
 	return opts
 }
 
@@ -130,67 +201,82 @@ func (s *Suite) coreOptions(name string, mode Mode) core.Options {
 // running it on first use.
 func (s *Suite) Profile(name string, class workloads.Class, mode Mode) (*core.Result, error) {
 	key := profileKey{name, class, mode}
-	s.mu.Lock()
-	if r, ok := s.profiles[key]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-
-	prog, input, err := workloads.Build(name, class)
+	v, err := s.shared(key,
+		func() (any, bool) { r, ok := s.profiles[key]; return r, ok },
+		func() (any, error) {
+			prog, input, err := workloads.Build(name, class)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: building %s/%s: %w", name, class, err)
+			}
+			r, err := core.RunContext(s.ctx(), prog, s.coreOptions(name, mode), input)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: profiling %s/%s: %w", name, class, err)
+			}
+			return r, nil
+		},
+		func(v any) { s.profiles[key] = v.(*core.Result) },
+	)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: building %s/%s: %w", name, class, err)
+		return nil, err
 	}
-	r, err := core.RunContext(s.ctx(), prog, s.coreOptions(name, mode), input)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: profiling %s/%s: %w", name, class, err)
-	}
-	s.mu.Lock()
-	s.profiles[key] = r
-	s.mu.Unlock()
-	return r, nil
+	return v.(*core.Result), nil
 }
+
+// traceKey distinguishes trace flights from profile flights in the shared
+// in-progress map.
+type traceKey string
 
 // Trace returns the cached event trace of a simsmall run.
 func (s *Suite) Trace(name string) (*trace.Trace, error) {
-	s.mu.Lock()
-	if t, ok := s.traces[name]; ok {
-		s.mu.Unlock()
-		return t, nil
-	}
-	s.mu.Unlock()
-
-	prog, input, err := workloads.Build(name, workloads.SimSmall)
+	v, err := s.shared(traceKey(name),
+		func() (any, bool) { t, ok := s.traces[name]; return t, ok },
+		func() (any, error) {
+			prog, input, err := workloads.Build(name, workloads.SimSmall)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: building %s: %w", name, err)
+			}
+			var buf trace.Buffer
+			opts := s.coreOptions(name, ModeBaseline)
+			opts.Events = &buf
+			if _, err := core.RunContext(s.ctx(), prog, opts, input); err != nil {
+				return nil, fmt.Errorf("experiments: tracing %s: %w", name, err)
+			}
+			return trace.FromBuffer(&buf), nil
+		},
+		func(v any) { s.traces[name] = v.(*trace.Trace) },
+	)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: building %s: %w", name, err)
+		return nil, err
 	}
-	var buf trace.Buffer
-	opts := s.coreOptions(name, ModeBaseline)
-	opts.Events = &buf
-	if _, err := core.RunContext(s.ctx(), prog, opts, input); err != nil {
-		return nil, fmt.Errorf("experiments: tracing %s: %w", name, err)
-	}
-	t := trace.FromBuffer(&buf)
-	s.mu.Lock()
-	s.traces[name] = t
-	s.mu.Unlock()
-	return t, nil
+	return v.(*trace.Trace), nil
 }
 
+// timingKey distinguishes timing flights from profile flights (both use
+// profileKey as the cache key).
+type timingKey profileKey
+
 // Timing measures (or returns cached) native / Callgrind / Sigil wall-clock
-// costs for one workload and class.
+// costs for one workload and class. Timings are never prewarmed in
+// parallel: wall-clock measurements demand an otherwise-idle process, so
+// figure code requests them sequentially.
 func (s *Suite) Timing(name string, class workloads.Class) (Timing, error) {
 	key := profileKey{name, class, ModeBaseline}
-	s.mu.Lock()
-	if t, ok := s.timings[key]; ok {
-		s.mu.Unlock()
-		return t, nil
+	v, err := s.shared(timingKey(key),
+		func() (any, bool) { t, ok := s.timings[key]; return t, ok },
+		func() (any, error) { return s.measureTiming(name, class) },
+		func(v any) { s.timings[key] = v.(Timing) },
+	)
+	if err != nil {
+		return Timing{}, err
 	}
+	return v.(Timing), nil
+}
+
+func (s *Suite) measureTiming(name string, class workloads.Class) (Timing, error) {
 	reps := s.TimingReps
 	if reps <= 0 {
 		reps = 3
 	}
-	s.mu.Unlock()
 
 	prog, input, err := workloads.Build(name, class)
 	if err != nil {
@@ -261,9 +347,5 @@ func (s *Suite) Timing(name string, class workloads.Class) (Timing, error) {
 	if err != nil {
 		return Timing{}, err
 	}
-
-	s.mu.Lock()
-	s.timings[key] = t
-	s.mu.Unlock()
 	return t, nil
 }

@@ -54,6 +54,19 @@ type Metrics struct {
 	ShadowBytesResident   atomic.Uint64
 	ShadowBytesPeak       atomic.Uint64
 
+	// Shadow lookup machinery: direct-mapped chunk-cache effectiveness and
+	// pool recycling under the FIFO limit.
+	ShadowCacheHits      atomic.Uint64
+	ShadowCacheMisses    atomic.Uint64
+	ShadowChunksRecycled atomic.Uint64
+
+	// Batched classifier amortization: per-chunk spans classified, the
+	// state-uniform runs within them, and the granules those runs covered
+	// (granules/runs is the average batching factor).
+	ClassifySpans    atomic.Uint64
+	ClassifyRuns     atomic.Uint64
+	ClassifyGranules atomic.Uint64
+
 	// Event-file emission.
 	EventsEmitted atomic.Uint64
 
@@ -84,6 +97,8 @@ func (m *Metrics) BeginRun(start time.Time, budgetInstrs uint64, budgetWall time
 		&m.LocalUniqueBytes, &m.LocalNonUniqueBytes,
 		&m.ShadowChunksAllocated, &m.ShadowChunksLive, &m.ShadowChunksEvicted,
 		&m.ShadowChunksPeak, &m.ShadowBytesResident, &m.ShadowBytesPeak,
+		&m.ShadowCacheHits, &m.ShadowCacheMisses, &m.ShadowChunksRecycled,
+		&m.ClassifySpans, &m.ClassifyRuns, &m.ClassifyGranules,
 		&m.EventsEmitted,
 		&m.CacheAccesses, &m.CacheL1Misses, &m.CacheLLMisses, &m.CachePrefetches,
 		&m.Branches, &m.BranchMispredicts,
@@ -121,6 +136,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		ShadowChunksPeak:      m.ShadowChunksPeak.Load(),
 		ShadowBytesResident:   m.ShadowBytesResident.Load(),
 		ShadowBytesPeak:       m.ShadowBytesPeak.Load(),
+
+		ShadowCacheHits:      m.ShadowCacheHits.Load(),
+		ShadowCacheMisses:    m.ShadowCacheMisses.Load(),
+		ShadowChunksRecycled: m.ShadowChunksRecycled.Load(),
+
+		ClassifySpans:    m.ClassifySpans.Load(),
+		ClassifyRuns:     m.ClassifyRuns.Load(),
+		ClassifyGranules: m.ClassifyGranules.Load(),
 
 		EventsEmitted: m.EventsEmitted.Load(),
 
@@ -163,6 +186,14 @@ type Snapshot struct {
 	ShadowChunksPeak      uint64 `json:"shadow_chunks_peak"`
 	ShadowBytesResident   uint64 `json:"shadow_bytes_resident"`
 	ShadowBytesPeak       uint64 `json:"shadow_bytes_peak"`
+
+	ShadowCacheHits      uint64 `json:"shadow_cache_hits"`
+	ShadowCacheMisses    uint64 `json:"shadow_cache_misses"`
+	ShadowChunksRecycled uint64 `json:"shadow_chunks_recycled"`
+
+	ClassifySpans    uint64 `json:"classify_spans"`
+	ClassifyRuns     uint64 `json:"classify_runs"`
+	ClassifyGranules uint64 `json:"classify_granules"`
 
 	EventsEmitted uint64 `json:"events_emitted"`
 
@@ -254,6 +285,12 @@ var promMetrics = []promMetric{
 	{"sigil_shadow_chunks_evicted_total", "counter", "Shadow chunks dropped by the FIFO limit", func(s Snapshot) uint64 { return s.ShadowChunksEvicted }},
 	{"sigil_shadow_bytes_resident", "gauge", "Shadow memory bytes currently resident", func(s Snapshot) uint64 { return s.ShadowBytesResident }},
 	{"sigil_shadow_bytes_peak", "gauge", "Peak shadow memory bytes", func(s Snapshot) uint64 { return s.ShadowBytesPeak }},
+	{"sigil_shadow_cache_hits_total", "counter", "Chunk lookups served by the direct-mapped cache", func(s Snapshot) uint64 { return s.ShadowCacheHits }},
+	{"sigil_shadow_cache_misses_total", "counter", "Chunk lookups that fell through to the map", func(s Snapshot) uint64 { return s.ShadowCacheMisses }},
+	{"sigil_shadow_chunks_recycled_total", "counter", "Chunk materializations served by the eviction pool", func(s Snapshot) uint64 { return s.ShadowChunksRecycled }},
+	{"sigil_classify_spans_total", "counter", "Per-chunk spans classified by the batched path", func(s Snapshot) uint64 { return s.ClassifySpans }},
+	{"sigil_classify_runs_total", "counter", "State-uniform runs classified by the batched path", func(s Snapshot) uint64 { return s.ClassifyRuns }},
+	{"sigil_classify_granules_total", "counter", "Granules covered by batched classification runs", func(s Snapshot) uint64 { return s.ClassifyGranules }},
 	{"sigil_events_emitted_total", "counter", "Event-file records emitted", func(s Snapshot) uint64 { return s.EventsEmitted }},
 	{"sigil_cache_accesses_total", "counter", "Simulated cache accesses", func(s Snapshot) uint64 { return s.CacheAccesses }},
 	{"sigil_cache_l1_misses_total", "counter", "Simulated L1 misses", func(s Snapshot) uint64 { return s.CacheL1Misses }},

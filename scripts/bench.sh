@@ -1,17 +1,65 @@
 #!/bin/sh
-# Run the self-overhead benchmarks and write BENCH_1.json: a map from
-# benchmark name to ns/op and bytes/op, so successive runs can be diffed
-# (e.g. to confirm the telemetry sampler stays within its ≤3% budget).
+# Run the performance benchmarks and write a BENCH_N.json: a map from
+# benchmark name to ns/op and bytes/op, so successive PRs can be diffed.
+# Covers the self-overhead/ablation benches (root package) and the
+# shadow-memory hot-path microbenches (internal/core).
 #
-# Usage: scripts/bench.sh [go-test -bench regexp]   (default: Overhead|Ablation)
+# Usage:
+#   scripts/bench.sh [regexp]              run benches (default pattern below),
+#                                          write $OUT (default BENCH_2.json)
+#   scripts/bench.sh compare OLD NEW       diff two bench JSON files; exits 1
+#                                          if any shared benchmark regressed
+#                                          >10% in ns/op
 set -eu
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-Overhead|Ablation}"
-BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_1.json}"
+if [ "${1:-}" = "compare" ]; then
+    old="${2:?usage: bench.sh compare OLD.json NEW.json}"
+    new="${3:?usage: bench.sh compare OLD.json NEW.json}"
+    awk -v oldfile="$old" -v newfile="$new" '
+    function parse(file, arr,    line, name, ns) {
+        while ((getline line < file) > 0) {
+            if (match(line, /"[^"]+": \{"ns_per_op": [0-9.]+/)) {
+                split(line, parts, "\"")
+                name = parts[2]
+                match(line, /"ns_per_op": [0-9.]+/)
+                ns = substr(line, RSTART + 13, RLENGTH - 13)
+                arr[name] = ns + 0
+            }
+        }
+        close(file)
+    }
+    BEGIN {
+        parse(oldfile, oldns)
+        parse(newfile, newns)
+        shared = 0; regressed = 0
+        printf "%-60s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        for (name in newns) {
+            if (!(name in oldns)) continue
+            shared++
+            delta = (newns[name] - oldns[name]) / oldns[name] * 100
+            flag = ""
+            if (delta > 10) { flag = "  REGRESSION"; regressed++ }
+            printf "%-60s %12.0f %12.0f %+7.1f%%%s\n", name, oldns[name], newns[name], delta, flag
+        }
+        if (shared == 0) {
+            print "no shared benchmarks between " oldfile " and " newfile
+            exit 1
+        }
+        if (regressed > 0) {
+            print regressed " benchmark(s) regressed >10%"
+            exit 1
+        }
+        print "no regressions >10% across " shared " shared benchmark(s)"
+    }'
+    exit $?
+fi
 
-raw=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . )
+PATTERN="${1:-Overhead|Ablation|MemRead|MemWrite|Shadow}"
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_2.json}"
+
+raw=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . ./internal/core)
 echo "$raw"
 
 echo "$raw" | awk '

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Full pre-merge check: vet, build, race-enabled tests, and a short fuzz
-# smoke over both input parsers (event files and text profiles).
+# Full pre-merge check: vet, build, race-enabled tests, a worker-pool
+# shakeout of the parallel experiments suite, and a short fuzz smoke over
+# the input parsers and the batched classifier.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,11 +24,15 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== experiments worker-pool shakeout (-race, uncached)"
+go test -race -count=1 -run 'TestProfileSingleflight|TestParallelSuite|TestRunPool' ./internal/experiments
+
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -run '^$' -fuzz FuzzReader -fuzztime "$FUZZTIME" ./internal/trace
 go test -run '^$' -fuzz FuzzReadProfile -fuzztime "$FUZZTIME" ./internal/core
+go test -run '^$' -fuzz FuzzBatchedClassifier -fuzztime "$FUZZTIME" ./internal/core
 
-echo "== bench smoke (BENCH_1.json)"
-BENCHTIME=1x sh scripts/bench.sh 'AblationTelemetry' > /dev/null
+echo "== bench smoke (scratch output; committed BENCH_N.json untouched)"
+OUT="$(mktemp)" BENCHTIME=1x sh scripts/bench.sh 'AblationTelemetry' > /dev/null
 
 echo "== all checks passed"
