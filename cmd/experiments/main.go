@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: table1, fig4..fig13, table2, table3, telemetry, chains")
+	only := flag.String("only", "", "run a single experiment: table1, fig4..fig13, table2, table3, telemetry, chains, eventfile")
 	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
 	par := flag.Int("p", runtime.GOMAXPROCS(0), "parallel workers for profile/trace generation (timings always run sequentially; live telemetry attaches to runs only with -p=1)")
 	tel := cli.RegisterTelemetry(flag.CommandLine, "experiments")
@@ -106,6 +106,10 @@ func main() {
 	})
 	run("offload", func() (string, error) {
 		r, err := s.OffloadStudy(10)
+		return render(r, err)
+	})
+	run("eventfile", func() (string, error) {
+		r, err := s.EventFileStats()
 		return render(r, err)
 	})
 	run("chains", func() (string, error) {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -33,6 +34,7 @@ func main() {
 		commCost = flag.Float64("opsperbyte", 0, "charge data edges at this many ops per byte")
 		slots    = flag.String("slots", "", "comma-separated slot counts to schedule onto (e.g. 2,4,8)")
 		salvage  = flag.Bool("salvage", false, "recover the valid prefix of a truncated/corrupt event file")
+		workers  = flag.Int("decode-workers", 0, "frame-decode goroutines for v3 event files (0 = one per CPU)")
 	)
 	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-critpath")
 	flag.Parse()
@@ -45,7 +47,7 @@ func main() {
 	}
 	defer stopTel()
 
-	tr, err := loadTrace(ctx, *evtFile, *workload, *class, *salvage, tel.Metrics())
+	tr, err := loadTrace(ctx, *evtFile, *workload, *class, *salvage, *workers, tel.Metrics())
 	if err != nil {
 		fatal(err)
 	}
@@ -85,7 +87,7 @@ func main() {
 	}
 }
 
-func loadTrace(ctx context.Context, evtFile, workload, class string, salvage bool, m *telemetry.Metrics) (*trace.Trace, error) {
+func loadTrace(ctx context.Context, evtFile, workload, class string, salvage bool, workers int, m *telemetry.Metrics) (*trace.Trace, error) {
 	switch {
 	case evtFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -events or -workload")
@@ -103,7 +105,10 @@ func loadTrace(ctx context.Context, evtFile, workload, class string, salvage boo
 			fmt.Fprintf(os.Stderr, "sigil-critpath: %s\n", rep)
 			return tr, nil
 		}
-		tr, err := trace.ReadAll(f)
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		tr, err := trace.ReadAllWorkers(f, workers)
 		if errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt) {
 			return nil, fmt.Errorf("%w (rerun with -salvage to recover the valid prefix)", err)
 		}

@@ -145,7 +145,14 @@ func run() int {
 		if err := sink.Commit(); err != nil {
 			return fail(err)
 		}
-		fmt.Printf("event file written to %s\n", *outEvt)
+		st := sink.Stats()
+		if st.RawBytes > 0 {
+			fmt.Printf("event file written to %s (%d events in %d frames, %.1f KiB compressed from %.1f, %d emit stalls)\n",
+				*outEvt, st.Events, st.Frames,
+				float64(st.CompressedBytes)/1024, float64(st.RawBytes)/1024, st.Stalls)
+		} else {
+			fmt.Printf("event file written to %s\n", *outEvt)
+		}
 	}
 	if *outProf != "" {
 		if err := core.WriteProfileFile(*outProf, res); err != nil {

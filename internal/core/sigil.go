@@ -145,6 +145,10 @@ type Tool struct {
 	events  trace.Sink
 	evErr   error
 	emitted uint64 // events accepted by the sink, for telemetry sampling
+	// evStats, when the sink exposes async-writer pipeline counters
+	// (queue depth, stalls, frames, compressed bytes), feeds them to the
+	// telemetry sampler; nil for plain sinks like trace.Buffer.
+	evStats func() trace.WriterStats
 	// defined tracks which contexts have had a KindDefCtx emitted.
 	defined []bool
 
@@ -185,6 +189,9 @@ func New(sub *callgrind.Tool, opts Options) (*Tool, error) {
 		events:  opts.Events,
 		edgeKey: ^uint64(0),
 		scalar:  opts.refScalar,
+	}
+	if st, ok := opts.Events.(interface{ Stats() trace.WriterStats }); ok {
+		t.evStats = st.Stats
 	}
 	if opts.LineGranularity {
 		for 1<<t.shift < opts.LineSize {

@@ -57,6 +57,13 @@ func (t *Tool) sampleInto(m *telemetry.Metrics) {
 	m.ClassifyGranules.Store(t.granules)
 
 	m.EventsEmitted.Store(t.emitted)
+	if t.evStats != nil {
+		ws := t.evStats()
+		m.EventQueueDepth.Store(uint64(ws.QueueDepth))
+		m.EventEmitStalls.Store(ws.Stalls)
+		m.EventFrames.Store(ws.Frames)
+		m.EventBytesCompressed.Store(ws.CompressedBytes)
+	}
 	m.Samples.Add(1)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"sync"
 	"testing"
@@ -68,6 +69,75 @@ func TestFinalSnapshotMatchesResult(t *testing.T) {
 	// The caller's live block saw the same final sample.
 	if live := m.Snapshot(); live.Instrs != snap.Instrs {
 		t.Errorf("live metrics (%d instrs) diverge from snapshot (%d)", live.Instrs, snap.Instrs)
+	}
+}
+
+// TestSampleIntoCarriesWriterStats: the sampler mirrors the async v3
+// writer's pipeline counters into the metrics block. The writer is closed
+// before sampling, so its counters are final and the comparison is exact.
+func TestSampleIntoCarriesWriterStats(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriterOptions(&buf, trace.WriterOptions{FrameEvents: 4})
+	tool, err := New(newSubstrate(), Options{Events: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := w.Emit(trace.Event{Kind: trace.KindOps, Ops: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := &telemetry.Metrics{}
+	tool.sampleInto(m)
+	snap := m.Snapshot()
+	st := w.Stats()
+	if st.Frames == 0 {
+		t.Fatal("writer wrote no frames")
+	}
+	if snap.EventFrames != st.Frames {
+		t.Errorf("EventFrames = %d, writer reports %d", snap.EventFrames, st.Frames)
+	}
+	if snap.EventBytesCompressed != st.CompressedBytes {
+		t.Errorf("EventBytesCompressed = %d, writer reports %d", snap.EventBytesCompressed, st.CompressedBytes)
+	}
+	if snap.EventQueueDepth != 0 {
+		t.Errorf("EventQueueDepth = %d after Close", snap.EventQueueDepth)
+	}
+	if snap.EventEmitStalls != st.Stalls {
+		t.Errorf("EventEmitStalls = %d, writer reports %d", snap.EventEmitStalls, st.Stalls)
+	}
+}
+
+// TestSnapshotCarriesWriterStats: end to end, a run profiling into a
+// FileSink surfaces the pipeline counters in the final snapshot. The
+// background encoder may still be draining when the final sample is taken,
+// so the snapshot can lag the sink's eventual totals but never exceed them.
+func TestSnapshotCarriesWriterStats(t *testing.T) {
+	path := t.TempDir() + "/out.evt"
+	sink, err := trace.CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(producerConsumer(t, 64, 3), Options{Events: sink}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := sink.Stats()
+	snap := res.Telemetry
+	if snap.EventsEmitted != st.Events {
+		t.Errorf("EventsEmitted = %d, sink accepted %d", snap.EventsEmitted, st.Events)
+	}
+	if snap.EventFrames > st.Frames {
+		t.Errorf("EventFrames = %d exceeds final %d", snap.EventFrames, st.Frames)
+	}
+	if snap.EventBytesCompressed > st.CompressedBytes {
+		t.Errorf("EventBytesCompressed = %d exceeds final %d", snap.EventBytesCompressed, st.CompressedBytes)
 	}
 }
 

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"sigil/internal/trace"
+	"sigil/internal/workloads"
+)
+
+// EventFileRow is one workload's on-disk event-file footprint: the flat
+// varint v2 encoding against the framed, delta-encoded, DEFLATE-compressed
+// v3 encoding the writer now produces.
+type EventFileRow struct {
+	Name    string
+	Events  int     // records in the stream, context definitions included
+	V2Bytes int     // flat v2 file size
+	V3Bytes int     // framed v3 file size
+	Frames  uint64  // v3 frames written
+	Ratio   float64 // V2Bytes / V3Bytes (higher = v3 smaller)
+}
+
+// EventFileResult is the event-file footprint study across all workloads.
+type EventFileResult struct {
+	Rows []EventFileRow
+}
+
+// streamEvents reconstructs a workload trace's full event sequence:
+// context definitions first (ascending ID, so parents precede children —
+// IDs are assigned in definition order), then the event stream.
+func streamEvents(tr *trace.Trace) []trace.Event {
+	ids := make([]int32, 0, len(tr.Contexts))
+	for id := range tr.Contexts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	events := make([]trace.Event, 0, len(ids)+len(tr.Events))
+	for _, id := range ids {
+		info := tr.Contexts[id]
+		events = append(events, trace.Event{
+			Kind: trace.KindDefCtx, Ctx: info.ID, SrcCtx: info.Parent, Name: info.Name,
+		})
+	}
+	return append(events, tr.Events...)
+}
+
+// EventFileStats encodes every workload's simsmall event stream in both
+// formats and reports the footprint each would occupy on disk.
+func (s *Suite) EventFileStats() (*EventFileResult, error) {
+	out := &EventFileResult{}
+	for _, name := range workloads.Names() {
+		tr, err := s.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		events := streamEvents(tr)
+
+		var v2 bytes.Buffer
+		w2 := trace.NewWriterV2(&v2)
+		for _, e := range events {
+			if err := w2.Emit(e); err != nil {
+				return nil, err
+			}
+		}
+		if err := w2.Close(); err != nil {
+			return nil, err
+		}
+
+		var v3 bytes.Buffer
+		w3 := trace.NewWriter(&v3)
+		for _, e := range events {
+			if err := w3.Emit(e); err != nil {
+				return nil, err
+			}
+		}
+		if err := w3.Close(); err != nil {
+			return nil, err
+		}
+
+		row := EventFileRow{
+			Name:    name,
+			Events:  len(events),
+			V2Bytes: v2.Len(),
+			V3Bytes: v3.Len(),
+			Frames:  w3.Stats().Frames,
+		}
+		if row.V3Bytes > 0 {
+			row.Ratio = float64(row.V2Bytes) / float64(row.V3Bytes)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the footprint study.
+func (r *EventFileResult) Render() string {
+	tb := &table{
+		title:   "Event-file footprint: flat v2 vs framed+compressed v3 (simsmall)",
+		headers: []string{"workload", "events", "v2 bytes", "v3 bytes", "frames", "v2/v3"},
+	}
+	for _, row := range r.Rows {
+		tb.add(row.Name,
+			fmt.Sprintf("%d", row.Events),
+			fmt.Sprintf("%d", row.V2Bytes),
+			fmt.Sprintf("%d", row.V3Bytes),
+			fmt.Sprintf("%d", row.Frames),
+			f2(row.Ratio))
+	}
+	return tb.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sigil/internal/trace"
+	"sigil/internal/workloads"
+)
+
+func TestEventFileStats(t *testing.T) {
+	r, err := suite().EventFileStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(workloads.Names()) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(workloads.Names()))
+	}
+	for _, row := range r.Rows {
+		if row.Events == 0 || row.V2Bytes == 0 || row.V3Bytes == 0 {
+			t.Errorf("%s: empty row %+v", row.Name, row)
+		}
+		if row.Frames == 0 {
+			t.Errorf("%s: no frames recorded", row.Name)
+		}
+		// The issue pins real event files at >= 2x smaller; streams long
+		// enough to fill frames must clear it comfortably.
+		if row.Events > 1000 && row.Ratio < 2 {
+			t.Errorf("%s: v2/v3 ratio %.2f below 2x on %d events", row.Name, row.Ratio, row.Events)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"workload", "v2 bytes", "v3 bytes", "frames"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestStreamEventsRoundTrips: the reconstructed defctx-first sequence must
+// decode back to the exact same Trace it was built from.
+func TestStreamEventsRoundTrips(t *testing.T) {
+	tr, err := suite().Trace("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := streamEvents(tr)
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) || !reflect.DeepEqual(got.Contexts, tr.Contexts) {
+		t.Error("round-tripped trace differs from original")
+	}
+	// Context definitions must precede every use when replayed in order.
+	rd := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	defined := map[int32]bool{trace.CtxStartup: true, trace.CtxKernel: true}
+	for {
+		e, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Kind == trace.KindDefCtx {
+			if e.SrcCtx >= 0 && !defined[e.SrcCtx] {
+				t.Fatalf("ctx %d defined before its parent %d", e.Ctx, e.SrcCtx)
+			}
+			defined[e.Ctx] = true
+			continue
+		}
+		if !defined[e.Ctx] {
+			t.Fatalf("event for undefined ctx %d", e.Ctx)
+		}
+	}
+}

@@ -323,6 +323,7 @@ func (s *Suite) RenderAll() (string, error) {
 		func() (interface{ Render() string }, error) { return s.Figure12() },
 		func() (interface{ Render() string }, error) { return s.Figure13() },
 		func() (interface{ Render() string }, error) { return s.RunTelemetry() },
+		func() (interface{ Render() string }, error) { return s.EventFileStats() },
 	}
 	for _, step := range steps {
 		r, err := step()

@@ -67,8 +67,15 @@ type Metrics struct {
 	ClassifyRuns     atomic.Uint64
 	ClassifyGranules atomic.Uint64
 
-	// Event-file emission.
-	EventsEmitted atomic.Uint64
+	// Event-file emission. EventsEmitted counts records accepted by the
+	// sink; the rest mirror the async v3 writer's pipeline: batches queued
+	// for the background encoder, Emit hand-offs that blocked on it, frames
+	// written, and their on-wire (compressed) size.
+	EventsEmitted        atomic.Uint64
+	EventQueueDepth      atomic.Uint64
+	EventEmitStalls      atomic.Uint64
+	EventFrames          atomic.Uint64
+	EventBytesCompressed atomic.Uint64
 
 	// Substrate simulation.
 	CacheAccesses     atomic.Uint64
@@ -99,7 +106,8 @@ func (m *Metrics) BeginRun(start time.Time, budgetInstrs uint64, budgetWall time
 		&m.ShadowChunksPeak, &m.ShadowBytesResident, &m.ShadowBytesPeak,
 		&m.ShadowCacheHits, &m.ShadowCacheMisses, &m.ShadowChunksRecycled,
 		&m.ClassifySpans, &m.ClassifyRuns, &m.ClassifyGranules,
-		&m.EventsEmitted,
+		&m.EventsEmitted, &m.EventQueueDepth, &m.EventEmitStalls,
+		&m.EventFrames, &m.EventBytesCompressed,
 		&m.CacheAccesses, &m.CacheL1Misses, &m.CacheLLMisses, &m.CachePrefetches,
 		&m.Branches, &m.BranchMispredicts,
 	} {
@@ -145,7 +153,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		ClassifyRuns:     m.ClassifyRuns.Load(),
 		ClassifyGranules: m.ClassifyGranules.Load(),
 
-		EventsEmitted: m.EventsEmitted.Load(),
+		EventsEmitted:        m.EventsEmitted.Load(),
+		EventQueueDepth:      m.EventQueueDepth.Load(),
+		EventEmitStalls:      m.EventEmitStalls.Load(),
+		EventFrames:          m.EventFrames.Load(),
+		EventBytesCompressed: m.EventBytesCompressed.Load(),
 
 		CacheAccesses:     m.CacheAccesses.Load(),
 		CacheL1Misses:     m.CacheL1Misses.Load(),
@@ -195,7 +207,11 @@ type Snapshot struct {
 	ClassifyRuns     uint64 `json:"classify_runs"`
 	ClassifyGranules uint64 `json:"classify_granules"`
 
-	EventsEmitted uint64 `json:"events_emitted"`
+	EventsEmitted        uint64 `json:"events_emitted"`
+	EventQueueDepth      uint64 `json:"event_queue_depth"`
+	EventEmitStalls      uint64 `json:"event_emit_stalls"`
+	EventFrames          uint64 `json:"event_frames"`
+	EventBytesCompressed uint64 `json:"event_bytes_compressed"`
 
 	CacheAccesses     uint64 `json:"cache_accesses"`
 	CacheL1Misses     uint64 `json:"cache_l1_misses"`
@@ -247,8 +263,13 @@ func (s Snapshot) Text() string {
 	fmt.Fprintf(&sb, "sim: %d accesses, %d L1 misses, %d LL misses, %d/%d branches mispredicted\n",
 		s.CacheAccesses, s.CacheL1Misses, s.CacheLLMisses,
 		s.BranchMispredicts, s.Branches)
-	fmt.Fprintf(&sb, "events emitted: %d   heap %.1f MiB, %d pages\n",
-		s.EventsEmitted, float64(s.HeapBytes)/(1<<20), s.MemPages)
+	fmt.Fprintf(&sb, "events emitted: %d", s.EventsEmitted)
+	if s.EventFrames > 0 {
+		fmt.Fprintf(&sb, " (%d frames, %.2f MiB compressed, %d stalls)",
+			s.EventFrames, float64(s.EventBytesCompressed)/(1<<20), s.EventEmitStalls)
+	}
+	fmt.Fprintf(&sb, "   heap %.1f MiB, %d pages\n",
+		float64(s.HeapBytes)/(1<<20), s.MemPages)
 	if s.WallNanos > 0 {
 		fmt.Fprintf(&sb, "wall %s (%.0f instrs/sec)\n",
 			time.Duration(s.WallNanos), s.InstrsPerSec(time.Time{}))
@@ -292,6 +313,10 @@ var promMetrics = []promMetric{
 	{"sigil_classify_runs_total", "counter", "State-uniform runs classified by the batched path", func(s Snapshot) uint64 { return s.ClassifyRuns }},
 	{"sigil_classify_granules_total", "counter", "Granules covered by batched classification runs", func(s Snapshot) uint64 { return s.ClassifyGranules }},
 	{"sigil_events_emitted_total", "counter", "Event-file records emitted", func(s Snapshot) uint64 { return s.EventsEmitted }},
+	{"sigil_event_queue_depth", "gauge", "Event batches queued for the background encoder", func(s Snapshot) uint64 { return s.EventQueueDepth }},
+	{"sigil_event_emit_stalls_total", "counter", "Event emissions that blocked on the encoder", func(s Snapshot) uint64 { return s.EventEmitStalls }},
+	{"sigil_event_frames_total", "counter", "Event-file frames written", func(s Snapshot) uint64 { return s.EventFrames }},
+	{"sigil_event_bytes_compressed_total", "counter", "Event-file bytes on the wire after compression", func(s Snapshot) uint64 { return s.EventBytesCompressed }},
 	{"sigil_cache_accesses_total", "counter", "Simulated cache accesses", func(s Snapshot) uint64 { return s.CacheAccesses }},
 	{"sigil_cache_l1_misses_total", "counter", "Simulated L1 misses", func(s Snapshot) uint64 { return s.CacheL1Misses }},
 	{"sigil_cache_ll_misses_total", "counter", "Simulated last-level misses", func(s Snapshot) uint64 { return s.CacheLLMisses }},

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Microbenchmarks for the event-file hot paths, named so scripts/bench.sh
+// picks them up (TraceEmit|TraceDecode). Each op processes a full stream of
+// benchStreamEvents records so ns/op tracks whole-file throughput: the emit
+// benches pin the async v3 writer against the flat v2 encoder, the decode
+// benches pin the framed reader (sequential and 4-way parallel) against the
+// v2 byte-at-a-time CRC reader.
+
+const benchStreamEvents = 1 << 14
+
+func benchStream(b *testing.B) []Event {
+	b.Helper()
+	return genEvents(benchStreamEvents)
+}
+
+func benchEncode(b *testing.B, events []Event, v3 bool) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	var err error
+	if v3 {
+		w := NewWriter(&buf)
+		for _, e := range events {
+			if err = w.Emit(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		err = w.Close()
+	} else {
+		w := NewWriterV2(&buf)
+		for _, e := range events {
+			if err = w.Emit(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		err = w.Close()
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkTraceEmitV2(b *testing.B) {
+	events := benchStream(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriterV2(io.Discard)
+		for _, e := range events {
+			if err := w.Emit(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceEmitV3(b *testing.B) {
+	events := benchStream(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(io.Discard)
+		for _, e := range events {
+			if err := w.Emit(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The EmitCall pair measures the per-call latency the instrumented run pays
+// inline. For v3 that is a slab append plus an occasional batch hand-off;
+// encoding and compression ride on the writer's background goroutine, so on
+// multi-core hosts they overlap the run (on a single-CPU host the encoder
+// still shares the measured thread's core — see BenchmarkTraceEmitV3 for
+// whole-stream wall time including that work).
+func BenchmarkTraceEmitCallV2(b *testing.B) {
+	events := benchStream(b)
+	w := NewWriterV2(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Emit(events[i%len(events)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTraceEmitCallV3(b *testing.B) {
+	events := benchStream(b)
+	w := NewWriter(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Emit(events[i%len(events)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTraceDecodeV2(b *testing.B) {
+	data := benchEncode(b, benchStream(b), false)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceDecodeV3Seq(b *testing.B) {
+	data := benchEncode(b, benchStream(b), true)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAllWorkers(bytes.NewReader(data), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceDecodeV3Par4(b *testing.B) {
+	data := benchEncode(b, benchStream(b), true)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAllWorkers(bytes.NewReader(data), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

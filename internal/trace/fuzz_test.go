@@ -2,46 +2,128 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
 
-// FuzzReader checks the event-file decoder never panics or over-allocates
-// on corrupt input, and that well-formed prefixes round-trip.
-func FuzzReader(f *testing.F) {
-	// Seed with a real encoded stream and mutations of it.
-	var buf bytes.Buffer
-	w := NewWriter(&buf)
-	for _, e := range []Event{
+func fuzzEvents() []Event {
+	return []Event{
 		{Kind: KindDefCtx, Ctx: 0, SrcCtx: -1, Name: "main"},
 		{Kind: KindEnter, Ctx: 0, Call: 1, Time: 10},
 		{Kind: KindComm, Ctx: 0, Call: 1, SrcCtx: -1, Bytes: 64, Time: 12},
 		{Kind: KindOps, Ctx: 0, Call: 1, Ops: 5, Time: 20},
 		{Kind: KindLeave, Ctx: 0, Call: 1, Time: 21},
-	} {
+	}
+}
+
+// FuzzReader checks the event-file decoder never panics or over-allocates
+// on corrupt input, across all three format versions and both the
+// sequential and parallel decode paths.
+func FuzzReader(f *testing.F) {
+	// Seed with real encoded streams of each version and mutations of them.
+	var v3 bytes.Buffer
+	w := NewWriter(&v3)
+	for _, e := range fuzzEvents() {
 		_ = w.Emit(e)
 	}
 	_ = w.Close()
-	f.Add(buf.Bytes())
-	f.Add([]byte{})
-	f.Add([]byte("SIGEVT"))
-	f.Add(append(append([]byte{}, buf.Bytes()...), 0xFF, 0xFF, 0xFF))
-	// A v1 stream (no footer) and a v2 stream cut mid-footer.
-	v1 := append([]byte{}, buf.Bytes()[:len(buf.Bytes())-4]...)
+	f.Add(v3.Bytes())
+
+	var v2 bytes.Buffer
+	w2 := NewWriterV2(&v2)
+	for _, e := range fuzzEvents() {
+		_ = w2.Emit(e)
+	}
+	_ = w2.Close()
+	f.Add(v2.Bytes())
+
+	// A v1 stream: v2 records with the footer stripped and the version byte
+	// rewound (the footer is the trailing marker + 2 uvarints).
+	v1 := append([]byte{}, v2.Bytes()...)
+	for i := len(v1) - 1; i > len(magic); i-- {
+		if v1[i] == footerByte {
+			v1 = v1[:i]
+			break
+		}
+	}
 	v1[len(magic)-1] = 1
 	f.Add(v1)
-	f.Add(buf.Bytes()[:len(buf.Bytes())-2])
+
+	f.Add([]byte{})
+	f.Add([]byte("SIGEVT"))
+	f.Add(append(append([]byte{}, v3.Bytes()...), 0xFF, 0xFF, 0xFF))
+	f.Add(v3.Bytes()[:len(v3.Bytes())-2]) // cut mid-trailer
+	f.Add(v2.Bytes()[:len(v2.Bytes())-2]) // cut mid-footer
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		for i := 0; i < 10000; i++ {
-			_, err := r.Next()
-			if err != nil {
-				if err == io.EOF {
-					return
-				}
-				return // decode errors are expected on corrupt input
+			if _, err := r.Next(); err != nil {
+				break // io.EOF or a decode error; both are fine, panics are not
 			}
+		}
+		// The parallel path must agree with the sequential one on validity.
+		seq, seqErr := ReadAllWorkers(bytes.NewReader(data), 1)
+		par, parErr := ReadAllWorkers(bytes.NewReader(data), 4)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("sequential err %v, parallel err %v", seqErr, parErr)
+		}
+		if seqErr == nil {
+			if len(seq.Events) != len(par.Events) || len(seq.Contexts) != len(par.Contexts) {
+				t.Fatalf("sequential decoded %d/%d, parallel %d/%d",
+					len(seq.Events), len(seq.Contexts), len(par.Events), len(par.Contexts))
+			}
+		}
+		// Salvage must tolerate anything with a readable header.
+		if _, _, err := Salvage(bytes.NewReader(data)); err != nil && len(data) >= len(magic) {
+			if bytes.Equal(data[:len(magic)-1], magic[:len(magic)-1]) && (data[len(magic)-1] >= 1 && data[len(magic)-1] <= 3) {
+				t.Fatalf("salvage failed on valid header: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzFrameReader fuzzes the version-3 frame layer directly: arbitrary
+// bytes are decoded as the post-magic region of a v3 stream (frames,
+// footer, trailer). The decoder must never panic, never allocate beyond
+// its sanity caps, and must reject anything that does not checksum.
+func FuzzFrameReader(f *testing.F) {
+	// Seed with a real frame+footer region, a lone frame, a lone footer,
+	// and mutations.
+	var full bytes.Buffer
+	w := NewWriterOptions(&full, WriterOptions{FrameEvents: 2})
+	for _, e := range fuzzEvents() {
+		_ = w.Emit(e)
+	}
+	_ = w.Close()
+	region := full.Bytes()[len(magic):]
+	f.Add(region)
+	f.Add(region[:len(region)/2])
+	f.Add(appendFooter(nil, nil, 0))
+	mut := append([]byte{}, region...)
+	if len(mut) > 10 {
+		mut[10] ^= 0x80
+	}
+	f.Add(mut)
+	f.Add([]byte{frameByte, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{footerByte, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stream := append(append([]byte{}, magic...), data...)
+		rd := NewReader(bytes.NewReader(stream))
+		var n int
+		var err error
+		for {
+			if _, err = rd.Next(); err != nil {
+				break
+			}
+			if n++; n > 1<<20 {
+				t.Fatal("decoder did not terminate")
+			}
+		}
+		if errors.Is(err, io.EOF) && !rd.footerSeen {
+			t.Fatal("clean EOF without a verified footer")
 		}
 	})
 }

@@ -48,8 +48,10 @@ func (r SalvageReport) String() string {
 // decode failure instead of propagating it: crashed profiling runs leave
 // truncated event files, and the data before the cut is still good. It
 // returns the recovered Trace and a report saying precisely how much of the
-// stream survived. Only an unreadable header (not an event file at all)
-// returns an error.
+// stream survived. On version-3 streams recovery is frame-granular: every
+// frame whose checksum verifies contributes all of its events, and only the
+// frame holding the cut is lost. Only an unreadable header (not an event
+// file at all) returns an error.
 func Salvage(r io.Reader) (*Trace, *SalvageReport, error) {
 	rd := NewReader(r)
 	tr := &Trace{Contexts: make(map[int32]CtxInfo)}
@@ -75,8 +77,8 @@ func Salvage(r io.Reader) (*Trace, *SalvageReport, error) {
 		}
 		tr.Events = append(tr.Events, e)
 	}
-	rep.BytesValid = rd.r.bytes
-	rep.BytesTotal = rd.r.bytes + drain(rd.r.r)
+	rep.BytesValid = rd.bytesValid()
+	rep.BytesTotal = rd.bytesConsumed() + drain(rd.br)
 	return tr, rep, nil
 }
 
@@ -114,6 +116,10 @@ func (s *FileSink) Emit(e Event) error { return s.w.Emit(e) }
 // can reconcile the file against the run's telemetry snapshot.
 func (s *FileSink) EventsWritten() uint64 { return s.w.Count() }
 
+// Stats exposes the underlying async writer's pipeline counters (frames,
+// queue depth, stalls, compressed bytes) for telemetry sampling.
+func (s *FileSink) Stats() WriterStats { return s.w.Stats() }
+
 // Commit finalizes the stream (footer, flush, fsync) and atomically renames
 // it to the target path.
 func (s *FileSink) Commit() error {
@@ -146,6 +152,9 @@ func (s *FileSink) Abort() {
 		return
 	}
 	s.done = true
+	// Close first: it stops the writer's background encoder goroutine,
+	// which would otherwise leak (its output is discarded with the file).
+	s.w.Close()
 	s.discard()
 }
 

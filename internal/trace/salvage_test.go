@@ -28,7 +28,7 @@ func encodeStream(t *testing.T, events []Event) []byte {
 func v1Stream(t *testing.T, events []Event) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	w := NewWriter(&buf)
+	w := NewWriterV2(&buf)
 	for _, e := range events {
 		if err := w.Emit(e); err != nil {
 			t.Fatal(err)

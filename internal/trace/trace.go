@@ -2,17 +2,20 @@
 // file. Instead of per-function aggregates, a program's execution is
 // recorded as a sequence of dependent events — fragments of computation
 // separated by data-transfer edges — which downstream analyses (critical
-// path, scheduling) consume. The format is a compact varint binary stream
-// with inline context definitions so it can be written and read in one pass.
+// path, scheduling) consume.
+//
+// Three on-disk versions exist. Version 1 is a flat varint record stream;
+// version 2 adds an end-of-stream footer (event count + CRC-32); version 3
+// — the format NewWriter produces — packs events into self-contained
+// frames (delta-encoded, DEFLATE-compressed, individually checksummed) and
+// ends with a footer carrying a frame index, so readers can decode frames
+// in parallel and recover every complete frame from a truncated file. All
+// three versions are read transparently.
 package trace
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 )
 
 // Kind discriminates event types.
@@ -93,103 +96,25 @@ func (b *Buffer) Emit(e Event) error {
 }
 
 // magic identifies event files; the trailing byte is the format version.
-// Version 2 appends an end-of-stream footer (event count + CRC-32) so a
-// truncated or corrupt file is detectable; version 1 files (no footer) are
-// still read.
+// Version 3 (the current write format) is framed and compressed; version 2
+// appends an end-of-stream footer (event count + CRC-32) so a truncated or
+// corrupt file is detectable; version 1 files (no footer) are still read.
 var (
-	magic   = []byte{'S', 'I', 'G', 'E', 'V', 'T', 0, 2}
+	magic   = []byte{'S', 'I', 'G', 'E', 'V', 'T', 0, 3}
+	magicV2 = []byte{'S', 'I', 'G', 'E', 'V', 'T', 0, 2}
 	magicV1 = []byte{'S', 'I', 'G', 'E', 'V', 'T', 0, 1}
 )
 
-// footerByte opens the v2 end-of-stream footer record. It is far outside
-// the Kind range, so it can never collide with an event.
-const footerByte = 0xF6
-
-// ErrTruncated reports a v2 stream that ended without its footer: the
+// ErrTruncated reports a v2/v3 stream that ended without its footer: the
 // writer crashed (or the file was cut) mid-stream.
 var ErrTruncated = errors.New("trace: stream truncated (missing footer)")
 
-// ErrCorrupt reports a v2 footer whose event count or checksum does not
-// match the stream read.
-var ErrCorrupt = errors.New("trace: footer mismatch (corrupt stream)")
+// ErrCorrupt reports a stream whose checksums or counts do not match the
+// bytes read: a damaged frame, a footer that disagrees with the stream, or
+// a payload that does not decode to its declared shape.
+var ErrCorrupt = errors.New("trace: checksum or count mismatch (corrupt stream)")
 
-// Writer encodes events to an io.Writer in the v2 format.
-type Writer struct {
-	w      *bufio.Writer
-	buf    [10 * 7]byte
-	wrote  bool
-	closed bool
-	count  uint64 // events emitted
-	crc    uint32 // running CRC-32 (IEEE) over all record bytes
-}
-
-// NewWriter returns a Writer targeting w. Call Close to write the footer
-// and flush; without it the stream is detectably incomplete.
-func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
-}
-
-// Emit implements Sink.
-func (w *Writer) Emit(e Event) error {
-	if w.closed {
-		return errors.New("trace: emit after Close")
-	}
-	if !w.wrote {
-		if _, err := w.w.Write(magic); err != nil {
-			return err
-		}
-		w.wrote = true
-	}
-	b := w.buf[:0]
-	b = append(b, byte(e.Kind))
-	b = binary.AppendUvarint(b, zigzag(e.Ctx))
-	b = binary.AppendUvarint(b, e.Call)
-	b = binary.AppendUvarint(b, zigzag(e.SrcCtx))
-	b = binary.AppendUvarint(b, e.SrcCall)
-	b = binary.AppendUvarint(b, e.Bytes)
-	b = binary.AppendUvarint(b, e.Ops)
-	b = binary.AppendUvarint(b, e.Time)
-	b = binary.AppendUvarint(b, uint64(len(e.Name)))
-	if _, err := w.w.Write(b); err != nil {
-		return err
-	}
-	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
-	if len(e.Name) > 0 {
-		if _, err := w.w.WriteString(e.Name); err != nil {
-			return err
-		}
-		w.crc = crc32.Update(w.crc, crc32.IEEETable, []byte(e.Name))
-	}
-	w.count++
-	return nil
-}
-
-// Count reports the number of events emitted so far, for progress
-// reporting and end-of-run accounting against telemetry snapshots.
-func (w *Writer) Count() uint64 { return w.count }
-
-// Close writes the end-of-stream footer and flushes buffered events. The
-// underlying writer is not closed.
-func (w *Writer) Close() error {
-	if w.closed {
-		return nil
-	}
-	w.closed = true
-	if !w.wrote {
-		if _, err := w.w.Write(magic); err != nil {
-			return err
-		}
-	}
-	b := w.buf[:0]
-	b = append(b, footerByte)
-	b = binary.AppendUvarint(b, w.count)
-	b = binary.AppendUvarint(b, uint64(w.crc))
-	if _, err := w.w.Write(b); err != nil {
-		return err
-	}
-	return w.w.Flush()
-}
-
+// zigzag maps a signed 32-bit context ID onto the small-uvarint range.
 func zigzag(v int32) uint64 {
 	return uint64(uint32(v<<1) ^ uint32(v>>31))
 }
@@ -198,148 +123,14 @@ func unzigzag(u uint64) int32 {
 	return int32(uint32(u)>>1) ^ -int32(u&1)
 }
 
-// hashReader tees every byte delivered to the decoder into a running
-// CRC-32 and byte count, so the Reader can verify the v2 footer and
-// Salvage can report how many bytes of valid prefix it consumed.
-type hashReader struct {
-	r     *bufio.Reader
-	crc   uint32
-	bytes int64
+// zigzag64 maps signed deltas (timestamp/call-number differences inside a
+// v3 frame) onto the small-uvarint range.
+func zigzag64(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
 }
 
-func (h *hashReader) ReadByte() (byte, error) {
-	b, err := h.r.ReadByte()
-	if err == nil {
-		h.crc = crc32.Update(h.crc, crc32.IEEETable, []byte{b})
-		h.bytes++
-	}
-	return b, err
-}
-
-func (h *hashReader) readFull(p []byte) error {
-	// Count partial reads too: on a mid-record cut the consumed bytes must
-	// still show up in Salvage's byte accounting.
-	n, err := io.ReadFull(h.r, p)
-	h.crc = crc32.Update(h.crc, crc32.IEEETable, p[:n])
-	h.bytes += int64(n)
-	return err
-}
-
-// Reader decodes an event stream (v1 or v2). For v2 streams, hitting end of
-// input without the footer yields ErrTruncated instead of io.EOF, and a
-// footer that disagrees with the bytes read yields ErrCorrupt — so a clean
-// io.EOF from a v2 file certifies the stream complete and checksummed.
-type Reader struct {
-	r          *hashReader
-	started    bool
-	version    int
-	count      uint64 // events decoded so far
-	footerSeen bool
-}
-
-// NewReader returns a Reader over r.
-func NewReader(r io.Reader) *Reader {
-	return &Reader{r: &hashReader{r: bufio.NewReaderSize(r, 1<<16)}}
-}
-
-// Version returns the stream's format version (0 before the header is read).
-func (r *Reader) Version() int { return r.version }
-
-// trunc types a mid-record read failure: on a v2 stream an EOF inside a
-// record is a truncated file (ErrTruncated), matching the end-of-stream
-// case; other causes pass through.
-func (r *Reader) trunc(what string, err error) error {
-	if r.version >= 2 && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
-		return fmt.Errorf("%w: %s cut short", ErrTruncated, what)
-	}
-	return fmt.Errorf("trace: truncated %s: %w", what, err)
-}
-
-// Next returns the next event, or io.EOF at a verified end of stream.
-func (r *Reader) Next() (Event, error) {
-	if !r.started {
-		head := make([]byte, len(magic))
-		if _, err := io.ReadFull(r.r.r, head); err != nil {
-			return Event{}, fmt.Errorf("trace: reading header: %w", err)
-		}
-		for i, m := range magic[:len(magic)-1] {
-			if head[i] != m {
-				return Event{}, errors.New("trace: bad magic (not an event file)")
-			}
-		}
-		switch head[len(magic)-1] {
-		case 1, 2:
-			r.version = int(head[len(magic)-1])
-		default:
-			return Event{}, fmt.Errorf("trace: unsupported format version %d", head[len(magic)-1])
-		}
-		r.started = true
-	}
-	if r.footerSeen {
-		return Event{}, io.EOF
-	}
-	// Snapshot the digest before this record: the footer's checksum covers
-	// everything up to (not including) the footer itself.
-	preCRC := r.r.crc
-	kb, err := r.r.ReadByte()
-	if err != nil {
-		if errors.Is(err, io.EOF) {
-			if r.version >= 2 {
-				return Event{}, ErrTruncated
-			}
-			return Event{}, io.EOF
-		}
-		return Event{}, err
-	}
-	if r.version >= 2 && kb == footerByte {
-		wantCount, err := binary.ReadUvarint(r.r)
-		if err != nil {
-			return Event{}, fmt.Errorf("%w: footer cut short", ErrTruncated)
-		}
-		wantCRC, err := binary.ReadUvarint(r.r)
-		if err != nil {
-			return Event{}, fmt.Errorf("%w: footer cut short", ErrTruncated)
-		}
-		if wantCount != r.count || uint32(wantCRC) != preCRC {
-			return Event{}, fmt.Errorf("%w: footer says %d events crc %#x, stream has %d events crc %#x",
-				ErrCorrupt, wantCount, uint32(wantCRC), r.count, preCRC)
-		}
-		r.footerSeen = true
-		return Event{}, io.EOF
-	}
-	var e Event
-	e.Kind = Kind(kb)
-	fields := [7]uint64{}
-	for i := range fields {
-		v, err := binary.ReadUvarint(r.r)
-		if err != nil {
-			return Event{}, r.trunc("event", err)
-		}
-		fields[i] = v
-	}
-	e.Ctx = unzigzag(fields[0])
-	e.Call = fields[1]
-	e.SrcCtx = unzigzag(fields[2])
-	e.SrcCall = fields[3]
-	e.Bytes = fields[4]
-	e.Ops = fields[5]
-	e.Time = fields[6]
-	nameLen, err := binary.ReadUvarint(r.r)
-	if err != nil {
-		return Event{}, r.trunc("event", err)
-	}
-	if nameLen > 0 {
-		if nameLen > 1<<20 {
-			return Event{}, fmt.Errorf("trace: implausible name length %d", nameLen)
-		}
-		name := make([]byte, nameLen)
-		if err := r.r.readFull(name); err != nil {
-			return Event{}, r.trunc("name", err)
-		}
-		e.Name = string(name)
-	}
-	r.count++
-	return e, nil
+func unzigzag64(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
 }
 
 // CtxInfo describes one context defined in a stream.
@@ -353,27 +144,6 @@ type CtxInfo struct {
 type Trace struct {
 	Contexts map[int32]CtxInfo
 	Events   []Event
-}
-
-// ReadAll loads an entire stream, separating context definitions from the
-// event sequence.
-func ReadAll(r io.Reader) (*Trace, error) {
-	tr := &Trace{Contexts: make(map[int32]CtxInfo)}
-	rd := NewReader(r)
-	for {
-		e, err := rd.Next()
-		if errors.Is(err, io.EOF) {
-			return tr, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		if e.Kind == KindDefCtx {
-			tr.Contexts[e.Ctx] = CtxInfo{ID: e.Ctx, Parent: e.SrcCtx, Name: e.Name}
-			continue
-		}
-		tr.Events = append(tr.Events, e)
-	}
 }
 
 // FromBuffer converts an in-memory Buffer into a Trace without encoding.

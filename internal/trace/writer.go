@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bufio"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// WriterOptions tunes the v3 Writer. The zero value selects the defaults.
+type WriterOptions struct {
+	// FrameEvents is the number of events per frame (default 4096).
+	// Smaller frames lose less data on a crash and parallelize shorter
+	// decodes; larger frames compress and amortize better.
+	FrameEvents int
+	// Level is the DEFLATE level for frame payloads, in flate's range
+	// [-2, 9]. The default is flate.BestSpeed: event payloads are so
+	// repetitive after delta encoding that higher levels buy little size
+	// for much more encoder CPU.
+	Level int
+	// levelSet distinguishes an explicit flate.NoCompression (0) from the
+	// zero value; SetLevel sets it.
+	levelSet bool
+}
+
+// SetLevel fixes the DEFLATE level explicitly, distinguishing
+// flate.NoCompression (0) from "use the default".
+func (o *WriterOptions) SetLevel(level int) {
+	o.Level = level
+	o.levelSet = true
+}
+
+// Writer encodes events to an io.Writer in the v3 format. Emit appends to
+// an in-memory batch on the caller's goroutine; a background encoder
+// goroutine delta-encodes, compresses and writes each full batch as one
+// frame, so the interpreter hot loop never pays varint or DEFLATE costs.
+// Batches are double-buffered: Emit only blocks (a counted stall) when the
+// encoder falls a full frame behind. Close flushes the final partial
+// frame, writes the footer (frame index + totals), and must be called —
+// without it the stream is detectably incomplete and the encoder goroutine
+// leaks.
+type Writer struct {
+	// Caller-goroutine state.
+	cur         []Event
+	count       uint64
+	frameEvents int
+	closed      bool
+
+	// Hand-off: three batch slabs circulate between the caller and the
+	// encoder (one being filled, up to two queued or in encode).
+	work chan []Event
+	free chan []Event
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+
+	// Backpressure and volume accounting, readable concurrently via Stats.
+	stalls    atomic.Uint64
+	queued    atomic.Int64
+	frames    atomic.Uint64
+	rawBytes  atomic.Uint64
+	compBytes atomic.Uint64
+
+	// Encoder-goroutine state; the caller may touch it only after done is
+	// closed (Close does, to write the footer).
+	w          *bufio.Writer
+	enc        *frameEncoder
+	index      []frameEntry
+	wroteMagic bool
+}
+
+// NewWriter returns a v3 Writer targeting w with default options. Call
+// Close to write the footer and flush; without it the stream is detectably
+// incomplete.
+func NewWriter(w io.Writer) *Writer {
+	return NewWriterOptions(w, WriterOptions{})
+}
+
+// NewWriterOptions returns a v3 Writer with explicit framing options.
+func NewWriterOptions(w io.Writer, opts WriterOptions) *Writer {
+	if opts.FrameEvents <= 0 {
+		opts.FrameEvents = defaultFrameEvents
+	}
+	if opts.Level == 0 && !opts.levelSet {
+		opts.Level = flate.BestSpeed
+	}
+	wr := &Writer{
+		frameEvents: opts.FrameEvents,
+		work:        make(chan []Event, 2),
+		free:        make(chan []Event, 3),
+		done:        make(chan struct{}),
+		w:           bufio.NewWriterSize(w, 1<<16),
+		enc:         newFrameEncoder(opts.Level),
+	}
+	wr.cur = make([]Event, 0, opts.FrameEvents)
+	wr.free <- make([]Event, 0, opts.FrameEvents)
+	wr.free <- make([]Event, 0, opts.FrameEvents)
+	go wr.encodeLoop()
+	return wr
+}
+
+// Emit implements Sink. The event is buffered; encoding, compression and
+// the write happen on the background encoder. Errors from earlier frames
+// surface here (and on Close) — profiling continues, later events are
+// dropped by the caller's error handling as with any failing sink.
+func (w *Writer) Emit(e Event) error {
+	if w.closed {
+		return errors.New("trace: emit after Close")
+	}
+	w.cur = append(w.cur, e)
+	w.count++
+	if len(w.cur) >= w.frameEvents {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush hands the full batch to the encoder and picks up an empty slab,
+// counting a stall whenever either side would block (the encoder is a full
+// frame behind — the backpressure the double buffer is sized to absorb).
+func (w *Writer) flush() error {
+	w.queued.Add(1)
+	select {
+	case w.work <- w.cur:
+	default:
+		w.stalls.Add(1)
+		w.work <- w.cur
+	}
+	select {
+	case b := <-w.free:
+		w.cur = b[:0]
+	default:
+		w.stalls.Add(1)
+		w.cur = (<-w.free)[:0]
+	}
+	return w.firstErr()
+}
+
+// encodeLoop is the background encoder: one frame per batch, slabs
+// recycled through the free list. On a write error it keeps draining (so
+// Emit never deadlocks) but writes nothing further.
+func (w *Writer) encodeLoop() {
+	defer close(w.done)
+	for batch := range w.work {
+		if w.firstErr() == nil {
+			if err := w.writeFrame(batch); err != nil {
+				w.setErr(err)
+			}
+		}
+		w.queued.Add(-1)
+		select {
+		case w.free <- batch[:0]:
+		default:
+			// Close drained the free list; drop the slab.
+		}
+	}
+}
+
+func (w *Writer) writeFrame(batch []Event) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if !w.wroteMagic {
+		if _, err := w.w.Write(magic); err != nil {
+			return err
+		}
+		w.wroteMagic = true
+	}
+	head, payload, err := w.enc.encode(batch)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(head); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.index = append(w.index, frameEntry{
+		events: uint64(len(batch)),
+		bytes:  uint64(len(head) + len(payload)),
+	})
+	w.frames.Add(1)
+	w.rawBytes.Add(uint64(len(w.enc.raw)))
+	w.compBytes.Add(uint64(len(head) + len(payload)))
+	return nil
+}
+
+func (w *Writer) firstErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *Writer) setErr(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// Count reports the number of events emitted so far, for progress
+// reporting and end-of-run accounting against telemetry snapshots.
+func (w *Writer) Count() uint64 { return w.count }
+
+// WriterStats is a point-in-time view of the writer's async pipeline, the
+// numbers behind the sigil_event_* telemetry series.
+type WriterStats struct {
+	Events          uint64 // events accepted by Emit
+	Frames          uint64 // frames written by the encoder
+	QueueDepth      int    // batches handed off but not yet encoded
+	Stalls          uint64 // Emit hand-offs that blocked on the encoder
+	RawBytes        uint64 // payload bytes before compression
+	CompressedBytes uint64 // frame bytes on the wire (headers included)
+}
+
+// Stats returns the writer's pipeline counters. Safe to call concurrently
+// with the encoder; Events is owned by the emitting goroutine.
+func (w *Writer) Stats() WriterStats {
+	return WriterStats{
+		Events:          w.count,
+		Frames:          w.frames.Load(),
+		QueueDepth:      int(w.queued.Load()),
+		Stalls:          w.stalls.Load(),
+		RawBytes:        w.rawBytes.Load(),
+		CompressedBytes: w.compBytes.Load(),
+	}
+}
+
+// Close flushes the final partial frame, stops the encoder, writes the
+// footer (frame index, totals, trailer) and flushes buffered bytes. The
+// underlying writer is not closed. Close is idempotent; after it, Emit
+// fails.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.firstErr()
+	}
+	w.closed = true
+	if len(w.cur) > 0 {
+		w.queued.Add(1)
+		w.work <- w.cur
+		w.cur = nil
+	}
+	close(w.work)
+	<-w.done
+	// The encoder has exited: its state (w.w, w.index, wroteMagic) is ours.
+	if err := w.firstErr(); err != nil {
+		return err
+	}
+	if !w.wroteMagic {
+		if _, err := w.w.Write(magic); err != nil {
+			return err
+		}
+		w.wroteMagic = true
+	}
+	foot := appendFooter(nil, w.index, w.count)
+	if _, err := w.w.Write(foot); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing stream: %w", err)
+	}
+	return nil
+}
+
+var _ io.Closer = (*Writer)(nil)

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// WriterV2 is the legacy synchronous version-2 encoder: one flat varint
+// record per event, CRC'd inline on the emitting goroutine, with a
+// count+CRC footer. It is retained so tooling can still produce v2 files
+// and so the differential suite can pin the v3 pipeline against it; new
+// code should use the framed, compressed Writer.
+type WriterV2 struct {
+	w *bufio.Writer
+	// buf holds one worst-case record: the kind byte plus eight
+	// max-width (10-byte) uvarints. It was previously sized 10*7 = 70
+	// bytes, one uvarint short, so worst-case records silently spilled
+	// into a heap allocation on every Emit.
+	buf    [1 + 8*10]byte
+	wrote  bool
+	closed bool
+	count  uint64 // events emitted
+	crc    uint32 // running CRC-32 (IEEE) over all record bytes
+}
+
+// NewWriterV2 returns a version-2 Writer targeting w. Call Close to write
+// the footer and flush; without it the stream is detectably incomplete.
+func NewWriterV2(w io.Writer) *WriterV2 {
+	return &WriterV2{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit implements Sink.
+func (w *WriterV2) Emit(e Event) error {
+	if w.closed {
+		return errors.New("trace: emit after Close")
+	}
+	if !w.wrote {
+		if _, err := w.w.Write(magicV2); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	b := w.buf[:0]
+	b = append(b, byte(e.Kind))
+	b = binary.AppendUvarint(b, zigzag(e.Ctx))
+	b = binary.AppendUvarint(b, e.Call)
+	b = binary.AppendUvarint(b, zigzag(e.SrcCtx))
+	b = binary.AppendUvarint(b, e.SrcCall)
+	b = binary.AppendUvarint(b, e.Bytes)
+	b = binary.AppendUvarint(b, e.Ops)
+	b = binary.AppendUvarint(b, e.Time)
+	b = binary.AppendUvarint(b, uint64(len(e.Name)))
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
+	if len(e.Name) > 0 {
+		if _, err := w.w.WriteString(e.Name); err != nil {
+			return err
+		}
+		w.crc = crc32.Update(w.crc, crc32.IEEETable, []byte(e.Name))
+	}
+	w.count++
+	return nil
+}
+
+// Count reports the number of events emitted so far.
+func (w *WriterV2) Count() uint64 { return w.count }
+
+// Close writes the end-of-stream footer and flushes buffered events. The
+// underlying writer is not closed.
+func (w *WriterV2) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if !w.wrote {
+		if _, err := w.w.Write(magicV2); err != nil {
+			return err
+		}
+	}
+	b := w.buf[:0]
+	b = append(b, footerByte)
+	b = binary.AppendUvarint(b, w.count)
+	b = binary.AppendUvarint(b, uint64(w.crc))
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}

@@ -1,12 +1,13 @@
 #!/bin/sh
 # Run the performance benchmarks and write a BENCH_N.json: a map from
 # benchmark name to ns/op and bytes/op, so successive PRs can be diffed.
-# Covers the self-overhead/ablation benches (root package) and the
-# shadow-memory hot-path microbenches (internal/core).
+# Covers the self-overhead/ablation benches (root package), the
+# shadow-memory hot-path microbenches (internal/core), and the event-file
+# emit/decode microbenches (internal/trace).
 #
 # Usage:
 #   scripts/bench.sh [regexp]              run benches (default pattern below),
-#                                          write $OUT (default BENCH_2.json)
+#                                          write $OUT (default BENCH_3.json)
 #   scripts/bench.sh compare OLD NEW       diff two bench JSON files; exits 1
 #                                          if any shared benchmark regressed
 #                                          >10% in ns/op
@@ -55,11 +56,11 @@ if [ "${1:-}" = "compare" ]; then
     exit $?
 fi
 
-PATTERN="${1:-Overhead|Ablation|MemRead|MemWrite|Shadow}"
+PATTERN="${1:-Overhead|Ablation|MemRead|MemWrite|Shadow|TraceEmit|TraceDecode}"
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_2.json}"
+OUT="${OUT:-BENCH_3.json}"
 
-raw=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . ./internal/core)
+raw=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . ./internal/core ./internal/trace)
 echo "$raw"
 
 echo "$raw" | awk '

@@ -29,6 +29,7 @@ go test -race -count=1 -run 'TestProfileSingleflight|TestParallelSuite|TestRunPo
 
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -run '^$' -fuzz FuzzReader -fuzztime "$FUZZTIME" ./internal/trace
+go test -run '^$' -fuzz FuzzFrameReader -fuzztime "$FUZZTIME" ./internal/trace
 go test -run '^$' -fuzz FuzzReadProfile -fuzztime "$FUZZTIME" ./internal/core
 go test -run '^$' -fuzz FuzzBatchedClassifier -fuzztime "$FUZZTIME" ./internal/core
 
