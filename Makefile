@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check fuzz fmt bench
+.PHONY: build test race check fuzz fmt bench lint
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,9 @@ fmt:
 
 bench:
 	sh scripts/bench.sh
+
+lint:
+	$(GO) run ./cmd/sigil-lint ./...
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $${FUZZTIME:-5s} ./internal/trace

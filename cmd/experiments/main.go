@@ -72,9 +72,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			fail(err)
 		}
-		for name, chain := range chains {
-			fmt.Printf("%s §IV-C chain: %s\n", name, strings.Join(chain, " -> "))
-		}
+		fmt.Print(experiments.RenderChains(chains, "§IV-C chain"))
 		return
 	}
 
@@ -117,11 +115,7 @@ func main() {
 		if err != nil {
 			return "", err
 		}
-		var sb strings.Builder
-		for name, chain := range chains {
-			fmt.Fprintf(&sb, "%s: %s\n", name, strings.Join(chain, " -> "))
-		}
-		return sb.String(), nil
+		return experiments.RenderChains(chains, ""), nil
 	})
 }
 

@@ -96,23 +96,14 @@ func loadTrace(ctx context.Context, evtFile, workload, class string, salvage boo
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		if salvage {
-			tr, rep, err := trace.Salvage(f)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Fprintf(os.Stderr, "sigil-critpath: %s\n", rep)
-			return tr, nil
+		tr, err := readEventFile(f, salvage, workers)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
 		}
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+		if err != nil {
+			return nil, err
 		}
-		tr, err := trace.ReadAllWorkers(f, workers)
-		if errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt) {
-			return nil, fmt.Errorf("%w (rerun with -salvage to recover the valid prefix)", err)
-		}
-		return tr, err
+		return tr, nil
 	case workload != "":
 		c, err := workloads.ParseClass(class)
 		if err != nil {
@@ -130,6 +121,27 @@ func loadTrace(ctx context.Context, evtFile, workload, class string, salvage boo
 	default:
 		return nil, fmt.Errorf("need -events or -workload")
 	}
+}
+
+// readEventFile decodes an event file, either salvaging a damaged one or
+// fanning the frame decode out across workers.
+func readEventFile(f *os.File, salvage bool, workers int) (*trace.Trace, error) {
+	if salvage {
+		tr, rep, err := trace.Salvage(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "sigil-critpath: %s\n", rep)
+		return tr, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tr, err := trace.ReadAllWorkers(f, workers)
+	if errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt) {
+		return nil, fmt.Errorf("%w (rerun with -salvage to recover the valid prefix)", err)
+	}
+	return tr, err
 }
 
 func fatal(err error) {

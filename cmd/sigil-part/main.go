@@ -113,8 +113,14 @@ func loadResult(ctx context.Context, profFile, workload, class string, m *teleme
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return core.ReadProfile(f)
+		r, err := core.ReadProfile(f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
 	case workload != "":
 		c, err := workloads.ParseClass(class)
 		if err != nil {

@@ -1,0 +1,52 @@
+//go:build unix
+
+package cli
+
+import (
+	"context"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// sendAndAwait delivers sig to this process and waits for ctx to cancel.
+// The Context handler owns the signal while registered, so the test binary
+// survives its own SIGINT/SIGTERM.
+func sendAndAwait(t *testing.T, ctx context.Context, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("context not cancelled within 5s of %v", sig)
+	}
+}
+
+// TestContextCancelsOnSIGINT pins the whole interrupt path that every tool
+// shares: SIGINT cancels the run context, and the resulting error maps to
+// the shell's 128+SIGINT exit convention.
+func TestContextCancelsOnSIGINT(t *testing.T) {
+	ctx, stop := Context()
+	defer stop()
+	sendAndAwait(t, ctx, syscall.SIGINT)
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+	if got := ExitCode(ctx.Err()); got != 130 {
+		t.Errorf("ExitCode(%v) = %d, want 130", ctx.Err(), got)
+	}
+}
+
+// TestContextCancelsOnSIGTERM covers the other registered signal.
+func TestContextCancelsOnSIGTERM(t *testing.T) {
+	ctx, stop := Context()
+	defer stop()
+	sendAndAwait(t, ctx, syscall.SIGTERM)
+	if got := ExitCode(ctx.Err()); got != 130 {
+		t.Errorf("ExitCode(%v) = %d, want 130", ctx.Err(), got)
+	}
+}

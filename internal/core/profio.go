@@ -122,8 +122,14 @@ func ReadProfileFile(path string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadProfile(f)
+	r, err := ReadProfile(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func quote(s string) string { return strconv.Quote(s) }

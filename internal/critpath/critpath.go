@@ -269,11 +269,13 @@ func AnalyzeFile(path string, workers int) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	tr, err := trace.ReadAllWorkers(f, workers)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"sigil/internal/critpath"
@@ -72,6 +73,27 @@ func (s *Suite) CriticalPathChains() (map[string][]string, error) {
 		out[name] = chain
 	}
 	return out, nil
+}
+
+// RenderChains formats the chains map one workload per line, keys sorted,
+// so two renders of the same analysis are byte-identical regardless of map
+// iteration order. A non-empty label is inserted between the workload name
+// and the chain ("streamcluster <label>: a -> b").
+func RenderChains(chains map[string][]string, label string) string {
+	keys := make([]string, 0, len(chains))
+	for k := range chains {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		if label != "" {
+			fmt.Fprintf(&sb, "%s %s: %s\n", k, label, strings.Join(chains[k], " -> "))
+		} else {
+			fmt.Fprintf(&sb, "%s: %s\n", k, strings.Join(chains[k], " -> "))
+		}
+	}
+	return sb.String()
 }
 
 // Render prints Fig 13 and the §IV-C chains.

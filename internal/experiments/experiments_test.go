@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -350,6 +352,33 @@ func TestCriticalPathChains(t *testing.T) {
 	fl := strings.Join(chains["fluidanimate"], " -> ")
 	if !strings.Contains(fl, "ComputeForces") || !strings.HasSuffix(fl, "main") {
 		t.Errorf("fluidanimate chain = %q, want ComputeForces-dominated path to main", fl)
+	}
+}
+
+// TestRenderChainsDeterministic re-renders the same map many times and
+// demands byte-identical output: with enough keys, an implementation that
+// leaked map iteration order into the text would diverge almost surely.
+func TestRenderChainsDeterministic(t *testing.T) {
+	chains := map[string][]string{}
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("workload%02d", i)
+		chains[name] = []string{"leaf", fmt.Sprintf("mid%d", i), "main"}
+	}
+	first := RenderChains(chains, "chain")
+	for i := 0; i < 16; i++ {
+		if got := RenderChains(chains, "chain"); got != first {
+			t.Fatalf("render %d differs from first render:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(first, "\n"), "\n")
+	if len(lines) != len(chains) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(chains))
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("output lines are not sorted:\n%s", first)
+	}
+	if want := "workload07 chain: leaf -> mid7 -> main"; lines[7] != want {
+		t.Errorf("line 7 = %q, want %q", lines[7], want)
 	}
 }
 

@@ -1,0 +1,54 @@
+// Package analysis is a self-contained, dependency-free core of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check with a
+// Run function, a Pass hands it one type-checked package, and Report
+// delivers diagnostics. Keeping the same shape means the sigil analyzers
+// could move onto the real framework unchanged if the dependency ever
+// becomes available; until then the module builds offline with the
+// standard library alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics and in
+// //sigil:lint-allow suppression directives; Doc is the one-paragraph
+// description the driver prints.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run applies the check to one package. It reports findings through
+	// pass.Report and returns an error only for internal failures (a
+	// malformed package, never a finding).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between one Analyzer and one package. All fields
+// are populated by the driver before Run is called.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver layers suppression and
+	// ordering on top, so analyzers just call it for every finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position in the package's FileSet and a
+// human-readable message that states the invariant being violated.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,95 @@
+// Package analysistest runs one analyzer over golden packages and checks
+// its diagnostics against `// want` comments, the same contract as
+// golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	code under test // want "regexp" "second regexp"
+//
+// declares that the analyzer must report diagnostics on that line matching
+// each regexp, and any diagnostic without a matching want (or want without
+// a diagnostic) fails the test. Golden packages live under
+// <dir>/src/<importpath>/ and may import the standard library and each
+// other.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"sigil/internal/lint"
+	"sigil/internal/lint/analysis"
+	"sigil/internal/lint/loader"
+)
+
+// wantRE extracts the expectation patterns: double-quoted or backquoted
+// regexps after the want keyword.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each package path under dir/src, applies the analyzer, and
+// compares diagnostics with the packages' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := loader.LoadDirs(dir, paths...)
+	if err != nil {
+		t.Fatalf("loading golden packages: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+						expr := m[1]
+						if m[2] != "" {
+							expr = m[2]
+						}
+						pat, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, expr, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, pattern: pat,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	findings, err := lint.Apply(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+outer:
+	for _, f := range findings {
+		for _, w := range wants {
+			if w.matched || w.file != f.File || w.line != f.Line {
+				continue
+			}
+			if w.pattern.MatchString(f.Message) {
+				w.matched = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", f)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sigil/internal/lint/analysis"
+)
+
+// detorderScope is where rendered output is produced: the report writer
+// and the experiments tables (both the library and its command).
+var detorderScope = []string{"internal/report", "internal/experiments", "cmd/experiments"}
+
+// detorderEmitMethods are method names that append to rendered output —
+// the experiments table builder and the strings/bytes builders the report
+// writer prints through.
+var detorderEmitMethods = map[string]bool{
+	"add":         true, // experiments table rows
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true, // json.Encoder
+}
+
+// Detorder reports `range` statements over maps whose body emits output
+// (fmt calls, table rows, builder writes, JSON encoding) in the packages
+// that render reports and experiment tables. Go randomizes map iteration
+// order, so such a loop produces a different byte stream on every run —
+// the experiments suite's whole point is reproducing the paper's tables,
+// and diffing two runs must be byte-identical. Collect the keys, sort
+// them, and range over the slice instead.
+var Detorder = &analysis.Analyzer{
+	Name: "detorder",
+	Doc: "forbid ranging over a map directly into rendered output in report/experiments " +
+		"packages; sort the keys first so output is byte-identical across runs",
+	Run: runDetorder,
+}
+
+func runDetorder(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), detorderScope) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if emit, where := firstEmission(pass, rs.Body); emit {
+				pass.Reportf(rs.Pos(),
+					"map iteration order is randomized but this loop emits output (%s): collect the keys, sort them, and range over the slice for byte-identical runs",
+					where)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// firstEmission reports whether the loop body produces rendered output,
+// and names the call that does.
+func firstEmission(pass *analysis.Pass, body *ast.BlockStmt) (bool, string) {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if obj.Pkg().Path() == "fmt" {
+			found = "fmt." + sel.Sel.Name
+			return false
+		}
+		if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil &&
+			detorderEmitMethods[fn.Name()] {
+			found = "." + fn.Name()
+			return false
+		}
+		return true
+	})
+	return found != "", found
+}

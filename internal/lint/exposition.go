@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+
+	"sigil/internal/lint/analysis"
+)
+
+// expositionScope is where the live-counter block and its emitters live.
+var expositionScope = []string{"internal/telemetry"}
+
+// Exposition cross-checks the telemetry wiring: every sync/atomic counter
+// field on telemetry.Metrics must be read by the Snapshot() method and the
+// matching Snapshot field must be referenced by a Prometheus emitter (the
+// promMetrics table or WritePrometheus). Three PRs in a row added counters
+// and wired them by hand — and this class of drift (a counter that samples
+// but never exposes, so dashboards silently read zero) survived review
+// more than once. Now it's a build failure.
+var Exposition = &analysis.Analyzer{
+	Name: "exposition",
+	Doc: "require every telemetry.Metrics counter to be read in Snapshot() and " +
+		"exposed by the Prometheus emitters (promMetrics / WritePrometheus)",
+	Run: runExposition,
+}
+
+func runExposition(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), expositionScope) {
+		return nil, nil
+	}
+	metrics := findStructDecl(pass, "Metrics")
+	if metrics == nil {
+		return nil, nil
+	}
+
+	var counters []*ast.Field // fields of sync/atomic type, with their names
+	for _, field := range metrics.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isAtomicType(tv.Type) {
+			continue
+		}
+		counters = append(counters, field)
+	}
+
+	snapNames, haveSnapshot := selectorNamesIn(pass, func(d *ast.FuncDecl) bool {
+		return d.Name.Name == "Snapshot" && recvTypeName(d) == "Metrics"
+	}, "")
+	promNames, havePromTable := selectorNamesIn(pass, func(d *ast.FuncDecl) bool {
+		return d.Name.Name == "WritePrometheus"
+	}, "promMetrics")
+
+	for _, field := range counters {
+		for _, name := range field.Names {
+			if haveSnapshot && !snapNames[name.Name] {
+				pass.Reportf(name.Pos(),
+					"telemetry counter Metrics.%s is never read in Snapshot(): live views and Result.Telemetry will silently report zero for it",
+					name.Name)
+			}
+			if havePromTable && !promNames[name.Name] {
+				pass.Reportf(name.Pos(),
+					"telemetry counter Metrics.%s is missing from the Prometheus exposition (promMetrics/WritePrometheus): counters must reconcile with the emitters",
+					name.Name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// findStructDecl returns the struct type declared under the given name in
+// the package, or nil.
+func findStructDecl(pass *analysis.Pass, name string) *ast.StructType {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// selectorNamesIn collects every selector name (the x in `recv.x`) used
+// inside function declarations matched by matchFunc and inside the
+// package-level variable declaration named varName (if any). The boolean
+// reports whether at least one matching declaration was found — a package
+// with no emitter at all has nothing to reconcile against.
+func selectorNamesIn(pass *analysis.Pass, matchFunc func(*ast.FuncDecl) bool, varName string) (map[string]bool, bool) {
+	names := map[string]bool{}
+	found := false
+	collect := func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				names[sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if matchFunc != nil && matchFunc(d) && d.Body != nil {
+					found = true
+					collect(d.Body)
+				}
+			case *ast.GenDecl:
+				if varName == "" {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						if id.Name != varName || i >= len(vs.Values) {
+							continue
+						}
+						found = true
+						collect(vs.Values[i])
+					}
+				}
+			}
+		}
+	}
+	return names, found
+}
+
+// recvTypeName returns the name of a method's receiver base type, or "".
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,274 @@
+// Package loader type-checks Go packages for the lint analyzers without
+// golang.org/x/tools/go/packages. It shells out to `go list -export -deps
+// -json` for package metadata and compiled export data (both come from the
+// local build cache, so it works fully offline), parses the matched
+// packages from source, and type-checks them with the standard gc importer
+// reading the listed export files.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package: its syntax trees plus the full
+// go/types information analyzers need. Test files are not included — the
+// analyzers enforce invariants on shipped code.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Export     string
+	Dir        string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// Load lists patterns (e.g. "./...") relative to dir and returns every
+// matched package type-checked from source. Dependencies, including the
+// standard library, are resolved from compiled export data and are not
+// re-checked or returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Export,Dir,GoFiles,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := typeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   t.ImportPath,
+			Dir:       t.Dir,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     pkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadDirs type-checks bare directories of Go files under srcRoot/src,
+// giving each the relative directory as its import path — the layout
+// analysistest uses for golden inputs, which live outside any real module.
+// The directories may import the standard library and each other.
+func LoadDirs(srcRoot string, paths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	local := map[string][]*ast.File{}
+	var external []string
+	seenExt := map[string]bool{}
+	for _, rel := range paths {
+		dir := filepath.Join(srcRoot, "src", filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		local[rel] = files
+	}
+	for _, files := range local {
+		for _, f := range files {
+			for _, im := range f.Imports {
+				path, err := strconv.Unquote(im.Path.Value)
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := local[path]; ok || seenExt[path] {
+					continue
+				}
+				seenExt[path] = true
+				external = append(external, path)
+			}
+		}
+	}
+
+	exports := map[string]string{}
+	if len(external) > 0 {
+		sort.Strings(external)
+		args := append([]string{
+			"list", "-export", "-deps", "-json=ImportPath,Export",
+		}, external...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = srcRoot
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list %s: %v\n%s",
+				strings.Join(external, " "), err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	r := &dirResolver{
+		fset:    fset,
+		local:   local,
+		checked: map[string]*Package{},
+	}
+	r.fallback = exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, rel := range paths {
+		p, err := r.check(rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// dirResolver type-checks testdata directories on demand so they can
+// import one another regardless of the order they were requested in.
+type dirResolver struct {
+	fset     *token.FileSet
+	local    map[string][]*ast.File
+	checked  map[string]*Package
+	fallback types.Importer
+}
+
+func (r *dirResolver) Import(path string) (*types.Package, error) {
+	if _, ok := r.local[path]; ok {
+		p, err := r.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return r.fallback.Import(path)
+}
+
+func (r *dirResolver) check(rel string) (*Package, error) {
+	if p, ok := r.checked[rel]; ok {
+		return p, nil
+	}
+	files := r.local[rel]
+	pkg, info, err := typeCheck(r.fset, rel, files, r)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", rel, err)
+	}
+	p := &Package{
+		PkgPath:   rel,
+		Fset:      r.fset,
+		Syntax:    files,
+		Types:     pkg,
+		TypesInfo: info,
+	}
+	r.checked[rel] = p
+	return p, nil
+}
+
+// exportImporter resolves imports from the export files `go list -export`
+// reported, via the standard gc importer.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		ep, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(ep)
+	})
+}
+
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sigil/internal/lint/analysis"
+)
+
+// panicfreeScope lists the packages whose public contract is "errors, not
+// panics": a panic here tears down the interpreter mid-run and loses the
+// salvageable partial profile that PR 1's budget/fault machinery exists to
+// preserve.
+var panicfreeScope = []string{"internal/core", "internal/trace", "internal/vm"}
+
+// Panicfree reports calls to the builtin panic in sigil's run-critical
+// packages. Before the fault-tolerance rework, core.New, vm.Build and
+// cachesim.New all panicked on bad input, turning a misconfigured run into
+// a crash with no partial result; they now return errors, and this
+// analyzer keeps it that way. A documented recovery boundary (code whose
+// panic is caught by a recover in the same machinery) may be annotated
+// with //sigil:lint-allow panicfree.
+var Panicfree = &analysis.Analyzer{
+	Name: "panicfree",
+	Doc: "forbid panic in internal/core, internal/trace and internal/vm; " +
+		"run-critical packages return errors so interrupted runs salvage partial results",
+	Run: runPanicfree,
+}
+
+func runPanicfree(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), panicfreeScope) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in %s: run-critical packages must return errors so budget/fault paths can salvage a partial result; "+
+					"if this is a documented recovery boundary, annotate it with //sigil:lint-allow panicfree",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sigil/internal/lint/analysis"
+)
+
+// sinkerrMethods are the flush-path methods whose error return is the only
+// signal that buffered data actually reached its destination.
+var sinkerrMethods = map[string]bool{
+	"Close": true,
+	"Flush": true,
+	"Sync":  true,
+	"Emit":  true,
+}
+
+// sinkerrTypeScope lists the packages whose types carry write-path state:
+// trace writers and sinks, the atomic-rename file helpers, telemetry
+// servers, and the core run machinery. os.File is included explicitly —
+// profile and event files ultimately land in one.
+var sinkerrTypeScope = []string{
+	"internal/trace", "internal/safeio", "internal/telemetry", "internal/core",
+}
+
+// Sinkerr reports Close/Flush/Sync/Emit calls whose error result is
+// silently dropped. The async v3 trace writer buffers aggressively, so the
+// write that fails is usually the final flush inside Close — ignoring it
+// turns a full disk into a truncated event file that reads as a shorter
+// run. An explicit `_ =` assignment is accepted as a visible, reviewable
+// discard; a bare call or a bare defer is not.
+var Sinkerr = &analysis.Analyzer{
+	Name: "sinkerr",
+	Doc: "require the error results of Close/Flush/Sync/Emit on sinks, trace writers, " +
+		"safeio and os.File to be checked (or explicitly discarded with _ =)",
+	Run: runSinkerr,
+}
+
+func runSinkerr(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkSinkCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkSinkCall(pass, st.Call, "deferred ")
+			case *ast.GoStmt:
+				checkSinkCall(pass, st.Call, "go ")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSinkCall(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return
+	}
+	if sig.Recv() != nil {
+		if !sinkerrMethods[fn.Name()] {
+			return
+		}
+		recv := types.Unalias(sig.Recv().Type())
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = types.Unalias(p.Elem())
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return
+		}
+		pkgPath := named.Obj().Pkg().Path()
+		if pkgPath != "os" && !inScope(pkgPath, sinkerrTypeScope) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%serror from %s.%s is dropped: a failed flush-path call is a silent lost write; check it or discard explicitly with _ =",
+			how, named.Obj().Name(), fn.Name())
+		return
+	}
+	// Package-level functions: everything safeio exports exists to make a
+	// write durable, so a dropped error defeats the package.
+	if fn.Pkg() != nil && inScope(fn.Pkg().Path(), []string{"internal/safeio"}) {
+		pass.Reportf(call.Pos(),
+			"%serror from %s.%s is dropped: the atomic write may not have happened; check it or discard explicitly with _ =",
+			how, fn.Pkg().Name(), fn.Name())
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

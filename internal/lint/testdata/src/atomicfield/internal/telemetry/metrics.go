@@ -1,0 +1,43 @@
+// Package telemetry mirrors the live-counter block for the atomicfield
+// analyzer: single-writer atomics that must never be accessed directly or
+// copied wholesale.
+package telemetry
+
+import "sync/atomic"
+
+// Metrics is a lock-free counter block sampled by one writer and read by
+// many.
+type Metrics struct {
+	Instrs  atomic.Uint64
+	Samples atomic.Uint64
+}
+
+// Good uses the atomic API and pointers throughout.
+func Good(m *Metrics) uint64 {
+	m.Instrs.Add(1)
+	p := &m.Samples
+	p.Store(2)
+	return m.Instrs.Load()
+}
+
+// Bad reads a field as a plain value and copies the whole block.
+func Bad(m *Metrics) uint64 {
+	v := m.Instrs  // want `field Metrics.Instrs has atomic type`
+	snapshot := *m // want `assignment copies Metrics by value`
+	return v.Load() + snapshot.Samples.Load()
+}
+
+// Reset zeroes a counter non-atomically.
+func Reset(m *Metrics) {
+	m.Samples = atomic.Uint64{} // want `field Metrics.Samples has atomic type`
+}
+
+// Clone copies the block through a return value.
+func Clone(m *Metrics) Metrics { // want `result returns Metrics by value`
+	return *m // want `return copies Metrics by value`
+}
+
+// Consume takes the block by value.
+func Consume(m Metrics) uint64 { // want `parameter takes Metrics by value`
+	return m.Instrs.Load()
+}

@@ -1,0 +1,48 @@
+// Package report mirrors the table emitters for the detorder analyzer:
+// anything rendered from a map must go through sorted keys.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Flagged prints in map iteration order — different bytes every run.
+func Flagged(counts map[string]int) {
+	for name, n := range counts { // want `map iteration order is randomized`
+		fmt.Printf("%s %d\n", name, n)
+	}
+}
+
+// FlaggedBuilder appends rows straight from map order.
+func FlaggedBuilder(counts map[string]int) string {
+	var sb strings.Builder
+	for name := range counts { // want `map iteration order is randomized`
+		sb.WriteString(name)
+	}
+	return sb.String()
+}
+
+// Sorted collects and sorts the keys first: the clean pattern.
+func Sorted(counts map[string]int) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %d\n", k, counts[k])
+	}
+	return sb.String()
+}
+
+// Aggregate only folds values; nothing is emitted inside the loop.
+func Aggregate(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package other is outside the rendering packages; map-order printing
+// here is not the analyzer's concern.
+package other
+
+import "fmt"
+
+// Dump prints a map for debugging.
+func Dump(counts map[string]int) {
+	for name, n := range counts {
+		fmt.Printf("%s %d\n", name, n)
+	}
+}

@@ -1,0 +1,50 @@
+// Package telemetry is the fully wired mirror: every counter reaches both
+// Snapshot and the Prometheus exposition, so the analyzer stays silent.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the live counter block.
+type Metrics struct {
+	Instrs atomic.Uint64
+	Frames atomic.Uint64
+}
+
+// Snapshot is the frozen view of the counters.
+type Snapshot struct {
+	Instrs uint64
+	Frames uint64
+}
+
+// Snapshot freezes every counter.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Instrs: m.Instrs.Load(),
+		Frames: m.Frames.Load(),
+	}
+}
+
+// promMetric is one exported series.
+type promMetric struct {
+	name  string
+	value func(Snapshot) uint64
+}
+
+var promMetrics = []promMetric{
+	{"instrs_total", func(s Snapshot) uint64 { return s.Instrs }},
+	{"frames_total", func(s Snapshot) uint64 { return s.Frames }},
+}
+
+// WritePrometheus renders the exposition.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range promMetrics {
+		if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.value(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

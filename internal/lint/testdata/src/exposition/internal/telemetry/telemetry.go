@@ -1,0 +1,53 @@
+// Package telemetry mirrors the counter block and its emitters with
+// deliberate wiring gaps for the exposition analyzer.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the live counter block. Stalls is sampled but never
+// snapshotted; Frames is snapshotted but never exposed to Prometheus.
+type Metrics struct {
+	Instrs atomic.Uint64
+	Stalls atomic.Uint64 // want `Metrics.Stalls is never read in Snapshot`
+	Frames atomic.Uint64 // want `Metrics.Frames is missing from the Prometheus exposition`
+}
+
+// Snapshot is the frozen view of the counters.
+type Snapshot struct {
+	Instrs uint64
+	Stalls uint64
+	Frames uint64
+}
+
+// Snapshot freezes the counters; Stalls is deliberately dropped.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Instrs: m.Instrs.Load(),
+		Frames: m.Frames.Load(),
+	}
+}
+
+// promMetric is one exported series.
+type promMetric struct {
+	name  string
+	value func(Snapshot) uint64
+}
+
+var promMetrics = []promMetric{
+	{"instrs_total", func(s Snapshot) uint64 { return s.Instrs }},
+	{"stalls_total", func(s Snapshot) uint64 { return s.Stalls }},
+}
+
+// WritePrometheus renders the exposition.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range promMetrics {
+		if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.value(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+// Package core mirrors a run-critical package for the panicfree analyzer:
+// constructors must return errors, not crash the run.
+package core
+
+import "fmt"
+
+// Build mirrors the pre-fault-tolerance constructors that crashed on bad
+// input instead of returning an error.
+func Build(n int) error {
+	if n < 0 {
+		panic("negative size") // want `panic in .*internal/core`
+	}
+	if n > 1<<20 {
+		return fmt.Errorf("size %d too large", n)
+	}
+	return nil
+}
+
+// guarded is a documented recovery boundary: the panic below is caught by
+// the deferred recover, so the directive suppresses the diagnostic.
+func guarded() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	//sigil:lint-allow panicfree documented recovery boundary
+	panic("boundary")
+}
+
+var _ = guarded

@@ -1,0 +1,12 @@
+// Package other sits outside the panicfree scope; a panic here is the
+// caller's business and must not be reported.
+package other
+
+// MustPositive panics on bad input, which is fine outside the
+// run-critical packages.
+func MustPositive(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}

@@ -1,0 +1,11 @@
+// Command tool exercises cross-package calls into the safeio mirror.
+package main
+
+import "sinkerr/internal/safeio"
+
+func main() {
+	safeio.WriteFile("out") // want `error from safeio.WriteFile is dropped`
+	if err := safeio.WriteFile("out"); err != nil {
+		panic(err)
+	}
+}

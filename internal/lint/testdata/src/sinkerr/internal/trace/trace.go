@@ -1,0 +1,35 @@
+// Package trace mirrors the event-file writer API for the sinkerr
+// analyzer: Emit buffers, Close performs the flush that can actually
+// fail.
+package trace
+
+import "os"
+
+// Writer mimics the async v3 writer.
+type Writer struct{ n int }
+
+// Emit buffers one record.
+func (w *Writer) Emit(b byte) error { w.n += int(b); return nil }
+
+// Close flushes the buffered frames.
+func (w *Writer) Close() error { return nil }
+
+// Stop is not a flush-path method; its error may be dropped freely.
+func (w *Writer) Stop() error { return nil }
+
+// Flagged drops flush-path errors on the floor.
+func Flagged(w *Writer, f *os.File) {
+	w.Emit(1)       // want `error from Writer.Emit is dropped`
+	defer w.Close() // want `deferred error from Writer.Close is dropped`
+	f.Sync()        // want `error from File.Sync is dropped`
+	w.Stop()        // not a flush-path method: no diagnostic
+}
+
+// Clean checks or visibly discards every flush-path error.
+func Clean(w *Writer, f *os.File) error {
+	if err := w.Emit(1); err != nil {
+		return err
+	}
+	_ = f.Sync() // explicit discard is visible in review
+	return w.Close()
+}

@@ -20,7 +20,7 @@ func WriteFile(path string, fill func(w io.Writer) error) error {
 		return err
 	}
 	discard := func(err error) error {
-		f.Close()
+		_ = f.Close() // already failing; the fill/sync error is the one to keep
 		os.Remove(f.Name())
 		return err
 	}

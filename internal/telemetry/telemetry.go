@@ -304,6 +304,7 @@ var promMetrics = []promMetric{
 	{"sigil_shadow_chunks_allocated_total", "counter", "Shadow chunks ever materialized", func(s Snapshot) uint64 { return s.ShadowChunksAllocated }},
 	{"sigil_shadow_chunks_live", "gauge", "Shadow chunks currently resident", func(s Snapshot) uint64 { return s.ShadowChunksLive }},
 	{"sigil_shadow_chunks_evicted_total", "counter", "Shadow chunks dropped by the FIFO limit", func(s Snapshot) uint64 { return s.ShadowChunksEvicted }},
+	{"sigil_shadow_chunks_peak", "gauge", "Peak shadow chunks resident", func(s Snapshot) uint64 { return s.ShadowChunksPeak }},
 	{"sigil_shadow_bytes_resident", "gauge", "Shadow memory bytes currently resident", func(s Snapshot) uint64 { return s.ShadowBytesResident }},
 	{"sigil_shadow_bytes_peak", "gauge", "Peak shadow memory bytes", func(s Snapshot) uint64 { return s.ShadowBytesPeak }},
 	{"sigil_shadow_cache_hits_total", "counter", "Chunk lookups served by the direct-mapped cache", func(s Snapshot) uint64 { return s.ShadowCacheHits }},
@@ -337,8 +338,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "# HELP sigil_run_start_seconds Wall-clock start of the current run\n"+
+	if _, err := fmt.Fprintf(w, "# HELP sigil_run_start_seconds Wall-clock start of the current run\n"+
 		"# TYPE sigil_run_start_seconds gauge\nsigil_run_start_seconds %.3f\n",
-		float64(s.RunStartNanos)/float64(time.Second))
+		float64(s.RunStartNanos)/float64(time.Second)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "# HELP sigil_budget_wall_seconds Wall-clock budget in seconds (0 = unlimited)\n"+
+		"# TYPE sigil_budget_wall_seconds gauge\nsigil_budget_wall_seconds %.3f\n",
+		float64(s.BudgetWallNanos)/float64(time.Second))
 	return err
 }

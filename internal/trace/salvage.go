@@ -154,11 +154,11 @@ func (s *FileSink) Abort() {
 	s.done = true
 	// Close first: it stops the writer's background encoder goroutine,
 	// which would otherwise leak (its output is discarded with the file).
-	s.w.Close()
+	_ = s.w.Close()
 	s.discard()
 }
 
 func (s *FileSink) discard() {
-	s.f.Close()
+	_ = s.f.Close() // the file is being thrown away with its contents
 	os.Remove(s.f.Name())
 }

@@ -21,6 +21,9 @@ go vet ./...
 echo "== go build"
 go build ./...
 
+echo "== sigil-lint"
+go run ./cmd/sigil-lint ./...
+
 echo "== go test -race"
 go test -race ./...
 
