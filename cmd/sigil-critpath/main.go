@@ -132,6 +132,12 @@ func readEventFile(f *os.File, salvage bool, workers int) (*trace.Trace, error) 
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "sigil-critpath: %s\n", rep)
+		// A quarantined mid-stream frame leaves a gap: surviving events can
+		// reference calls whose Enter fell in the hole. Drop those so the
+		// analyzer sees a consistent (truncation-shaped) stream.
+		if pruned := tr.PruneDanglingCalls(); pruned > 0 {
+			fmt.Fprintf(os.Stderr, "sigil-critpath: dropped %d event(s) referencing calls lost in quarantined frames\n", pruned)
+		}
 		return tr, nil
 	}
 	if workers <= 0 {

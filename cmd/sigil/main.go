@@ -58,6 +58,8 @@ func run() int {
 		chunkBud = flag.Int("chunkbudget", 0, "hard shadow-chunk budget, no eviction (0 = unlimited)")
 		outProf  = flag.String("o", "", "write the profile to this file")
 		outEvt   = flag.String("events", "", "write the event file to this path")
+		evtRetry = flag.Int("events-retries", 0, "retry failing event-sink writes up to this many times (exponential backoff)")
+		evtDegr  = flag.Bool("events-degraded", false, "never stall the run on a slow or dead event sink; drop events with exact counted loss instead")
 		outCg    = flag.String("callgrind", "", "write the substrate profile in callgrind format")
 		gshare   = flag.Bool("gshare", false, "use a gshare branch predictor in the substrate")
 		prefetch = flag.Bool("prefetch", false, "enable the substrate's next-line prefetcher")
@@ -105,7 +107,10 @@ func run() int {
 	}
 	var sink *trace.FileSink
 	if *outEvt != "" {
-		sink, err = trace.CreateFile(*outEvt)
+		sink, err = trace.CreateFileOptions(*outEvt, trace.WriterOptions{
+			MaxRetries: *evtRetry,
+			Degraded:   *evtDegr,
+		})
 		if err != nil {
 			return fail(err)
 		}
@@ -143,8 +148,18 @@ func run() int {
 	write := tel.StartSpan("write")
 	if sink != nil {
 		if err := sink.Commit(); err != nil {
-			return fail(err)
+			if !*evtDegr {
+				return fail(err)
+			}
+			// Degraded mode: the event sink dying must not cost the other
+			// artifacts. The target path is untouched (Commit discards the
+			// temporary file); report and keep writing the profile.
+			fmt.Fprintf(os.Stderr, "sigil: event sink failed, event file not written: %v\n", err)
+			exit = 1
+			sink = nil
 		}
+	}
+	if sink != nil {
 		st := sink.Stats()
 		if st.RawBytes > 0 {
 			fmt.Printf("event file written to %s (%d events in %d frames, %.1f KiB compressed from %.1f, %d emit stalls)\n",
@@ -152,6 +167,12 @@ func run() int {
 				float64(st.CompressedBytes)/1024, float64(st.RawBytes)/1024, st.Stalls)
 		} else {
 			fmt.Printf("event file written to %s\n", *outEvt)
+		}
+		if st.Retries > 0 {
+			fmt.Printf("event sink retried %d write(s)\n", st.Retries)
+		}
+		if st.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "sigil: event sink ran degraded: %d event(s) dropped (loss recorded in file footer)\n", st.Dropped)
 		}
 	}
 	if *outProf != "" {

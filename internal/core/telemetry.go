@@ -63,6 +63,13 @@ func (t *Tool) sampleInto(m *telemetry.Metrics) {
 		m.EventEmitStalls.Store(ws.Stalls)
 		m.EventFrames.Store(ws.Frames)
 		m.EventBytesCompressed.Store(ws.CompressedBytes)
+		m.EventsDropped.Store(ws.Dropped)
+		m.EventRetries.Store(ws.Retries)
+		if ws.Degraded {
+			m.EventSinkDegraded.Store(1)
+		} else {
+			m.EventSinkDegraded.Store(0)
+		}
 	}
 	m.Samples.Add(1)
 }

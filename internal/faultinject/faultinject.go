@@ -1,0 +1,251 @@
+// Package faultinject is a deterministic, seeded fault-point registry for
+// exercising the profiler's failure paths. Production code names the I/O
+// operations that can fail — a safeio sync, a trace-writer flush, a frame
+// read — as fault points; a test (or the chaos sweep) installs a Registry
+// with a schedule per point and every scheduled hit fails in a controlled,
+// reproducible way.
+//
+// The registry is process-global and disabled by default. Disabled cost is
+// one atomic pointer load and a nil check per fault point — and fault
+// points sit at I/O granularity (per file operation or per 64 KiB buffer
+// flush), never on the per-event hot path, so the hooks are free in any
+// real profile run.
+//
+// Schedules are deterministic: the Nth hit, every Kth hit, or probability-p
+// per hit driven by a splitmix64 stream seeded from the registry seed and
+// the point name. Two runs with the same seed and workload inject the same
+// faults at the same operations.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Mode selects what a firing fault point does to the operation it guards.
+type Mode uint8
+
+const (
+	// Err fails the operation outright: no bytes are transferred and the
+	// injected error is returned.
+	Err Mode = iota
+	// ENOSPC fails the operation with an error wrapping syscall.ENOSPC,
+	// the "disk full" class that retry must treat as permanent.
+	ENOSPC
+	// ShortWrite transfers a prefix of the buffer and returns its length
+	// with a nil error — the io.Writer contract violation a hostile
+	// filesystem can produce, which callers must harden into
+	// io.ErrShortWrite handling.
+	ShortWrite
+	// Torn transfers a prefix of the buffer and then fails: the bytes
+	// before the tear reached the destination, the rest did not. This is
+	// the mid-frame crash that leaves a torn tail on disk.
+	Torn
+	// BitFlip corrupts one bit of the data in flight and then lets the
+	// operation succeed — silent corruption that only checksums catch.
+	BitFlip
+)
+
+var modeNames = [...]string{
+	Err: "err", ENOSPC: "enospc", ShortWrite: "short", Torn: "torn", BitFlip: "bitflip",
+}
+
+// String returns the mode's mnemonic.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode%d", uint8(m))
+}
+
+// ErrInjected is the sentinel every injected failure wraps; errors.Is
+// against it distinguishes scheduled faults from real I/O errors in the
+// chaos harness.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// InjectedError is the concrete error a firing fault point produces.
+type InjectedError struct {
+	Point string // the fault point that fired
+	Hit   uint64 // which hit fired (1-based)
+	Mode  Mode
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: %s fault at %s (hit %d)", e.Mode, e.Point, e.Hit)
+}
+
+// Unwrap exposes ErrInjected (and syscall.ENOSPC for ENOSPC-mode faults)
+// to errors.Is.
+func (e *InjectedError) Unwrap() []error {
+	if e.Mode == ENOSPC {
+		return []error{ErrInjected, syscall.ENOSPC}
+	}
+	return []error{ErrInjected}
+}
+
+// Plan schedules when and how one fault point fires. Exactly one of Nth,
+// Every, or Prob should be set; a zero Plan never fires.
+type Plan struct {
+	// Mode is the failure injected when the schedule matches.
+	Mode Mode
+	// Nth fires on exactly the Nth hit of the point (1-based).
+	Nth uint64
+	// Every fires on every Every-th hit (hit numbers divisible by it).
+	Every uint64
+	// Prob fires each hit with this probability, drawn from the point's
+	// seeded deterministic stream.
+	Prob float64
+	// Offset positions data faults (ShortWrite, Torn, BitFlip) within the
+	// buffer: the byte index to cut or corrupt at, reduced modulo the
+	// buffer length. Zero or negative means the middle of the buffer.
+	Offset int64
+	// Err overrides the *InjectedError returned for Err-mode faults, for
+	// tests that need a specific error value surfaced.
+	Err error
+}
+
+// pointState tracks one fault point's schedule and hit history.
+type pointState struct {
+	plan  Plan
+	hits  uint64
+	fired uint64
+	rng   uint64 // splitmix64 state for Prob schedules
+}
+
+// Registry maps fault points to schedules. A Registry is inert until
+// installed with Enable; the zero value is not usable — construct with New
+// so probability streams are seeded.
+type Registry struct {
+	seed   uint64
+	mu     sync.Mutex
+	points map[string]*pointState
+}
+
+// New returns an empty registry whose probability schedules derive from
+// seed: same seed, same workload, same faults.
+func New(seed uint64) *Registry {
+	return &Registry{seed: seed, points: make(map[string]*pointState)}
+}
+
+// Plan installs (or replaces) the schedule for a fault point and returns
+// the registry for chaining. The point's hit count restarts.
+func (r *Registry) Plan(point string, p Plan) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.points[point] = &pointState{plan: p, rng: r.seed ^ fnv64(point)}
+	return r
+}
+
+// Hits reports how many times the point has been evaluated.
+func (r *Registry) Hits(point string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ps := r.points[point]; ps != nil {
+		return ps.hits
+	}
+	return 0
+}
+
+// Fired reports how many times the point's schedule matched.
+func (r *Registry) Fired(point string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ps := r.points[point]; ps != nil {
+		return ps.fired
+	}
+	return 0
+}
+
+// hit records one evaluation of the point and returns the error to inject
+// (nil when the schedule does not match). Unplanned points are tracked too,
+// so coverage tooling can see which points a workload actually reaches.
+func (r *Registry) hit(point string) (Plan, *InjectedError) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ps := r.points[point]
+	if ps == nil {
+		ps = &pointState{rng: r.seed ^ fnv64(point)}
+		r.points[point] = ps
+	}
+	ps.hits++
+	p := ps.plan
+	match := (p.Nth != 0 && ps.hits == p.Nth) ||
+		(p.Every != 0 && ps.hits%p.Every == 0) ||
+		(p.Prob > 0 && splitmixFloat(&ps.rng) < p.Prob)
+	if !match {
+		return p, nil
+	}
+	ps.fired++
+	return p, &InjectedError{Point: point, Hit: ps.hits, Mode: p.Mode}
+}
+
+// active is the installed registry; nil means fault injection is off and
+// every hook is a load-and-return.
+var active atomic.Pointer[Registry]
+
+// Enable installs r as the process-global registry. Passing nil disables
+// injection (as Disable does).
+func Enable(r *Registry) { active.Store(r) }
+
+// Disable turns fault injection off; every point reverts to zero-cost
+// pass-through.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a registry is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Fire evaluates an operation-level fault point (a sync, close, rename —
+// anything without a data buffer). It returns nil when injection is
+// disabled or the point's schedule does not match, and the injected error
+// when it does. Callers must treat a non-nil return exactly like the real
+// operation failing.
+func Fire(point string) error {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	_, ierr := r.hit(point)
+	if ierr == nil {
+		return nil
+	}
+	return injectedErr(ierr, r, point)
+}
+
+// injectedErr resolves the error value a firing point surfaces, honoring a
+// Plan.Err override.
+func injectedErr(ierr *InjectedError, r *Registry, point string) error {
+	r.mu.Lock()
+	override := r.points[point].plan.Err
+	r.mu.Unlock()
+	if override != nil {
+		return override
+	}
+	return ierr
+}
+
+// fnv64 hashes a point name (FNV-1a) to diversify per-point seeds.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 advances the per-point deterministic stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// splitmixFloat draws a float64 in [0, 1).
+func splitmixFloat(state *uint64) float64 {
+	return float64(splitmix64(state)>>11) / float64(1<<53)
+}

@@ -1,0 +1,248 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// install activates a fresh registry for one test and guarantees global
+// cleanup, since the registry is process-wide.
+func install(t *testing.T, seed uint64) *Registry {
+	t.Helper()
+	r := New(seed)
+	Enable(r)
+	t.Cleanup(Disable)
+	return r
+}
+
+func TestDisabledIsPassThrough(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("enabled with no registry installed")
+	}
+	if err := Fire("any.point"); err != nil {
+		t.Fatalf("disabled Fire returned %v", err)
+	}
+	var buf bytes.Buffer
+	w := WrapWriter("any.point", &buf)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("disabled write = (%d, %v)", n, err)
+	}
+	r := WrapReader("any.point", strings.NewReader("xyz"))
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "xyz" {
+		t.Fatalf("disabled read = (%q, %v)", got, err)
+	}
+}
+
+func TestFireNth(t *testing.T) {
+	reg := install(t, 1)
+	reg.Plan("p", Plan{Nth: 3})
+	for i := 1; i <= 5; i++ {
+		err := Fire("p")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: not an injected error: %v", i, err)
+		}
+	}
+	if reg.Hits("p") != 5 || reg.Fired("p") != 1 {
+		t.Fatalf("hits %d fired %d", reg.Hits("p"), reg.Fired("p"))
+	}
+}
+
+func TestFireEveryK(t *testing.T) {
+	reg := install(t, 1)
+	reg.Plan("p", Plan{Every: 2})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("every-2 fired %d of 10", fired)
+	}
+	if reg.Fired("p") != 5 {
+		t.Fatalf("Fired = %d", reg.Fired("p"))
+	}
+}
+
+// TestProbDeterministic runs the same probabilistic schedule twice with the
+// same seed and requires the same firing pattern — the property the chaos
+// sweep's reproducibility rests on.
+func TestProbDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		reg := New(seed)
+		reg.Plan("p", Plan{Prob: 0.3})
+		Enable(reg)
+		defer Disable()
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, Fire("p") != nil)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-hit patterns")
+	}
+	var fired int
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired < 20 || fired > 120 {
+		t.Fatalf("p=0.3 fired %d of 200", fired)
+	}
+}
+
+func TestENOSPCUnwraps(t *testing.T) {
+	reg := install(t, 1)
+	reg.Plan("p", Plan{Nth: 1, Mode: ENOSPC})
+	err := Fire("p")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC fault = %v", err)
+	}
+}
+
+func TestErrOverride(t *testing.T) {
+	reg := install(t, 1)
+	sentinel := errors.New("sentinel")
+	reg.Plan("p", Plan{Nth: 1, Err: sentinel})
+	if err := Fire("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("override not surfaced: %v", err)
+	}
+}
+
+func TestWriterModes(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+
+	t.Run("err", func(t *testing.T) {
+		reg := install(t, 1)
+		reg.Plan("w", Plan{Nth: 1})
+		var buf bytes.Buffer
+		n, err := WrapWriter("w", &buf).Write(payload)
+		if n != 0 || !errors.Is(err, ErrInjected) || buf.Len() != 0 {
+			t.Fatalf("err mode: n=%d err=%v wrote=%d", n, err, buf.Len())
+		}
+	})
+
+	t.Run("short", func(t *testing.T) {
+		reg := install(t, 1)
+		reg.Plan("w", Plan{Nth: 1, Mode: ShortWrite, Offset: 4})
+		var buf bytes.Buffer
+		n, err := WrapWriter("w", &buf).Write(payload)
+		if err != nil || n != 4 || buf.Len() != 4 {
+			t.Fatalf("short mode: n=%d err=%v wrote=%d", n, err, buf.Len())
+		}
+	})
+
+	t.Run("torn", func(t *testing.T) {
+		reg := install(t, 1)
+		reg.Plan("w", Plan{Nth: 1, Mode: Torn})
+		var buf bytes.Buffer
+		n, err := WrapWriter("w", &buf).Write(payload)
+		if !errors.Is(err, ErrInjected) || n != len(payload)/2 || buf.Len() != len(payload)/2 {
+			t.Fatalf("torn mode: n=%d err=%v wrote=%d", n, err, buf.Len())
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		reg := install(t, 1)
+		reg.Plan("w", Plan{Nth: 1, Mode: BitFlip, Offset: 2})
+		var buf bytes.Buffer
+		n, err := WrapWriter("w", &buf).Write(payload)
+		if n != len(payload) || err != nil {
+			t.Fatalf("bitflip mode: n=%d err=%v", n, err)
+		}
+		if bytes.Equal(buf.Bytes(), payload) {
+			t.Fatal("bitflip left the buffer intact")
+		}
+		if payload[2] == '2' != true {
+			t.Fatal("caller's buffer mutated")
+		}
+		diff := 0
+		for i := range payload {
+			if buf.Bytes()[i] != payload[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("bitflip changed %d bytes", diff)
+		}
+	})
+}
+
+func TestReaderModes(t *testing.T) {
+	t.Run("err", func(t *testing.T) {
+		reg := install(t, 1)
+		reg.Plan("r", Plan{Nth: 1})
+		buf := make([]byte, 8)
+		n, err := WrapReader("r", strings.NewReader("hello")).Read(buf)
+		if n != 0 || !errors.Is(err, ErrInjected) {
+			t.Fatalf("err mode: n=%d err=%v", n, err)
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		reg := install(t, 1)
+		reg.Plan("r", Plan{Nth: 1, Mode: BitFlip, Offset: 0})
+		buf := make([]byte, 8)
+		n, err := WrapReader("r", strings.NewReader("hello")).Read(buf)
+		if err != nil || n != 5 {
+			t.Fatalf("bitflip read: n=%d err=%v", n, err)
+		}
+		if string(buf[:n]) == "hello" {
+			t.Fatal("bitflip left the read intact")
+		}
+	})
+}
+
+// TestPointsListedOnce guards the coverage contract: every canonical point
+// appears exactly once, and the data-carrying subsets are themselves listed.
+func TestPointsListedOnce(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Points() {
+		if seen[p] {
+			t.Fatalf("point %q listed twice", p)
+		}
+		seen[p] = true
+	}
+	for _, p := range append(WritePoints(), ReadPoints()...) {
+		if !seen[p] {
+			t.Fatalf("data point %q missing from Points()", p)
+		}
+	}
+}
+
+func TestUnplannedPointCountsHits(t *testing.T) {
+	reg := install(t, 1)
+	for i := 0; i < 3; i++ {
+		if err := Fire("unplanned"); err != nil {
+			t.Fatalf("unplanned point fired: %v", err)
+		}
+	}
+	if reg.Hits("unplanned") != 3 {
+		t.Fatalf("hits = %d", reg.Hits("unplanned"))
+	}
+}

@@ -1,0 +1,110 @@
+package faultinject
+
+import "io"
+
+// WrapWriter interposes the named fault point on every Write to w. With no
+// registry installed the wrapper forwards directly (one atomic load and a
+// nil check); with one installed, scheduled hits fail the write in the
+// planned Mode: Err/ENOSPC transfer nothing, ShortWrite transfers a prefix
+// and returns nil error (the contract violation), Torn transfers a prefix
+// and fails, BitFlip corrupts one bit in a copy of the buffer and lets the
+// write proceed.
+func WrapWriter(point string, w io.Writer) io.Writer {
+	return &faultWriter{point: point, w: w}
+}
+
+type faultWriter struct {
+	point string
+	w     io.Writer
+}
+
+func (f *faultWriter) Write(p []byte) (int, error) {
+	r := active.Load()
+	if r == nil {
+		return f.w.Write(p)
+	}
+	plan, ierr := r.hit(f.point)
+	if ierr == nil {
+		return f.w.Write(p)
+	}
+	switch plan.Mode {
+	case ShortWrite:
+		n, err := f.w.Write(p[:cutAt(plan.Offset, len(p))])
+		if err != nil {
+			return n, err
+		}
+		return n, nil
+	case Torn:
+		n, _ := f.w.Write(p[:cutAt(plan.Offset, len(p))])
+		return n, injectedErr(ierr, r, f.point)
+	case BitFlip:
+		if len(p) == 0 {
+			return f.w.Write(p)
+		}
+		mut := make([]byte, len(p))
+		copy(mut, p)
+		mut[flipAt(plan.Offset, len(mut))] ^= 1 << 6
+		return f.w.Write(mut)
+	default: // Err, ENOSPC
+		return 0, injectedErr(ierr, r, f.point)
+	}
+}
+
+// WrapReader interposes the named fault point on every Read from rd.
+// Err/ENOSPC plans fail the read outright; BitFlip corrupts one bit of the
+// bytes actually read; ShortWrite/Torn plans halve the read (a legal short
+// read) — readers must already tolerate those.
+func WrapReader(point string, rd io.Reader) io.Reader {
+	return &faultReader{point: point, r: rd}
+}
+
+type faultReader struct {
+	point string
+	r     io.Reader
+}
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	r := active.Load()
+	if r == nil {
+		return f.r.Read(p)
+	}
+	plan, ierr := r.hit(f.point)
+	if ierr == nil {
+		return f.r.Read(p)
+	}
+	switch plan.Mode {
+	case BitFlip:
+		n, err := f.r.Read(p)
+		if n > 0 {
+			p[flipAt(plan.Offset, n)] ^= 1 << 6
+		}
+		return n, err
+	case ShortWrite, Torn:
+		if len(p) > 1 {
+			p = p[:(len(p)+1)/2]
+		}
+		return f.r.Read(p)
+	default: // Err, ENOSPC
+		return 0, injectedErr(ierr, r, f.point)
+	}
+}
+
+// cutAt resolves a Plan.Offset into a cut length strictly shorter than a
+// non-empty buffer, so short and torn writes always actually lose bytes.
+func cutAt(offset int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if offset <= 0 {
+		return n / 2
+	}
+	return int(offset % int64(n-1))
+}
+
+// flipAt resolves a Plan.Offset into an index within the buffer.
+func flipAt(offset int64, n int) int {
+	if offset <= 0 {
+		return n / 2
+	}
+	return int(offset % int64(n))
+}

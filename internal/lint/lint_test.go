@@ -21,7 +21,8 @@ func TestAtomicfield(t *testing.T) {
 
 func TestSinkerr(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Sinkerr,
-		"sinkerr/internal/trace", "sinkerr/internal/safeio", "sinkerr/cmd/tool")
+		"sinkerr/internal/trace", "sinkerr/internal/safeio",
+		"sinkerr/internal/faultinject", "sinkerr/cmd/tool")
 }
 
 func TestExposition(t *testing.T) {

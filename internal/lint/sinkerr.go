@@ -8,12 +8,15 @@ import (
 )
 
 // sinkerrMethods are the flush-path methods whose error return is the only
-// signal that buffered data actually reached its destination.
+// signal that buffered data actually reached its destination. Commit is the
+// FileSink finalizer: its error is the only notice that the event file was
+// discarded instead of renamed into place.
 var sinkerrMethods = map[string]bool{
-	"Close": true,
-	"Flush": true,
-	"Sync":  true,
-	"Emit":  true,
+	"Close":  true,
+	"Flush":  true,
+	"Sync":   true,
+	"Emit":   true,
+	"Commit": true,
 }
 
 // sinkerrTypeScope lists the packages whose types carry write-path state:
@@ -24,16 +27,18 @@ var sinkerrTypeScope = []string{
 	"internal/trace", "internal/safeio", "internal/telemetry", "internal/core",
 }
 
-// Sinkerr reports Close/Flush/Sync/Emit calls whose error result is
+// Sinkerr reports Close/Flush/Sync/Emit/Commit calls whose error result is
 // silently dropped. The async v3 trace writer buffers aggressively, so the
 // write that fails is usually the final flush inside Close — ignoring it
 // turns a full disk into a truncated event file that reads as a shorter
-// run. An explicit `_ =` assignment is accepted as a visible, reviewable
-// discard; a bare call or a bare defer is not.
+// run. Commit is FileSink's atomic-rename finalizer, and faultinject.Fire
+// returning non-nil is a scheduled fault demanding to be propagated; both
+// join the flush-path rule. An explicit `_ =` assignment is accepted as a
+// visible, reviewable discard; a bare call or a bare defer is not.
 var Sinkerr = &analysis.Analyzer{
 	Name: "sinkerr",
-	Doc: "require the error results of Close/Flush/Sync/Emit on sinks, trace writers, " +
-		"safeio and os.File to be checked (or explicitly discarded with _ =)",
+	Doc: "require the error results of Close/Flush/Sync/Emit/Commit on sinks, trace writers, " +
+		"safeio, faultinject.Fire and os.File to be checked (or explicitly discarded with _ =)",
 	Run: runSinkerr,
 }
 
@@ -91,10 +96,20 @@ func checkSinkCall(pass *analysis.Pass, call *ast.CallExpr, how string) {
 		return
 	}
 	// Package-level functions: everything safeio exports exists to make a
-	// write durable, so a dropped error defeats the package.
-	if fn.Pkg() != nil && inScope(fn.Pkg().Path(), []string{"internal/safeio"}) {
+	// write durable, so a dropped error defeats the package; a dropped
+	// faultinject.Fire error silently disarms an injected fault, so the
+	// failure path under test never actually runs.
+	if fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case inScope(fn.Pkg().Path(), []string{"internal/safeio"}):
 		pass.Reportf(call.Pos(),
 			"%serror from %s.%s is dropped: the atomic write may not have happened; check it or discard explicitly with _ =",
+			how, fn.Pkg().Name(), fn.Name())
+	case inScope(fn.Pkg().Path(), []string{"internal/faultinject"}):
+		pass.Reportf(call.Pos(),
+			"%serror from %s.%s is dropped: the injected fault is swallowed and the guarded operation proceeds as if it succeeded; check it or discard explicitly with _ =",
 			how, fn.Pkg().Name(), fn.Name())
 	}
 }

@@ -1,11 +1,19 @@
-// Command tool exercises cross-package calls into the safeio mirror.
+// Command tool exercises cross-package calls into the safeio and
+// faultinject mirrors.
 package main
 
-import "sinkerr/internal/safeio"
+import (
+	"sinkerr/internal/faultinject"
+	"sinkerr/internal/safeio"
+)
 
 func main() {
 	safeio.WriteFile("out") // want `error from safeio.WriteFile is dropped`
 	if err := safeio.WriteFile("out"); err != nil {
+		panic(err)
+	}
+	faultinject.Fire("safeio.sync") // want `error from faultinject.Fire is dropped`
+	if err := faultinject.Fire("safeio.sync"); err != nil {
 		panic(err)
 	}
 }

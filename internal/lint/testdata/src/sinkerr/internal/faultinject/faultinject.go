@@ -1,0 +1,7 @@
+// Package faultinject mirrors the fault-point registry for the sinkerr
+// analyzer: Fire returning non-nil is a scheduled fault that must fail the
+// guarded operation, so its error may never be dropped.
+package faultinject
+
+// Fire evaluates an operation-level fault point.
+func Fire(point string) error { _ = point; return nil }

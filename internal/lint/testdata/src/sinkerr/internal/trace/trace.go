@@ -17,19 +17,30 @@ func (w *Writer) Close() error { return nil }
 // Stop is not a flush-path method; its error may be dropped freely.
 func (w *Writer) Stop() error { return nil }
 
+// FileSink mimics the atomic-rename event-file sink; Commit is the only
+// signal the file was renamed into place rather than discarded.
+type FileSink struct{ done bool }
+
+// Commit finalizes and renames the event file.
+func (s *FileSink) Commit() error { s.done = true; return nil }
+
 // Flagged drops flush-path errors on the floor.
-func Flagged(w *Writer, f *os.File) {
+func Flagged(w *Writer, s *FileSink, f *os.File) {
 	w.Emit(1)       // want `error from Writer.Emit is dropped`
 	defer w.Close() // want `deferred error from Writer.Close is dropped`
 	f.Sync()        // want `error from File.Sync is dropped`
+	s.Commit()      // want `error from FileSink.Commit is dropped`
 	w.Stop()        // not a flush-path method: no diagnostic
 }
 
 // Clean checks or visibly discards every flush-path error.
-func Clean(w *Writer, f *os.File) error {
+func Clean(w *Writer, s *FileSink, f *os.File) error {
 	if err := w.Emit(1); err != nil {
 		return err
 	}
 	_ = f.Sync() // explicit discard is visible in review
+	if err := s.Commit(); err != nil {
+		return err
+	}
 	return w.Close()
 }

@@ -9,12 +9,37 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"sigil/internal/faultinject"
 )
+
+// fullWriter hardens the io.Writer contract: a writer that accepts fewer
+// bytes than given while reporting no error would let fill succeed on a
+// silently incomplete file, which WriteFile would then rename into place.
+// Converting the violation into io.ErrShortWrite keeps the atomicity
+// guarantee even over a hostile filesystem.
+type fullWriter struct{ w io.Writer }
+
+func (fw fullWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
 
 // WriteFile atomically replaces path with whatever fill writes. If fill (or
 // any write/sync/rename step) fails, the temporary file is removed and the
 // destination is left untouched.
+//
+// Every step is a named fault point (safeio.create, safeio.write,
+// safeio.sync, safeio.close, safeio.rename): the chaos sweep drives each
+// one and asserts the atomicity contract — an injected failure anywhere in
+// the sequence must leave the previous file at path intact.
 func WriteFile(path string, fill func(w io.Writer) error) error {
+	if err := faultinject.Fire(faultinject.SafeioCreate); err != nil {
+		return err
+	}
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
@@ -24,13 +49,23 @@ func WriteFile(path string, fill func(w io.Writer) error) error {
 		os.Remove(f.Name())
 		return err
 	}
-	if err := fill(f); err != nil {
+	if err := fill(fullWriter{faultinject.WrapWriter(faultinject.SafeioWrite, f)}); err != nil {
+		return discard(err)
+	}
+	if err := faultinject.Fire(faultinject.SafeioSync); err != nil {
 		return discard(err)
 	}
 	if err := f.Sync(); err != nil {
 		return discard(err)
 	}
+	if err := faultinject.Fire(faultinject.SafeioClose); err != nil {
+		return discard(err)
+	}
 	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := faultinject.Fire(faultinject.SafeioRename); err != nil {
 		os.Remove(f.Name())
 		return err
 	}

@@ -77,6 +77,13 @@ type Metrics struct {
 	EventFrames          atomic.Uint64
 	EventBytesCompressed atomic.Uint64
 
+	// Event-sink failure handling: events the writer discarded instead of
+	// persisting (exact loss), sink writes the retry layer repeated, and
+	// whether a degraded-mode writer has started shedding (0/1).
+	EventsDropped     atomic.Uint64
+	EventRetries      atomic.Uint64
+	EventSinkDegraded atomic.Uint64
+
 	// Substrate simulation.
 	CacheAccesses     atomic.Uint64
 	CacheL1Misses     atomic.Uint64
@@ -108,6 +115,7 @@ func (m *Metrics) BeginRun(start time.Time, budgetInstrs uint64, budgetWall time
 		&m.ClassifySpans, &m.ClassifyRuns, &m.ClassifyGranules,
 		&m.EventsEmitted, &m.EventQueueDepth, &m.EventEmitStalls,
 		&m.EventFrames, &m.EventBytesCompressed,
+		&m.EventsDropped, &m.EventRetries, &m.EventSinkDegraded,
 		&m.CacheAccesses, &m.CacheL1Misses, &m.CacheLLMisses, &m.CachePrefetches,
 		&m.Branches, &m.BranchMispredicts,
 	} {
@@ -158,6 +166,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		EventEmitStalls:      m.EventEmitStalls.Load(),
 		EventFrames:          m.EventFrames.Load(),
 		EventBytesCompressed: m.EventBytesCompressed.Load(),
+		EventsDropped:        m.EventsDropped.Load(),
+		EventRetries:         m.EventRetries.Load(),
+		EventSinkDegraded:    m.EventSinkDegraded.Load(),
 
 		CacheAccesses:     m.CacheAccesses.Load(),
 		CacheL1Misses:     m.CacheL1Misses.Load(),
@@ -212,6 +223,9 @@ type Snapshot struct {
 	EventEmitStalls      uint64 `json:"event_emit_stalls"`
 	EventFrames          uint64 `json:"event_frames"`
 	EventBytesCompressed uint64 `json:"event_bytes_compressed"`
+	EventsDropped        uint64 `json:"events_dropped"`
+	EventRetries         uint64 `json:"event_retries"`
+	EventSinkDegraded    uint64 `json:"event_sink_degraded"`
 
 	CacheAccesses     uint64 `json:"cache_accesses"`
 	CacheL1Misses     uint64 `json:"cache_l1_misses"`
@@ -268,6 +282,10 @@ func (s Snapshot) Text() string {
 		fmt.Fprintf(&sb, " (%d frames, %.2f MiB compressed, %d stalls)",
 			s.EventFrames, float64(s.EventBytesCompressed)/(1<<20), s.EventEmitStalls)
 	}
+	if s.EventsDropped > 0 || s.EventRetries > 0 || s.EventSinkDegraded > 0 {
+		fmt.Fprintf(&sb, " [sink: %d dropped, %d retries, degraded=%d]",
+			s.EventsDropped, s.EventRetries, s.EventSinkDegraded)
+	}
 	fmt.Fprintf(&sb, "   heap %.1f MiB, %d pages\n",
 		float64(s.HeapBytes)/(1<<20), s.MemPages)
 	if s.WallNanos > 0 {
@@ -318,6 +336,9 @@ var promMetrics = []promMetric{
 	{"sigil_event_emit_stalls_total", "counter", "Event emissions that blocked on the encoder", func(s Snapshot) uint64 { return s.EventEmitStalls }},
 	{"sigil_event_frames_total", "counter", "Event-file frames written", func(s Snapshot) uint64 { return s.EventFrames }},
 	{"sigil_event_bytes_compressed_total", "counter", "Event-file bytes on the wire after compression", func(s Snapshot) uint64 { return s.EventBytesCompressed }},
+	{"sigil_events_dropped_total", "counter", "Event-file records discarded by the degraded sink (exact loss)", func(s Snapshot) uint64 { return s.EventsDropped }},
+	{"sigil_event_retries_total", "counter", "Event-sink writes repeated by the retry layer", func(s Snapshot) uint64 { return s.EventRetries }},
+	{"sigil_event_sink_degraded", "gauge", "Whether the event sink has started shedding events (0/1)", func(s Snapshot) uint64 { return s.EventSinkDegraded }},
 	{"sigil_cache_accesses_total", "counter", "Simulated cache accesses", func(s Snapshot) uint64 { return s.CacheAccesses }},
 	{"sigil_cache_l1_misses_total", "counter", "Simulated L1 misses", func(s Snapshot) uint64 { return s.CacheL1Misses }},
 	{"sigil_cache_ll_misses_total", "counter", "Simulated last-level misses", func(s Snapshot) uint64 { return s.CacheLLMisses }},

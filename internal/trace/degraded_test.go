@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// deadSink fails every write.
+type deadSink struct{}
+
+func (deadSink) Write(p []byte) (int, error) { return 0, errors.New("sink is dead") }
+
+// gateSink blocks every Write until the gate channel is closed, then writes
+// through to the buffer. It models a hung disk.
+type gateSink struct {
+	gate <-chan struct{}
+	buf  bytes.Buffer
+}
+
+func (s *gateSink) Write(p []byte) (int, error) {
+	<-s.gate
+	return s.buf.Write(p)
+}
+
+// genLossyEvents builds events whose names are pseudo-random and unique, so
+// frames barely compress and the writer's 64 KiB buffer flushes to the sink
+// early and often — the regime where sink failures surface during the run
+// rather than at Close.
+func genLossyEvents(n int) []Event {
+	events := make([]Event, n)
+	state := uint64(0x6a09e667f3bcc908)
+	for i := range events {
+		name := make([]byte, 64)
+		for j := range name {
+			state = state*6364136223846793005 + 1442695040888963407
+			name[j] = byte('a' + (state>>33)%26)
+		}
+		events[i] = Event{
+			Kind:  KindSys,
+			Ctx:   int32(i % 7),
+			Call:  uint64(i),
+			Bytes: state % 4096,
+			Time:  uint64(i * 3),
+			Name:  string(name),
+		}
+	}
+	return events
+}
+
+// TestDegradedDeadSinkNeverBlocksOrErrors: with a permanently failing sink,
+// a degraded writer must accept every Emit without error, count the loss,
+// and surface the sink error only at Close.
+func TestDegradedDeadSinkNeverBlocksOrErrors(t *testing.T) {
+	w := NewWriterOptions(deadSink{}, WriterOptions{FrameEvents: 64, Degraded: true})
+	events := genLossyEvents(5000)
+	for i, e := range events {
+		if err := w.Emit(e); err != nil {
+			t.Fatalf("Emit %d returned %v in degraded mode", i, err)
+		}
+	}
+	err := w.Close()
+	if err == nil {
+		t.Fatal("Close reported success on a dead sink")
+	}
+	st := w.Stats()
+	if !st.Degraded {
+		t.Error("Stats.Degraded = false after losing events")
+	}
+	if st.Dropped == 0 {
+		t.Error("Dropped = 0 on a dead sink")
+	}
+}
+
+// TestDegradedHungSinkEmitDoesNotStall: a degraded writer over a sink whose
+// writes hang must keep accepting Emits (dropping counted batches) while
+// the sink is stuck, and reconcile emitted == decoded + dropped once the
+// sink recovers and the stream is finalized. Runs meaningfully under -race.
+func TestDegradedHungSinkEmitDoesNotStall(t *testing.T) {
+	gate := make(chan struct{})
+	sink := &gateSink{gate: gate}
+	w := NewWriterOptions(sink, WriterOptions{
+		FrameEvents:   32,
+		Degraded:      true,
+		DegradedGrace: time.Millisecond,
+	})
+	events := genLossyEvents(20000)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, e := range events {
+			if err := w.Emit(e); err != nil {
+				t.Errorf("Emit returned %v in degraded mode", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+		// Every Emit completed while the sink was still hung: the writer
+		// never stalled the emitting goroutine on the dead disk.
+	case <-time.After(30 * time.Second):
+		t.Fatal("Emit loop blocked on a hung sink in degraded mode")
+	}
+
+	close(gate) // disk recovers; queued frames and the footer drain
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("hung sink caused no drops; test did not exercise saturation")
+	}
+	if !st.Degraded {
+		t.Error("Stats.Degraded = false after dropping events")
+	}
+
+	tr, err := ReadAll(bytes.NewReader(sink.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := uint64(len(tr.Events) + len(tr.Contexts))
+	if tr.EventsDropped != st.Dropped {
+		t.Errorf("footer loss %d != writer drop counter %d", tr.EventsDropped, st.Dropped)
+	}
+	if decoded+tr.EventsDropped != uint64(len(events)) {
+		t.Errorf("decoded %d + dropped %d != emitted %d", decoded, tr.EventsDropped, len(events))
+	}
+
+	// Salvage must agree, and must not certify a lossy stream complete.
+	tr2, rep, err := Salvage(bytes.NewReader(sink.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Error("salvage certified a loss-footer stream complete")
+	}
+	if rep.Truncated || rep.FramesQuarantined != 0 || rep.Err != nil {
+		t.Errorf("loss-footer stream misreported: %+v", rep)
+	}
+	if rep.EventsDropped != st.Dropped {
+		t.Errorf("salvage loss %d != writer drop counter %d", rep.EventsDropped, st.Dropped)
+	}
+	if uint64(rep.Events) != decoded || uint64(len(tr2.Events)+len(tr2.Contexts)) != decoded {
+		t.Errorf("salvage recovered %d records, ReadAll %d", rep.Events, decoded)
+	}
+}
+
+// TestDegradedCleanSinkLosesNothing: degraded mode on a healthy sink must
+// behave exactly like the strict writer — no drops, plain footer, Complete.
+func TestDegradedCleanSinkLosesNothing(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriterOptions(&buf, WriterOptions{FrameEvents: 64, Degraded: true})
+	events := genEvents(1000)
+	for _, e := range events {
+		if err := w.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Dropped != 0 || st.Degraded {
+		t.Errorf("healthy sink: Dropped=%d Degraded=%v", st.Dropped, st.Degraded)
+	}
+	_, rep, err := Salvage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Events != len(events) {
+		t.Errorf("degraded writer on healthy sink: %+v", rep)
+	}
+}
+
+// TestStrictWriterStillSurfacesErrors pins the non-degraded contract: sink
+// errors reach the emitter, and the loss is still counted exactly.
+func TestStrictWriterStillSurfacesErrors(t *testing.T) {
+	w := NewWriterOptions(deadSink{}, WriterOptions{FrameEvents: 16})
+	var emitErr error
+	events := genLossyEvents(5000)
+	for _, e := range events {
+		if err := w.Emit(e); err != nil {
+			emitErr = err
+			break
+		}
+	}
+	if emitErr == nil {
+		t.Error("strict writer swallowed the sink error")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close reported success on a dead sink")
+	}
+	if st := w.Stats(); st.Degraded {
+		t.Error("strict writer reported Degraded")
+	}
+}

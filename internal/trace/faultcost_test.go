@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"sigil/internal/faultinject"
+)
+
+// TestDisabledFaultHookBudget is the bench guard for the fault-injection
+// hooks: with no registry installed, a fault point costs one atomic load
+// and a nil check, and the hooks sit at I/O granularity (per sink write /
+// per 64 KiB buffer flush, never per event). This test measures both sides
+// directly and asserts the amortized per-event hook cost stays under 1% of
+// the measured per-event emit cost — the structural guarantee behind
+// comparing BenchmarkTraceEmit*/BenchmarkTraceDecode* against the BENCH_3
+// baseline.
+func TestDisabledFaultHookBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based guard; skipped in -short")
+	}
+	if faultinject.Enabled() {
+		t.Fatal("a fault registry is installed; the guard measures the disabled path")
+	}
+
+	// Per-invocation cost of a disabled hook, measured through the same
+	// WrapWriter layer the writer uses.
+	const hookIters = 1 << 20
+	fw := faultinject.WrapWriter(faultinject.TraceWriteV3, io.Discard)
+	buf := make([]byte, 1)
+	start := time.Now()
+	for i := 0; i < hookIters; i++ {
+		if _, err := fw.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hookNs := float64(time.Since(start).Nanoseconds()) / hookIters
+
+	// Per-event cost of the emit path.
+	events := genEvents(4096)
+	var sink bytes.Buffer
+	const rounds = 8
+	start = time.Now()
+	total := 0
+	for r := 0; r < rounds; r++ {
+		sink.Reset()
+		w := NewWriter(&sink)
+		for _, e := range events {
+			if err := w.Emit(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		total += len(events)
+	}
+	emitNs := float64(time.Since(start).Nanoseconds()) / float64(total)
+
+	// The writer touches its fault point roughly twice per frame (header
+	// and payload writes reach bufio; the sink sees one write per 64 KiB).
+	// Budget a generous 4 hook invocations per frame.
+	perEventHookNs := hookNs * 4 / defaultFrameEvents
+	if limit := emitNs / 100; perEventHookNs >= limit {
+		t.Errorf("disabled hook costs %.3f ns/event amortized, over 1%% of emit cost (%.1f ns/event)",
+			perEventHookNs, emitNs)
+	}
+	t.Logf("hook %.2f ns/op, emit %.1f ns/event, amortized hook share %.4f%%",
+		hookNs, emitNs, perEventHookNs/emitNs*100)
+
+	// Decode side: the reader's hook fires once per 64 KiB refill. Measure
+	// the wrapped-reader overhead the same way.
+	fr := faultinject.WrapReader(faultinject.TraceRead, eofReader{})
+	start = time.Now()
+	for i := 0; i < hookIters; i++ {
+		_, _ = fr.Read(buf)
+	}
+	readHookNs := float64(time.Since(start).Nanoseconds()) / hookIters
+
+	stream := encodeStream(t, events)
+	start = time.Now()
+	decTotal := 0
+	for r := 0; r < rounds; r++ {
+		tr, err := ReadAll(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decTotal += len(tr.Events) + len(tr.Contexts)
+	}
+	decodeNs := float64(time.Since(start).Nanoseconds()) / float64(decTotal)
+	// One hook call per 64 KiB refill; a frame of 4096 events is well under
+	// that, so one call per frame is already conservative.
+	perEventReadHookNs := readHookNs / defaultFrameEvents
+	if limit := decodeNs / 100; perEventReadHookNs >= limit {
+		t.Errorf("disabled read hook costs %.3f ns/event amortized, over 1%% of decode cost (%.1f ns/event)",
+			perEventReadHookNs, decodeNs)
+	}
+	t.Logf("read hook %.2f ns/op, decode %.1f ns/event, amortized hook share %.4f%%",
+		readHookNs, decodeNs, perEventReadHookNs/decodeNs*100)
+}
+
+type eofReader struct{}
+
+func (eofReader) Read(p []byte) (int, error) {
+	if len(p) > 0 {
+		p[0] = 0
+	}
+	return min(1, len(p)), nil
+}

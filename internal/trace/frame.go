@@ -18,7 +18,11 @@ import (
 //	        body = uvarint(frameCount)
 //	              frameCount × { uvarint(eventCount) uvarint(frameBytes) }
 //	              uvarint(totalEvents)
-//	trailer: uint32-LE(footer length, 0xF6 through the crc uvarint)  "SGF3"
+//	loss footer: 0xF7, as 0xF6 but body ends with one extra field,
+//	        uvarint(droppedEvents) — written only by a writer that ran
+//	        degraded and shed events, so the exact loss travels with the
+//	        file instead of reading as a shorter run.
+//	trailer: uint32-LE(footer length, marker through the crc uvarint)  "SGF3"
 //
 // The payload is eventCount records, each the v2 record layout except that
 // Call and Time are zigzag deltas against the previous record in the frame
@@ -26,8 +30,9 @@ import (
 // The fixed 8-byte trailer lets a seeking reader jump straight to the frame
 // index without scanning the stream.
 const (
-	frameByte  = 0xF5
-	footerByte = 0xF6
+	frameByte      = 0xF5
+	footerByte     = 0xF6
+	footerLossByte = 0xF7
 
 	trailerLen = 8
 
@@ -240,8 +245,11 @@ func inflateFrame(h frameHeader, comp []byte, dst []byte, fr io.ReadCloser) ([]b
 	return dst, fr, nil
 }
 
-// appendFooter renders the footer record plus the fixed trailer.
-func appendFooter(dst []byte, index []frameEntry, totalEvents uint64) []byte {
+// appendFooter renders the footer record plus the fixed trailer. A
+// non-zero droppedEvents selects the loss-footer marker and appends the
+// drop count, recording exactly how many accepted events never reached a
+// frame (totalEvents counts only the events the frames hold).
+func appendFooter(dst []byte, index []frameEntry, totalEvents, droppedEvents uint64) []byte {
 	var body []byte
 	body = binary.AppendUvarint(body, uint64(len(index)))
 	for _, fe := range index {
@@ -249,9 +257,14 @@ func appendFooter(dst []byte, index []frameEntry, totalEvents uint64) []byte {
 		body = binary.AppendUvarint(body, fe.bytes)
 	}
 	body = binary.AppendUvarint(body, totalEvents)
+	marker := byte(footerByte)
+	if droppedEvents > 0 {
+		marker = footerLossByte
+		body = binary.AppendUvarint(body, droppedEvents)
+	}
 
 	start := len(dst)
-	dst = append(dst, footerByte)
+	dst = append(dst, marker)
 	dst = append(dst, body...)
 	dst = binary.AppendUvarint(dst, uint64(crc32.ChecksumIEEE(body)))
 	footLen := len(dst) - start
@@ -260,16 +273,20 @@ func appendFooter(dst []byte, index []frameEntry, totalEvents uint64) []byte {
 	return dst
 }
 
-// footerInfo is a parsed footer: the frame index and the stream's total
-// event count, used to preallocate and cross-check decodes.
+// footerInfo is a parsed footer: the frame index, the stream's total event
+// count, and (loss footers) the writer's recorded drop count, used to
+// preallocate and cross-check decodes.
 type footerInfo struct {
-	frames []frameEntry
-	total  uint64
+	frames  []frameEntry
+	total   uint64
+	dropped uint64
 }
 
-// parseFooterBody parses the footer from the byte after the 0xF6 marker
-// through the trailing body CRC (i.e. the footer record minus its marker).
-func parseFooterBody(data []byte) (*footerInfo, error) {
+// parseFooterBody parses the footer from the byte after the 0xF6/0xF7
+// marker through the trailing body CRC (i.e. the footer record minus its
+// marker). hasLoss selects the loss-footer layout with its trailing
+// droppedEvents field.
+func parseFooterBody(data []byte, hasLoss bool) (*footerInfo, error) {
 	pos := 0
 	next := func() (uint64, error) {
 		v, n := binary.Uvarint(data[pos:])
@@ -300,6 +317,11 @@ func parseFooterBody(data []byte) (*footerInfo, error) {
 	}
 	if info.total, err = next(); err != nil {
 		return nil, err
+	}
+	if hasLoss {
+		if info.dropped, err = next(); err != nil {
+			return nil, err
+		}
 	}
 	bodyLen := pos
 	crc, err := next()
@@ -350,10 +372,10 @@ func peekFooter(r io.ReadSeeker) *footerInfo {
 	if _, err := io.ReadFull(r, foot); err != nil {
 		return nil
 	}
-	if foot[0] != footerByte {
+	if foot[0] != footerByte && foot[0] != footerLossByte {
 		return nil
 	}
-	info, err := parseFooterBody(foot[1:])
+	info, err := parseFooterBody(foot[1:], foot[0] == footerLossByte)
 	if err != nil {
 		return nil
 	}

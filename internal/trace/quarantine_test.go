@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// frameRanges parses a v3 stream's frame byte ranges (file offsets of each
+// frame record, marker through payload) straight from the wire, so tests
+// can corrupt a chosen frame precisely.
+func frameRanges(t *testing.T, stream []byte) [][2]int {
+	t.Helper()
+	var ranges [][2]int
+	pos := len(magic)
+	for pos < len(stream) && stream[pos] == frameByte {
+		start := pos
+		pos++
+		var fields [4]uint64
+		for i := range fields {
+			v, n := uvarintAt(stream, pos)
+			if n <= 0 {
+				t.Fatalf("bad frame header at %d", pos)
+			}
+			fields[i] = v
+			pos += n
+		}
+		pos += int(fields[2]) // compressed payload
+		ranges = append(ranges, [2]int{start, pos})
+	}
+	return ranges
+}
+
+func uvarintAt(b []byte, pos int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := pos; i < len(b); i++ {
+		c := b[i]
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i - pos + 1
+		}
+		shift += 7
+	}
+	return 0, 0
+}
+
+// multiFrameStream encodes events into several small frames.
+func multiFrameStream(t *testing.T, events []Event, frameEvents int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriterOptions(&buf, WriterOptions{FrameEvents: frameEvents})
+	for _, e := range events {
+		if err := w.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSalvageQuarantinesCorruptMidStreamFrame: damage one byte inside a
+// middle frame's payload. Salvage must skip exactly that frame, recover
+// every event of every other frame, report the quarantined byte range, and
+// not confuse the damage with truncation.
+func TestSalvageQuarantinesCorruptMidStreamFrame(t *testing.T) {
+	events := genEvents(640)
+	const frameEvents = 64
+	stream := multiFrameStream(t, events, frameEvents)
+	ranges := frameRanges(t, stream)
+	if len(ranges) != 10 {
+		t.Fatalf("stream has %d frames, want 10", len(ranges))
+	}
+	victim := 4
+	mut := append([]byte{}, stream...)
+	// Flip a bit mid-payload (past the header varints) so the frame CRC
+	// fails but the frame's byte extent stays parseable.
+	mut[ranges[victim][0]+20] ^= 0x10
+
+	tr, rep, err := Salvage(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated {
+		t.Error("mid-stream corruption reported as truncation")
+	}
+	if rep.FramesQuarantined != 1 || len(rep.Quarantined) != 1 {
+		t.Fatalf("quarantined %d frames (%v), want 1", rep.FramesQuarantined, rep.Quarantined)
+	}
+	q := rep.Quarantined[0]
+	if q.Index != victim {
+		t.Errorf("quarantined frame %d, want %d", q.Index, victim)
+	}
+	if q.Start != int64(ranges[victim][0]) || q.End != int64(ranges[victim][1]) {
+		t.Errorf("quarantined range [%d,%d), want [%d,%d)", q.Start, q.End, ranges[victim][0], ranges[victim][1])
+	}
+	if q.Events != frameEvents {
+		t.Errorf("quarantined frame declared %d events, want %d", q.Events, frameEvents)
+	}
+	if q.Err == nil {
+		t.Error("quarantined frame has no error")
+	}
+	if rep.BytesQuarantined != q.End-q.Start {
+		t.Errorf("BytesQuarantined = %d, want %d", rep.BytesQuarantined, q.End-q.Start)
+	}
+	if rep.Complete {
+		t.Error("stream with a quarantined frame certified complete")
+	}
+	if rep.Events != len(events)-frameEvents {
+		t.Errorf("recovered %d events, want %d", rep.Events, len(events)-frameEvents)
+	}
+	// The recovered stream must be the fault-free stream minus exactly the
+	// victim frame's events: a prefix-with-one-gap.
+	want := append(append([]Event{}, events[:victim*frameEvents]...), events[(victim+1)*frameEvents:]...)
+	got := 0
+	for _, e := range want {
+		if e.Kind == KindDefCtx {
+			continue
+		}
+		if got >= len(tr.Events) || tr.Events[got] != e {
+			t.Fatalf("recovered event %d diverges from the gap-free expectation", got)
+		}
+		got++
+	}
+	if got != len(tr.Events) {
+		t.Errorf("recovered %d non-context events, expected %d", len(tr.Events), got)
+	}
+	if !strings.Contains(rep.String(), "quarantined") {
+		t.Errorf("report does not mention quarantine: %q", rep)
+	}
+}
+
+// TestSalvageQuarantineThenTruncation: a corrupt mid-stream frame AND a cut
+// tail must be reported as both — one quarantined frame, Truncated true.
+func TestSalvageQuarantineThenTruncation(t *testing.T) {
+	events := genEvents(640)
+	stream := multiFrameStream(t, events, 64)
+	ranges := frameRanges(t, stream)
+	mut := append([]byte{}, stream...)
+	mut[ranges[2][0]+20] ^= 0x10
+	cut := ranges[7][0] + 5 // mid-frame cut
+	_, rep, err := Salvage(bytes.NewReader(mut[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Error("cut stream not reported truncated")
+	}
+	if rep.FramesQuarantined != 1 {
+		t.Errorf("quarantined %d frames, want 1", rep.FramesQuarantined)
+	}
+	if rep.Complete {
+		t.Error("cut stream certified complete")
+	}
+	if rep.Events != 6*64 {
+		t.Errorf("recovered %d events, want %d (frames 0..6 minus the corrupt one)", rep.Events, 6*64)
+	}
+}
+
+// TestPruneDanglingCalls: a trace with a mid-stream gap (simulating a
+// quarantined frame) must come out structurally consistent — no Ops/Comm
+// for never-entered calls, no mis-nested Leaves — with everything else
+// untouched.
+func TestPruneDanglingCalls(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Kind: KindEnter, Call: 1},
+		{Kind: KindOps, Call: 1, Ops: 5},
+		// gap: Enter(2) was in a quarantined frame
+		{Kind: KindOps, Call: 2, Ops: 7},      // dangling: call 2 never entered
+		{Kind: KindComm, Call: 2},             // dangling
+		{Kind: KindLeave, Call: 2},            // dangling: not the innermost open call
+		{Kind: KindComm, Call: 1, SrcCall: 2}, // kept: lost producer is no dependency
+		{Kind: KindLeave, Call: 1},
+	}}
+	if pruned := tr.PruneDanglingCalls(); pruned != 3 {
+		t.Fatalf("pruned %d events, want 3", pruned)
+	}
+	want := []Event{
+		{Kind: KindEnter, Call: 1},
+		{Kind: KindOps, Call: 1, Ops: 5},
+		{Kind: KindComm, Call: 1, SrcCall: 2},
+		{Kind: KindLeave, Call: 1},
+	}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("kept %d events, want %d", len(tr.Events), len(want))
+	}
+	for i := range want {
+		if tr.Events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, tr.Events[i], want[i])
+		}
+	}
+	// A consistent trace is a fixed point.
+	if pruned := tr.PruneDanglingCalls(); pruned != 0 {
+		t.Errorf("second prune removed %d events from a consistent trace", pruned)
+	}
+}
+
+// TestSalvageEveryByteCorruption flips one bit at every offset of a
+// multi-frame stream in turn. Salvage must never panic, never return an
+// error past the header, and its byte accounting must always hold:
+// valid + quarantined <= total.
+func TestSalvageEveryByteCorruption(t *testing.T) {
+	events := genEvents(192)
+	stream := multiFrameStream(t, events, 32)
+	for off := len(magic); off < len(stream); off++ {
+		mut := append([]byte{}, stream...)
+		mut[off] ^= 0x20
+		tr, rep, err := Salvage(bytes.NewReader(mut))
+		if err != nil {
+			t.Fatalf("offset %d: header error %v", off, err)
+		}
+		if rep.BytesValid+rep.BytesQuarantined > rep.BytesTotal {
+			t.Fatalf("offset %d: accounting overflow: valid %d + quarantined %d > total %d",
+				off, rep.BytesValid, rep.BytesQuarantined, rep.BytesTotal)
+		}
+		if got := len(tr.Events) + len(tr.Contexts); got > len(events) {
+			t.Fatalf("offset %d: recovered %d events from a stream of %d", off, got, len(events))
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"io"
 	"runtime"
 	"sync"
+
+	"sigil/internal/faultinject"
 )
 
 // hashReader tees every byte delivered to the v1/v2 decoder into a running
@@ -80,14 +82,17 @@ type Reader struct {
 	version    int
 	count      uint64 // events decoded so far
 	footerSeen bool
+	dropped    uint64 // loss footer's recorded write-side drop count
 	// pendingTotal carries the footer's declared event total from
 	// loadFooterShallow to the parallel merge's count check.
 	pendingTotal uint64
 }
 
-// NewReader returns a Reader over r.
+// NewReader returns a Reader over r. The source passes through the
+// trace.read fault point, so the chaos sweep can inject read errors and
+// in-flight corruption beneath the decoder.
 func NewReader(r io.Reader) *Reader {
-	br := bufio.NewReaderSize(r, 1<<16)
+	br := bufio.NewReaderSize(faultinject.WrapReader(faultinject.TraceRead, r), 1<<16)
 	return &Reader{br: br, r: &hashReader{r: br}}
 }
 
@@ -267,19 +272,30 @@ func (r *Reader) loadFrame() error {
 		s.frames++
 		s.valid = s.read
 		return nil
-	case footerByte:
-		return r.loadFooter()
+	case footerByte, footerLossByte:
+		return r.loadFooter(marker == footerLossByte)
 	default:
 		return fmt.Errorf("%w: unknown record marker %#x", ErrCorrupt, marker)
 	}
 }
 
-// loadFooter validates the footer record and the fixed trailer against
-// everything decoded so far.
-func (r *Reader) loadFooter() error {
+// footerFields is a streaming-parsed, CRC-verified footer (trailer
+// included): what both the sequential and parallel paths validate their
+// decode against.
+type footerFields struct {
+	frameCount  uint64
+	indexEvents uint64 // sum of the index entries' event counts
+	total       uint64
+	dropped     uint64 // loss footers only
+}
+
+// readFooterFields consumes the footer body after its marker, verifies the
+// body CRC and the fixed trailer, and returns the parsed fields. It
+// reconstructs the body bytes as it reads so the checksum covers exactly
+// what the writer signed.
+func (r *Reader) readFooterFields(hasLoss bool) (footerFields, error) {
 	s := r.v3
-	// Reconstruct the footer body so its CRC can be verified: frame count,
-	// index entries, total events — all read through the counting reader.
+	var ff footerFields
 	var body []byte
 	readUvarint := func() (uint64, error) {
 		v, err := binary.ReadUvarint(byteReaderFunc(s.readByte))
@@ -289,46 +305,61 @@ func (r *Reader) loadFooter() error {
 		body = binary.AppendUvarint(body, v)
 		return v, nil
 	}
-	frameCount, err := readUvarint()
-	if err != nil {
-		return err
+	var err error
+	if ff.frameCount, err = readUvarint(); err != nil {
+		return ff, err
 	}
-	if frameCount > maxFrameEvents {
-		return fmt.Errorf("%w: implausible frame count %d", ErrCorrupt, frameCount)
+	if ff.frameCount > maxFrameEvents {
+		return ff, fmt.Errorf("%w: implausible frame count %d", ErrCorrupt, ff.frameCount)
 	}
-	var indexEvents uint64
-	for i := uint64(0); i < frameCount; i++ {
+	for i := uint64(0); i < ff.frameCount; i++ {
 		ev, err := readUvarint()
 		if err != nil {
-			return err
+			return ff, err
 		}
 		if _, err := readUvarint(); err != nil { // frame byte length
-			return err
+			return ff, err
 		}
-		indexEvents += ev
+		ff.indexEvents += ev
 	}
-	total, err := readUvarint()
-	if err != nil {
-		return err
+	if ff.total, err = readUvarint(); err != nil {
+		return ff, err
+	}
+	if hasLoss {
+		if ff.dropped, err = readUvarint(); err != nil {
+			return ff, err
+		}
 	}
 	wantCRC, err := binary.ReadUvarint(byteReaderFunc(s.readByte))
 	if err != nil {
-		return fmt.Errorf("%w: footer cut short", ErrTruncated)
+		return ff, fmt.Errorf("%w: footer cut short", ErrTruncated)
 	}
 	if uint32(wantCRC) != crc32.ChecksumIEEE(body) {
-		return fmt.Errorf("%w: footer checksum mismatch", ErrCorrupt)
-	}
-	if frameCount != s.frames || total != r.count || indexEvents != r.count {
-		return fmt.Errorf("%w: footer says %d frames / %d events, stream has %d frames / %d events",
-			ErrCorrupt, frameCount, total, s.frames, r.count)
+		return ff, fmt.Errorf("%w: footer checksum mismatch", ErrCorrupt)
 	}
 	var tail [trailerLen]byte
 	if err := s.readFull(tail[:]); err != nil {
-		return fmt.Errorf("%w: trailer cut short", ErrTruncated)
+		return ff, fmt.Errorf("%w: trailer cut short", ErrTruncated)
 	}
 	if [4]byte(tail[4:8]) != trailerMagic {
-		return fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
+		return ff, fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
 	}
+	return ff, nil
+}
+
+// loadFooter validates the footer record and the fixed trailer against
+// everything decoded so far.
+func (r *Reader) loadFooter(hasLoss bool) error {
+	s := r.v3
+	ff, err := r.readFooterFields(hasLoss)
+	if err != nil {
+		return err
+	}
+	if ff.frameCount != s.frames || ff.total != r.count || ff.indexEvents != r.count {
+		return fmt.Errorf("%w: footer says %d frames / %d events, stream has %d frames / %d events",
+			ErrCorrupt, ff.frameCount, ff.total, s.frames, r.count)
+	}
+	r.dropped = ff.dropped
 	r.footerSeen = true
 	s.valid = s.read
 	return nil
@@ -404,6 +435,7 @@ func readAllSequential(rd *Reader, pre *footerInfo) (*Trace, error) {
 	for {
 		e, err := rd.Next()
 		if errors.Is(err, io.EOF) {
+			tr.EventsDropped = rd.dropped
 			return tr, nil
 		}
 		if err != nil {
@@ -505,8 +537,8 @@ func readAllParallel(rd *Reader, workers int, pre *footerInfo) (*Trace, error) {
 				}
 				jobs <- frameJob{idx: idx, head: h, comp: comp}
 				idx++
-			case footerByte:
-				err := rd.loadFooterShallow(uint64(idx))
+			case footerByte, footerLossByte:
+				err := rd.loadFooterShallow(uint64(idx), marker == footerLossByte)
 				endCh <- dispatchEnd{frames: idx, total: rd.pendingTotal, err: err}
 				return
 			default:
@@ -557,61 +589,25 @@ func readAllParallel(rd *Reader, workers int, pre *footerInfo) (*Trace, error) {
 	if end.total != merged {
 		return nil, fmt.Errorf("%w: footer says %d events, stream decoded %d", ErrCorrupt, end.total, merged)
 	}
+	tr.EventsDropped = rd.dropped
 	return tr, nil
 }
 
-// pendingTotal carries the footer's declared event total from
-// loadFooterShallow to the parallel merge, which does the count check the
-// sequential path performs inline.
-func (r *Reader) loadFooterShallow(frames uint64) error {
+// loadFooterShallow parses and verifies the footer without the decoded-count
+// checks the sequential path performs inline; the parallel merge does those
+// against pendingTotal once every frame has been merged.
+func (r *Reader) loadFooterShallow(frames uint64, hasLoss bool) error {
 	s := r.v3
-	var body []byte
-	readUvarint := func() (uint64, error) {
-		v, err := binary.ReadUvarint(byteReaderFunc(s.readByte))
-		if err != nil {
-			return 0, fmt.Errorf("%w: footer cut short", ErrTruncated)
-		}
-		body = binary.AppendUvarint(body, v)
-		return v, nil
-	}
-	frameCount, err := readUvarint()
+	ff, err := r.readFooterFields(hasLoss)
 	if err != nil {
 		return err
 	}
-	if frameCount > maxFrameEvents {
-		return fmt.Errorf("%w: implausible frame count %d", ErrCorrupt, frameCount)
-	}
-	for i := uint64(0); i < frameCount; i++ {
-		if _, err := readUvarint(); err != nil {
-			return err
-		}
-		if _, err := readUvarint(); err != nil {
-			return err
-		}
-	}
-	total, err := readUvarint()
-	if err != nil {
-		return err
-	}
-	wantCRC, err := binary.ReadUvarint(byteReaderFunc(s.readByte))
-	if err != nil {
-		return fmt.Errorf("%w: footer cut short", ErrTruncated)
-	}
-	if uint32(wantCRC) != crc32.ChecksumIEEE(body) {
-		return fmt.Errorf("%w: footer checksum mismatch", ErrCorrupt)
-	}
-	if frameCount != frames {
-		return fmt.Errorf("%w: footer says %d frames, stream has %d", ErrCorrupt, frameCount, frames)
-	}
-	var tail [trailerLen]byte
-	if err := s.readFull(tail[:]); err != nil {
-		return fmt.Errorf("%w: trailer cut short", ErrTruncated)
-	}
-	if [4]byte(tail[4:8]) != trailerMagic {
-		return fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
+	if ff.frameCount != frames {
+		return fmt.Errorf("%w: footer says %d frames, stream has %d", ErrCorrupt, ff.frameCount, frames)
 	}
 	r.footerSeen = true
-	r.pendingTotal = total
+	r.pendingTotal = ff.total
+	r.dropped = ff.dropped
 	s.valid = s.read
 	return nil
 }

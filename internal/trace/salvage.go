@@ -6,17 +6,46 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"sigil/internal/faultinject"
 )
 
+// QuarantinedFrame records one corrupt mid-stream frame the salvage scan
+// skipped: its position in the stream and the exact byte range it spans in
+// the file, so forensics can extract the damaged bytes.
+type QuarantinedFrame struct {
+	Index  int    // frame position in the stream (0-based, good frames counted)
+	Start  int64  // file offset of the frame marker byte
+	End    int64  // file offset one past the frame's last payload byte
+	Events uint64 // the frame header's declared event count
+	Err    error  // what failed: checksum, inflate, or decode
+}
+
 // SalvageReport describes what a Salvage pass recovered from a (possibly
-// truncated or corrupt) event file.
+// truncated or corrupt) event file. Mid-stream corruption and truncation
+// are reported separately: a quarantined frame is a bounded hole with the
+// stream intact on both sides, while Truncated means the stream's tail
+// (and footer) is gone.
 type SalvageReport struct {
 	Events     int   // records recovered (context definitions included)
 	Contexts   int   // context definitions among them
-	BytesValid int64 // bytes of valid prefix consumed (header excluded)
+	BytesValid int64 // bytes of verified, decoded records (header excluded)
 	BytesTotal int64 // total record bytes present in the input
-	Complete   bool  // footer present and verified: nothing was lost
-	Err        error // the decode error that ended the scan (nil when Complete)
+	Complete   bool  // footer verified, nothing quarantined, no recorded drops
+	Err        error // the decode error that ended the scan early (nil otherwise)
+
+	// FramesQuarantined counts corrupt v3 frames skipped mid-stream; each
+	// has an entry in Quarantined. BytesQuarantined is their combined size.
+	FramesQuarantined int
+	Quarantined       []QuarantinedFrame
+	BytesQuarantined  int64
+	// Truncated reports that the stream ended before its footer — the
+	// crash/cut case — as opposed to mid-stream damage with an intact tail.
+	Truncated bool
+	// EventsDropped is the write-side loss recorded in the stream's loss
+	// footer (a degraded writer shedding events), distinct from read-side
+	// quarantine loss.
+	EventsDropped uint64
 }
 
 // EstimatedTotal extrapolates how many events the intact file likely held,
@@ -31,43 +60,73 @@ func (r SalvageReport) EstimatedTotal() int {
 // String renders the paper-trail summary, e.g. "recovered 812 of ~1024
 // events (truncated after 12640 of 15980 bytes)".
 func (r SalvageReport) String() string {
-	if r.Complete {
-		return fmt.Sprintf("recovered all %d events (footer verified)", r.Events)
+	quar := ""
+	if r.FramesQuarantined > 0 {
+		quar = fmt.Sprintf(", %d corrupt frame(s) quarantined (%d bytes)",
+			r.FramesQuarantined, r.BytesQuarantined)
 	}
-	if r.BytesTotal > r.BytesValid {
-		return fmt.Sprintf("recovered %d of ~%d events (truncated after %d of %d bytes)",
-			r.Events, r.EstimatedTotal(), r.BytesValid, r.BytesTotal)
+	loss := ""
+	if r.EventsDropped > 0 {
+		loss = fmt.Sprintf(", writer recorded %d dropped event(s)", r.EventsDropped)
+	}
+	if r.Complete {
+		return fmt.Sprintf("recovered all %d events (footer verified)%s", r.Events, loss)
+	}
+	if !r.Truncated && r.Err == nil {
+		return fmt.Sprintf("recovered %d events (footer verified)%s%s", r.Events, quar, loss)
+	}
+	if r.BytesTotal > r.BytesValid+r.BytesQuarantined {
+		return fmt.Sprintf("recovered %d of ~%d events (truncated after %d of %d bytes)%s%s",
+			r.Events, r.EstimatedTotal(), r.BytesValid, r.BytesTotal, quar, loss)
 	}
 	// Truncated exactly at end of input: every byte present parsed, so
 	// there is no tail to extrapolate the original length from.
-	return fmt.Sprintf("recovered %d of ~%d events (stream cut short after %d bytes)",
-		r.Events, r.EstimatedTotal(), r.BytesValid)
+	return fmt.Sprintf("recovered %d of ~%d events (stream cut short after %d bytes)%s%s",
+		r.Events, r.EstimatedTotal(), r.BytesValid, quar, loss)
 }
 
-// Salvage reads the valid prefix of an event stream, stopping at the first
-// decode failure instead of propagating it: crashed profiling runs leave
-// truncated event files, and the data before the cut is still good. It
-// returns the recovered Trace and a report saying precisely how much of the
-// stream survived. On version-3 streams recovery is frame-granular: every
-// frame whose checksum verifies contributes all of its events, and only the
-// frame holding the cut is lost. Only an unreadable header (not an event
-// file at all) returns an error.
+// Salvage reads what it can of an event stream instead of propagating the
+// first decode failure: crashed profiling runs leave truncated event files,
+// damaged media leaves corrupt ones, and the data around the fault is still
+// good. It returns the recovered Trace and a report saying precisely how
+// much of the stream survived. On version-3 streams recovery is
+// frame-granular and quarantine-and-continue: a mid-stream frame whose
+// checksum, inflation or decode fails is skipped — its exact byte range
+// recorded in the report — and the scan resumes at the next frame, so one
+// damaged frame costs only its own events. Truncation (the stream ends
+// before its footer) is reported distinctly via Truncated. Only an
+// unreadable header (not an event file at all) returns an error.
 func Salvage(r io.Reader) (*Trace, *SalvageReport, error) {
 	rd := NewReader(r)
 	tr := &Trace{Contexts: make(map[int32]CtxInfo)}
 	rep := &SalvageReport{}
+	if err := rd.readHeader(); err != nil {
+		return nil, nil, err
+	}
+	if rd.version >= 3 {
+		salvageV3(rd, tr, rep)
+	} else {
+		salvageV1V2(rd, tr, rep)
+	}
+	rep.BytesTotal = rd.bytesConsumed() + drain(rd.br)
+	return tr, rep, nil
+}
+
+// salvageV1V2 scans a flat record stream, stopping at the first failure:
+// v1/v2 records are not self-delimiting, so there is no resynchronization
+// point to continue from.
+func salvageV1V2(rd *Reader, tr *Trace, rep *SalvageReport) {
 	for {
 		e, err := rd.Next()
 		if err != nil {
-			if !rd.started {
-				return nil, nil, err
-			}
 			if errors.Is(err, io.EOF) {
 				rep.Complete = rd.version < 2 || rd.footerSeen
 			} else {
 				rep.Err = err
+				rep.Truncated = errors.Is(err, ErrTruncated)
 			}
-			break
+			rep.BytesValid = rd.bytesValid()
+			return
 		}
 		rep.Events++
 		if e.Kind == KindDefCtx {
@@ -77,9 +136,158 @@ func Salvage(r io.Reader) (*Trace, *SalvageReport, error) {
 		}
 		tr.Events = append(tr.Events, e)
 	}
-	rep.BytesValid = rd.bytesValid()
-	rep.BytesTotal = rd.bytesConsumed() + drain(rd.br)
-	return tr, rep, nil
+}
+
+// salvageV3 scans frame by frame. Each frame's payload is fully read before
+// verification, so a frame that fails its checksum, inflation or decode
+// leaves the scan aligned on the next record marker: the frame is
+// quarantined (position, byte range, declared event count) and the scan
+// continues. The scan only stops early when it loses framing — a header it
+// cannot parse, or an unknown marker — because past that point byte offsets
+// mean nothing.
+func salvageV3(rd *Reader, tr *Trace, rep *SalvageReport) {
+	s := rd.v3
+	var events []Event
+	var quarDeclared uint64 // events the quarantined frames' headers declared
+	var decoded uint64
+	frameIdx := 0
+	add := func(e Event) {
+		rep.Events++
+		if e.Kind == KindDefCtx {
+			rep.Contexts++
+			tr.Contexts[e.Ctx] = CtxInfo{ID: e.Ctx, Parent: e.SrcCtx, Name: e.Name}
+			return
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	for {
+		recStart := s.read
+		marker, err := s.readByte()
+		if err != nil {
+			// End of input without a footer: the classic crash truncation.
+			rep.Truncated = true
+			rep.Err = ErrTruncated
+			return
+		}
+		switch marker {
+		case frameByte:
+			h, err := readFrameHeader(byteReaderFunc(s.readByte))
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					rep.Truncated = true
+					rep.Err = fmt.Errorf("%w: frame header cut short", ErrTruncated)
+				} else {
+					// An implausible header: framing is lost, the tail is
+					// unreadable.
+					rep.Err = err
+				}
+				return
+			}
+			if cap(s.comp) < h.compSize {
+				s.comp = make([]byte, h.compSize)
+			}
+			s.comp = s.comp[:h.compSize]
+			if err := s.readFull(s.comp); err != nil {
+				rep.Truncated = true
+				rep.Err = fmt.Errorf("%w: frame payload cut short", ErrTruncated)
+				return
+			}
+			raw, fr, err := inflateFrame(h, s.comp, s.raw, s.fr)
+			s.raw, s.fr = raw, fr
+			if err == nil {
+				events, err = decodePayload(s.raw, h.events, events[:0])
+			}
+			if err != nil {
+				// The payload was fully read, so the scan is still aligned:
+				// quarantine this frame and continue at the next marker.
+				rep.FramesQuarantined++
+				rep.Quarantined = append(rep.Quarantined, QuarantinedFrame{
+					Index:  frameIdx,
+					Start:  int64(len(magic)) + recStart,
+					End:    int64(len(magic)) + s.read,
+					Events: uint64(h.events),
+					Err:    err,
+				})
+				rep.BytesQuarantined += s.read - recStart
+				quarDeclared += uint64(h.events)
+				frameIdx++
+				continue
+			}
+			for _, e := range events {
+				add(e)
+			}
+			decoded += uint64(len(events))
+			rep.BytesValid += s.read - recStart
+			frameIdx++
+		case footerByte, footerLossByte:
+			ff, err := rd.readFooterFields(marker == footerLossByte)
+			if err != nil {
+				rep.Truncated = errors.Is(err, ErrTruncated)
+				rep.Err = err
+				return
+			}
+			rep.EventsDropped = ff.dropped
+			if ff.frameCount != uint64(frameIdx) || ff.total != decoded+quarDeclared {
+				// The footer checksummed correctly but disagrees with the
+				// stream (e.g. a quarantined frame's header lied about its
+				// event count). The recovered events stand; the stream is
+				// not certified.
+				rep.Err = fmt.Errorf("%w: footer says %d frames / %d events, salvage saw %d frames / %d events",
+					ErrCorrupt, ff.frameCount, ff.total, frameIdx, decoded+quarDeclared)
+				return
+			}
+			rep.BytesValid += s.read - recStart
+			// Write-side drops count as loss too: a loss-footer stream is
+			// well-formed but not the run's complete event sequence.
+			rep.Complete = rep.FramesQuarantined == 0 && ff.dropped == 0
+			return
+		default:
+			rep.Err = fmt.Errorf("%w: unknown record marker %#x", ErrCorrupt, marker)
+			return
+		}
+	}
+}
+
+// PruneDanglingCalls makes a gap-containing trace structurally consistent
+// for analyzers that require every referenced call to exist: when salvage
+// quarantines a mid-stream frame, the events inside it vanish, so the
+// surviving stream can hold Ops/Comm records for calls whose Enter was in
+// the hole, and Leave records whose matching Enter (or whose proper
+// nesting) was lost. This pass drops exactly those records — an Ops or
+// Comm naming a call never entered, and a Leave that does not match the
+// innermost open call — leaving a stream with the same shape as a cleanly
+// truncated one (balanced except for calls still open at the end, which
+// analyzers already tolerate). It returns how many events were removed;
+// zero means the trace was already consistent and untouched.
+func (t *Trace) PruneDanglingCalls() int {
+	entered := make(map[uint64]bool)
+	var stack []uint64
+	removed := 0
+	kept := t.Events[:0]
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KindEnter:
+			entered[e.Call] = true
+			stack = append(stack, e.Call)
+		case KindLeave:
+			if len(stack) == 0 || stack[len(stack)-1] != e.Call {
+				removed++
+				continue
+			}
+			stack = stack[:len(stack)-1]
+		case KindOps, KindComm:
+			if !entered[e.Call] {
+				removed++
+				continue
+			}
+			// A Comm whose producer call was lost keeps its consumer-side
+			// accounting; analyzers treat an unknown source as "no chain
+			// dependency", same as the synthetic @startup producer.
+		}
+		kept = append(kept, e)
+	}
+	t.Events = kept
+	return removed
 }
 
 // drain counts the bytes left unread after the scan stopped.
@@ -102,11 +310,20 @@ type FileSink struct {
 // CreateFile opens a FileSink writing the event file that will appear at
 // path on Commit.
 func CreateFile(path string) (*FileSink, error) {
+	return CreateFileOptions(path, WriterOptions{})
+}
+
+// CreateFileOptions opens a FileSink with explicit writer options — frame
+// size, retry schedule, degraded mode.
+func CreateFileOptions(path string, opts WriterOptions) (*FileSink, error) {
+	if err := faultinject.Fire(faultinject.SinkCreate); err != nil {
+		return nil, err
+	}
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return nil, err
 	}
-	return &FileSink{w: NewWriter(f), f: f, path: path}, nil
+	return &FileSink{w: NewWriterOptions(f, opts), f: f, path: path}, nil
 }
 
 // Emit implements Sink.
@@ -121,7 +338,9 @@ func (s *FileSink) EventsWritten() uint64 { return s.w.Count() }
 func (s *FileSink) Stats() WriterStats { return s.w.Stats() }
 
 // Commit finalizes the stream (footer, flush, fsync) and atomically renames
-// it to the target path.
+// it to the target path. Each finalization step is a named fault point
+// (trace.sink.sync, trace.sink.close, trace.sink.rename); a failure at any
+// of them discards the temporary file and leaves path untouched.
 func (s *FileSink) Commit() error {
 	if s.done {
 		return nil
@@ -131,11 +350,23 @@ func (s *FileSink) Commit() error {
 		s.discard()
 		return err
 	}
+	if err := faultinject.Fire(faultinject.SinkSync); err != nil {
+		s.discard()
+		return err
+	}
 	if err := s.f.Sync(); err != nil {
 		s.discard()
 		return err
 	}
+	if err := faultinject.Fire(faultinject.SinkClose); err != nil {
+		s.discard()
+		return err
+	}
 	if err := s.f.Close(); err != nil {
+		os.Remove(s.f.Name())
+		return err
+	}
+	if err := faultinject.Fire(faultinject.SinkRename); err != nil {
 		os.Remove(s.f.Name())
 		return err
 	}

@@ -144,6 +144,10 @@ type CtxInfo struct {
 type Trace struct {
 	Contexts map[int32]CtxInfo
 	Events   []Event
+	// EventsDropped is the write-side loss the stream's footer declared: a
+	// degraded-mode writer counted this many events it could not persist.
+	// Zero for streams written without loss.
+	EventsDropped uint64
 }
 
 // FromBuffer converts an in-memory Buffer into a Trace without encoding.

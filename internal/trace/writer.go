@@ -3,11 +3,15 @@ package trace
 import (
 	"bufio"
 	"compress/flate"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sigil/internal/faultinject"
 )
 
 // WriterOptions tunes the v3 Writer. The zero value selects the defaults.
@@ -21,9 +25,39 @@ type WriterOptions struct {
 	// repetitive after delta encoding that higher levels buy little size
 	// for much more encoder CPU.
 	Level int
+	// MaxRetries bounds how many times a failing sink write is retried
+	// (beyond the first attempt) before the error is surfaced. Zero
+	// disables retry. The retry layer sits beneath the writer's bufio
+	// buffer — bufio poisons itself on the first error it sees — and
+	// resumes short writes from the unwritten suffix, so a successful
+	// retry never tears or duplicates bytes.
+	MaxRetries int
+	// RetryBackoff is the wait before the first retry; it doubles on each
+	// subsequent one. Default 1ms.
+	RetryBackoff time.Duration
+	// RetryCtx, when set, cancels in-flight backoff waits — a run being
+	// torn down should not sit out a backoff schedule. Default Background.
+	RetryCtx context.Context
+	// Permanent classifies sink errors that no retry can fix (give up
+	// immediately). Default: ENOSPC and context cancellation.
+	Permanent func(error) bool
+	// Degraded selects degraded mode: the writer bounds every stall and
+	// never surfaces sink errors through Emit. A hand-off to a saturated
+	// encoder waits at most DegradedGrace; past that, whole batches are
+	// dropped and counted exactly (WriterStats.Dropped; the footer's loss
+	// record), and while saturation persists further batches drop without
+	// waiting. The aggregate profile and the interpreter are unaffected —
+	// only the event stream loses frames.
+	Degraded bool
+	// DegradedGrace is the longest a degraded writer will wait on the
+	// encoder before shedding a batch (default 50ms). It is paid once per
+	// saturation episode, not per batch.
+	DegradedGrace time.Duration
 	// levelSet distinguishes an explicit flate.NoCompression (0) from the
 	// zero value; SetLevel sets it.
 	levelSet bool
+	// clock substitutes the retry layer's backoff waits in tests.
+	clock sleeper
 }
 
 // SetLevel fixes the DEFLATE level explicitly, distinguishing
@@ -48,6 +82,9 @@ type Writer struct {
 	count       uint64
 	frameEvents int
 	closed      bool
+	degradedOpt bool          // Degraded option: drop instead of block or error
+	degradedNow bool          // currently shedding: skip the grace wait
+	grace       time.Duration // longest wait on a saturated encoder
 
 	// Hand-off: three batch slabs circulate between the caller and the
 	// encoder (one being filled, up to two queued or in encode).
@@ -64,6 +101,12 @@ type Writer struct {
 	frames    atomic.Uint64
 	rawBytes  atomic.Uint64
 	compBytes atomic.Uint64
+	dropped   atomic.Uint64 // events discarded (degraded drops + post-error drains)
+	degraded  atomic.Bool   // a degraded-mode writer has started losing events
+
+	// rw is the retry layer beneath bufio, nil when MaxRetries is zero;
+	// kept for its retry counter.
+	rw *retryWriter
 
 	// Encoder-goroutine state; the caller may touch it only after done is
 	// closed (Close does, to write the footer).
@@ -80,7 +123,11 @@ func NewWriter(w io.Writer) *Writer {
 	return NewWriterOptions(w, WriterOptions{})
 }
 
-// NewWriterOptions returns a v3 Writer with explicit framing options.
+// NewWriterOptions returns a v3 Writer with explicit framing options. The
+// sink is layered (bottom up): the trace.v3.write fault point wraps w, the
+// optional retry layer absorbs transient failures, and bufio batches the
+// frame writes — so injected faults exercise retry, and retry happens
+// beneath bufio's sticky-error behavior.
 func NewWriterOptions(w io.Writer, opts WriterOptions) *Writer {
 	if opts.FrameEvents <= 0 {
 		opts.FrameEvents = defaultFrameEvents
@@ -88,13 +135,25 @@ func NewWriterOptions(w io.Writer, opts WriterOptions) *Writer {
 	if opts.Level == 0 && !opts.levelSet {
 		opts.Level = flate.BestSpeed
 	}
+	target := faultinject.WrapWriter(faultinject.TraceWriteV3, w)
+	var rw *retryWriter
+	if opts.MaxRetries > 0 {
+		rw = newRetryWriter(target, opts.MaxRetries, opts.RetryBackoff, opts.RetryCtx, opts.Permanent, opts.clock)
+		target = rw
+	}
+	if opts.DegradedGrace <= 0 {
+		opts.DegradedGrace = 50 * time.Millisecond
+	}
 	wr := &Writer{
 		frameEvents: opts.FrameEvents,
+		degradedOpt: opts.Degraded,
+		grace:       opts.DegradedGrace,
 		work:        make(chan []Event, 2),
 		free:        make(chan []Event, 3),
 		done:        make(chan struct{}),
-		w:           bufio.NewWriterSize(w, 1<<16),
+		w:           bufio.NewWriterSize(target, 1<<16),
 		enc:         newFrameEncoder(opts.Level),
+		rw:          rw,
 	}
 	wr.cur = make([]Event, 0, opts.FrameEvents)
 	wr.free <- make([]Event, 0, opts.FrameEvents)
@@ -122,7 +181,14 @@ func (w *Writer) Emit(e Event) error {
 // flush hands the full batch to the encoder and picks up an empty slab,
 // counting a stall whenever either side would block (the encoder is a full
 // frame behind — the backpressure the double buffer is sized to absorb).
+// In degraded mode neither side ever blocks: a full queue drops the batch
+// (counted exactly), an empty free list is replaced by a fresh slab, and
+// sink errors are not surfaced — Emit must never stall the interpreter.
 func (w *Writer) flush() error {
+	if w.degradedOpt {
+		w.flushDegraded()
+		return nil
+	}
 	w.queued.Add(1)
 	select {
 	case w.work <- w.cur:
@@ -140,15 +206,78 @@ func (w *Writer) flush() error {
 	return w.firstErr()
 }
 
+// flushDegraded is flush's bounded variant. A hand-off to an encoder with
+// room is free; a saturated encoder gets one grace wait — enough for a busy
+// sink to catch up, not enough for a dead one to stall the run — and past
+// that the batch is dropped with its exact size counted. While saturation
+// persists (degradedNow), later batches drop without paying the grace wait
+// again; a hand-off that goes through ends the episode.
+func (w *Writer) flushDegraded() {
+	select {
+	case w.work <- w.cur:
+		w.degradedNow = false
+		w.handedOff()
+		return
+	default:
+	}
+	if w.degradedNow {
+		w.dropBatch()
+		return
+	}
+	w.stalls.Add(1)
+	t := time.NewTimer(w.grace)
+	defer t.Stop()
+	select {
+	case w.work <- w.cur:
+		w.handedOff()
+	case <-t.C:
+		w.degradedNow = true
+		w.dropBatch()
+	}
+}
+
+// handedOff completes a successful degraded hand-off: account the batch
+// and pick up a slab without ever blocking on the free list.
+func (w *Writer) handedOff() {
+	w.queued.Add(1)
+	select {
+	case b := <-w.free:
+		w.cur = b[:0]
+	default:
+		// All slabs in flight; a fresh one keeps Emit non-blocking.
+		// Excess slabs fall out of circulation at the encoder's
+		// non-blocking return to the bounded free list.
+		w.cur = make([]Event, 0, w.frameEvents)
+	}
+}
+
+// dropBatch sheds the current batch, recording the exact loss.
+func (w *Writer) dropBatch() {
+	w.dropped.Add(uint64(len(w.cur)))
+	w.degraded.Store(true)
+	w.cur = w.cur[:0]
+}
+
 // encodeLoop is the background encoder: one frame per batch, slabs
 // recycled through the free list. On a write error it keeps draining (so
-// Emit never deadlocks) but writes nothing further.
+// Emit never deadlocks) but writes nothing further; drained batches are
+// counted into the drop total so the loss is exact, not silent.
 func (w *Writer) encodeLoop() {
 	defer close(w.done)
 	for batch := range w.work {
 		if w.firstErr() == nil {
 			if err := w.writeFrame(batch); err != nil {
 				w.setErr(err)
+				// The failed frame's events were not persisted.
+				w.dropped.Add(uint64(len(batch)))
+				if w.degradedOpt {
+					w.degraded.Store(true)
+				}
+			}
+		} else {
+			w.dropped.Add(uint64(len(batch)))
+			if w.degradedOpt {
+				w.degraded.Store(true)
 			}
 		}
 		w.queued.Add(-1)
@@ -217,33 +346,50 @@ type WriterStats struct {
 	Stalls          uint64 // Emit hand-offs that blocked on the encoder
 	RawBytes        uint64 // payload bytes before compression
 	CompressedBytes uint64 // frame bytes on the wire (headers included)
+	Dropped         uint64 // events discarded instead of persisted (exact loss)
+	Retries         uint64 // sink writes retried by the backoff layer
+	Degraded        bool   // a degraded-mode writer has started losing events
 }
 
 // Stats returns the writer's pipeline counters. Safe to call concurrently
 // with the encoder; Events is owned by the emitting goroutine.
 func (w *Writer) Stats() WriterStats {
-	return WriterStats{
+	s := WriterStats{
 		Events:          w.count,
 		Frames:          w.frames.Load(),
 		QueueDepth:      int(w.queued.Load()),
 		Stalls:          w.stalls.Load(),
 		RawBytes:        w.rawBytes.Load(),
 		CompressedBytes: w.compBytes.Load(),
+		Dropped:         w.dropped.Load(),
+		Degraded:        w.degraded.Load(),
 	}
+	if w.rw != nil {
+		s.Retries = w.rw.retries.Load()
+	}
+	return s
 }
 
 // Close flushes the final partial frame, stops the encoder, writes the
-// footer (frame index, totals, trailer) and flushes buffered bytes. The
-// underlying writer is not closed. Close is idempotent; after it, Emit
-// fails.
+// footer (frame index, totals, trailer) and flushes buffered bytes. A
+// writer that dropped events writes the loss-variant footer, recording the
+// exact count; the footer's event total covers only the events that made it
+// into frames. The underlying writer is not closed. Close is idempotent;
+// after it, Emit fails. Sink errors — including ones a degraded writer
+// absorbed during the run — surface here.
 func (w *Writer) Close() error {
 	if w.closed {
 		return w.firstErr()
 	}
 	w.closed = true
 	if len(w.cur) > 0 {
-		w.queued.Add(1)
-		w.work <- w.cur
+		if w.degradedOpt {
+			w.flushDegraded()
+			// flushDegraded recycles the slab; anything left was dropped.
+		} else {
+			w.queued.Add(1)
+			w.work <- w.cur
+		}
 		w.cur = nil
 	}
 	close(w.work)
@@ -258,7 +404,8 @@ func (w *Writer) Close() error {
 		}
 		w.wroteMagic = true
 	}
-	foot := appendFooter(nil, w.index, w.count)
+	dropped := w.dropped.Load()
+	foot := appendFooter(nil, w.index, w.count-dropped, dropped)
 	if _, err := w.w.Write(foot); err != nil {
 		return err
 	}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"hash/crc32"
 	"io"
+
+	"sigil/internal/faultinject"
 )
 
 // WriterV2 is the legacy synchronous version-2 encoder: one flat varint
@@ -26,10 +28,11 @@ type WriterV2 struct {
 	crc    uint32 // running CRC-32 (IEEE) over all record bytes
 }
 
-// NewWriterV2 returns a version-2 Writer targeting w. Call Close to write
-// the footer and flush; without it the stream is detectably incomplete.
+// NewWriterV2 returns a version-2 Writer targeting w. The sink passes
+// through the trace.v2.write fault point. Call Close to write the footer
+// and flush; without it the stream is detectably incomplete.
 func NewWriterV2(w io.Writer) *WriterV2 {
-	return &WriterV2{w: bufio.NewWriterSize(w, 1<<16)}
+	return &WriterV2{w: bufio.NewWriterSize(faultinject.WrapWriter(faultinject.TraceWriteV2, w), 1<<16)}
 }
 
 // Emit implements Sink.

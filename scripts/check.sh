@@ -30,9 +30,13 @@ go test -race ./...
 echo "== experiments worker-pool shakeout (-race, uncached)"
 go test -race -count=1 -run 'TestProfileSingleflight|TestParallelSuite|TestRunPool' ./internal/experiments
 
+echo "== chaos sweep (short; scripts/chaos.sh runs the full matrix)"
+go test -short -count=1 -run TestChaos ./internal/chaos
+
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -run '^$' -fuzz FuzzReader -fuzztime "$FUZZTIME" ./internal/trace
 go test -run '^$' -fuzz FuzzFrameReader -fuzztime "$FUZZTIME" ./internal/trace
+go test -run '^$' -fuzz FuzzQuarantineReader -fuzztime "$FUZZTIME" ./internal/trace
 go test -run '^$' -fuzz FuzzReadProfile -fuzztime "$FUZZTIME" ./internal/core
 go test -run '^$' -fuzz FuzzBatchedClassifier -fuzztime "$FUZZTIME" ./internal/core
 
