@@ -18,6 +18,7 @@ import (
 	"sigil/internal/experiments"
 	"sigil/internal/telemetry"
 	"sigil/internal/trace"
+	"sigil/internal/tracing"
 	"sigil/internal/workloads"
 )
 
@@ -239,6 +240,36 @@ func BenchmarkAblationTelemetry(b *testing.B) {
 				opts := core.Options{}
 				if sampled {
 					opts.Telemetry = &telemetry.Metrics{}
+				}
+				if _, err := core.Run(prog, opts, input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTracing measures the run-tracing subsystem on top of
+// profiling: the full core.Run path with and without a span buffer on
+// Options, so the span bookkeeping, the per-poll sample+flight recording,
+// and the private metrics block a traced run attaches are the only
+// difference. The acceptance bar is ≤3% on fft (scripts/bench.sh gates it).
+func BenchmarkAblationTracing(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("tracing=%v", traced), func(b *testing.B) {
+			prog, input, err := workloads.Build("fft", workloads.SimSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := tracing.NewRecorder()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{}
+				if traced {
+					// A fresh per-iteration buffer, like each run of a
+					// tool gets; the recorder is shared, as in a process.
+					opts.Trace = rec.Local("bench")
 				}
 				if _, err := core.Run(prog, opts, input); err != nil {
 					b.Fatal(err)

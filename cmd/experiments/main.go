@@ -37,10 +37,23 @@ func main() {
 	s.Workers = *par
 	s.Ctx = ctx
 	s.Telemetry = tel.Metrics()
+	// Unlike the shared metrics gauges, the tracer is safe at any -p:
+	// every profiling run records into its own track.
+	s.Tracer = tel.Recorder()
 
+	finish := func(err error) {
+		art := cli.Artifacts{Err: err}
+		if m := tel.Metrics(); m != nil {
+			snap := m.Snapshot()
+			art.Telemetry = &snap
+		}
+		tel.Finish(art)
+	}
 	fail := func(err error) {
+		finish(err)
 		os.Exit(cli.ExitCode(err))
 	}
+	defer finish(nil)
 	run := func(name string, f func() (string, error)) {
 		if *only != "" && !strings.EqualFold(*only, name) {
 			return

@@ -21,8 +21,8 @@ import (
 	"sigil/internal/cli"
 	"sigil/internal/core"
 	"sigil/internal/critpath"
-	"sigil/internal/telemetry"
 	"sigil/internal/trace"
+	"sigil/internal/tracing"
 	"sigil/internal/workloads"
 )
 
@@ -36,7 +36,7 @@ func main() {
 		salvage  = flag.Bool("salvage", false, "recover the valid prefix of a truncated/corrupt event file")
 		workers  = flag.Int("decode-workers", 0, "frame-decode goroutines for v3 event files (0 = one per CPU)")
 	)
-	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-critpath")
+	tel = cli.RegisterTelemetry(flag.CommandLine, "sigil-critpath")
 	flag.Parse()
 
 	ctx, stop := cli.Context()
@@ -47,11 +47,15 @@ func main() {
 	}
 	defer stopTel()
 
-	tr, err := loadTrace(ctx, *evtFile, *workload, *class, *salvage, *workers, tel.Metrics())
+	load := tel.StartSpan("load")
+	tr, err := loadTrace(ctx, *evtFile, *workload, *class, *salvage, *workers, tel)
+	load.End()
 	if err != nil {
 		fatal(err)
 	}
+	analyze := tel.StartSpan("analyze")
 	a, err := critpath.AnalyzeWithComm(tr, critpath.CommConfig{OpsPerByte: *commCost})
+	analyze.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -70,6 +74,7 @@ func main() {
 		fmt.Printf("critical chain:     %s\n", strings.Join(leafToMain, " -> "))
 	}
 	if *slots != "" {
+		sched := tel.StartSpan("schedule")
 		fmt.Println("\nschedule onto bounded slots:")
 		fmt.Printf("  %-6s %12s %10s %12s %14s\n", "slots", "makespan", "speedup", "utilization", "cross-slot B")
 		for _, s := range strings.Split(*slots, ",") {
@@ -84,10 +89,12 @@ func main() {
 			fmt.Printf("  %-6d %12d %10.2f %12.2f %14d\n",
 				n, r.Makespan, r.Speedup(), r.Utilization(), r.CrossSlotBytes)
 		}
+		sched.End()
 	}
+	tel.Finish(art)
 }
 
-func loadTrace(ctx context.Context, evtFile, workload, class string, salvage bool, workers int, m *telemetry.Metrics) (*trace.Trace, error) {
+func loadTrace(ctx context.Context, evtFile, workload, class string, salvage bool, workers int, tel *cli.Telemetry) (*trace.Trace, error) {
 	switch {
 	case evtFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -events or -workload")
@@ -114,9 +121,12 @@ func loadTrace(ctx context.Context, evtFile, workload, class string, salvage boo
 			return nil, err
 		}
 		var buf trace.Buffer
-		if _, err := core.RunContext(ctx, prog, core.Options{Events: &buf, Telemetry: m}, input); err != nil {
+		opts := core.Options{Events: &buf, Telemetry: tel.Metrics(), Trace: tel.TraceBuf()}
+		res, err := core.RunContext(ctx, prog, opts, input)
+		if err != nil {
 			return nil, err
 		}
+		art.Telemetry = res.Telemetry
 		return trace.FromBuffer(&buf), nil
 	default:
 		return nil, fmt.Errorf("need -events or -workload")
@@ -130,6 +140,15 @@ func readEventFile(f *os.File, salvage bool, workers int) (*trace.Trace, error) 
 		tr, rep, err := trace.Salvage(f)
 		if err != nil {
 			return nil, err
+		}
+		art.Salvage = &tracing.SalvageInfo{
+			Complete:          rep.Complete,
+			Truncated:         rep.Truncated,
+			Events:            uint64(rep.Events),
+			EventsDropped:     rep.EventsDropped,
+			FramesQuarantined: rep.FramesQuarantined,
+			BytesRead:         uint64(rep.BytesValid),
+			BytesDropped:      uint64(rep.BytesTotal - rep.BytesValid),
 		}
 		fmt.Fprintf(os.Stderr, "sigil-critpath: %s\n", rep)
 		// A quarantined mid-stream frame leaves a gap: surviving events can
@@ -150,6 +169,17 @@ func readEventFile(f *os.File, salvage bool, workers int) (*trace.Trace, error) 
 	return tr, err
 }
 
+// tel and art are package-level so fatal can flush run artifacts (report,
+// trace, flight dump) on every exit path.
+var (
+	tel *cli.Telemetry
+	art cli.Artifacts
+)
+
 func fatal(err error) {
+	if tel != nil {
+		art.Err = err
+		tel.Finish(art)
+	}
 	cli.Fatal("sigil-critpath", err)
 }

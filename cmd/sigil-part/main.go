@@ -21,7 +21,6 @@ import (
 	"sigil/internal/cli"
 	"sigil/internal/core"
 	"sigil/internal/safeio"
-	"sigil/internal/telemetry"
 	"sigil/internal/workloads"
 )
 
@@ -37,7 +36,7 @@ func main() {
 		offload  = flag.Float64("offload", 0, "estimate app speedup assuming this accelerator speedup (0 = skip)")
 		accels   = flag.Int("accelerators", 0, "accelerator budget for -offload (0 = unlimited)")
 	)
-	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-part")
+	tel = cli.RegisterTelemetry(flag.CommandLine, "sigil-part")
 	flag.Parse()
 
 	ctx, stop := cli.Context()
@@ -48,10 +47,20 @@ func main() {
 	}
 	defer stopTel()
 
-	res, err := loadResult(ctx, *profFile, *workload, *class, tel.Metrics())
+	load := tel.StartSpan("load")
+	res, err := loadResult(ctx, *profFile, *workload, *class, tel)
+	load.End()
 	if err != nil {
 		fatal(err)
 	}
+	if res.Telemetry != nil {
+		art.Telemetry = res.Telemetry
+	}
+	partition := tel.StartSpan("partition")
+	defer func() {
+		partition.End()
+		tel.Finish(art)
+	}()
 	g, err := cdfg.Build(res, cdfg.Config{BytesPerCycle: *bus, MaxBreakeven: *maxBE})
 	if err != nil {
 		fatal(err)
@@ -104,7 +113,7 @@ func printCands(cands []cdfg.Candidate) {
 	}
 }
 
-func loadResult(ctx context.Context, profFile, workload, class string, m *telemetry.Metrics) (*core.Result, error) {
+func loadResult(ctx context.Context, profFile, workload, class string, tel *cli.Telemetry) (*core.Result, error) {
 	switch {
 	case profFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -profile or -workload")
@@ -130,7 +139,7 @@ func loadResult(ctx context.Context, profFile, workload, class string, m *teleme
 		if err != nil {
 			return nil, err
 		}
-		return core.RunContext(ctx, prog, core.Options{Telemetry: m}, input)
+		return core.RunContext(ctx, prog, core.Options{Telemetry: tel.Metrics(), Trace: tel.TraceBuf()}, input)
 	default:
 		return nil, fmt.Errorf("need -profile or -workload")
 	}
@@ -143,6 +152,17 @@ func clip(s string, n int) string {
 	return "…" + s[len(s)-n+1:]
 }
 
+// tel and art are package-level so fatal can flush run artifacts before
+// exiting.
+var (
+	tel *cli.Telemetry
+	art cli.Artifacts
+)
+
 func fatal(err error) {
+	if tel != nil {
+		art.Err = err
+		tel.Finish(art)
+	}
 	cli.Fatal("sigil-part", err)
 }

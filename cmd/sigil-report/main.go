@@ -33,7 +33,7 @@ func main() {
 		slotsArg = flag.String("slots", "2,4,8", "slot counts for the scheduling study")
 		top      = flag.Int("top", 12, "rows per table")
 	)
-	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-report")
+	tel = cli.RegisterTelemetry(flag.CommandLine, "sigil-report")
 	flag.Parse()
 	if *workload == "" {
 		fatal(fmt.Errorf("need -workload (see `sigil -list`)"))
@@ -59,13 +59,15 @@ func main() {
 	// report needs both complete, so an interrupt aborts rather than
 	// rendering from half the data.
 	var buf trace.Buffer
-	res, err := core.RunContext(ctx, prog, core.Options{TrackReuse: true, Telemetry: tel.Metrics()}, input)
+	res, err := core.RunContext(ctx, prog, core.Options{TrackReuse: true, Telemetry: tel.Metrics(), Trace: tel.TraceBuf()}, input)
 	if err != nil {
 		fatal(err)
 	}
-	if _, err := core.RunContext(ctx, prog, core.Options{Events: &buf, Telemetry: tel.Metrics()}, input); err != nil {
+	evRes, err := core.RunContext(ctx, prog, core.Options{Events: &buf, Telemetry: tel.Metrics(), Trace: tel.TraceBuf()}, input)
+	if err != nil {
 		fatal(err)
 	}
+	art.Telemetry = evRes.Telemetry
 	tr := trace.FromBuffer(&buf)
 
 	var slots []int
@@ -87,6 +89,7 @@ func main() {
 		Partition:    cdfg.Config{BytesPerCycle: *bus},
 		Slots:        slots,
 	}
+	render := tel.StartSpan("render")
 	if *out != "" {
 		err = safeio.WriteFile(*out, func(w io.Writer) error {
 			return report.Write(w, res, tr, cfg)
@@ -94,11 +97,24 @@ func main() {
 	} else {
 		err = report.Write(os.Stdout, res, tr, cfg)
 	}
+	render.End()
 	if err != nil {
 		fatal(err)
 	}
+	tel.Finish(art)
 }
 
+// tel and art are package-level so fatal can flush run artifacts before
+// exiting.
+var (
+	tel *cli.Telemetry
+	art cli.Artifacts
+)
+
 func fatal(err error) {
+	if tel != nil {
+		art.Err = err
+		tel.Finish(art)
+	}
 	cli.Fatal("sigil-report", err)
 }

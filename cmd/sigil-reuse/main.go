@@ -20,7 +20,6 @@ import (
 	"sigil/internal/cli"
 	"sigil/internal/core"
 	"sigil/internal/reuse"
-	"sigil/internal/telemetry"
 	"sigil/internal/workloads"
 )
 
@@ -33,7 +32,7 @@ func main() {
 		top      = flag.Int("top", 10, "functions to rank by reused bytes")
 		lineMode = flag.Bool("line", false, "collect line-granularity re-use (with -workload)")
 	)
-	tel := cli.RegisterTelemetry(flag.CommandLine, "sigil-reuse")
+	tel = cli.RegisterTelemetry(flag.CommandLine, "sigil-reuse")
 	flag.Parse()
 
 	ctx, stop := cli.Context()
@@ -44,10 +43,20 @@ func main() {
 	}
 	defer stopTel()
 
-	res, err := loadResult(ctx, *profFile, *workload, *class, *lineMode, tel.Metrics())
+	load := tel.StartSpan("load")
+	res, err := loadResult(ctx, *profFile, *workload, *class, *lineMode, tel)
+	load.End()
 	if err != nil {
 		fatal(err)
 	}
+	if res.Telemetry != nil {
+		art.Telemetry = res.Telemetry
+	}
+	analyze := tel.StartSpan("analyze")
+	defer func() {
+		analyze.End()
+		tel.Finish(art)
+	}()
 
 	if res.Lines != nil {
 		fr := res.Lines.Fractions()
@@ -95,7 +104,7 @@ func main() {
 	}
 }
 
-func loadResult(ctx context.Context, profFile, workload, class string, lineMode bool, m *telemetry.Metrics) (*core.Result, error) {
+func loadResult(ctx context.Context, profFile, workload, class string, lineMode bool, tel *cli.Telemetry) (*core.Result, error) {
 	switch {
 	case profFile != "" && workload != "":
 		return nil, fmt.Errorf("use either -profile or -workload")
@@ -121,12 +130,23 @@ func loadResult(ctx context.Context, profFile, workload, class string, lineMode 
 		if err != nil {
 			return nil, err
 		}
-		return core.RunContext(ctx, prog, core.Options{TrackReuse: !lineMode, LineGranularity: lineMode, Telemetry: m}, input)
+		return core.RunContext(ctx, prog, core.Options{TrackReuse: !lineMode, LineGranularity: lineMode, Telemetry: tel.Metrics(), Trace: tel.TraceBuf()}, input)
 	default:
 		return nil, fmt.Errorf("need -profile or -workload")
 	}
 }
 
+// tel and art are package-level so fatal can flush run artifacts before
+// exiting.
+var (
+	tel *cli.Telemetry
+	art cli.Artifacts
+)
+
 func fatal(err error) {
+	if tel != nil {
+		art.Err = err
+		tel.Finish(art)
+	}
 	cli.Fatal("sigil-reuse", err)
 }

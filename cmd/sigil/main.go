@@ -35,6 +35,7 @@ import (
 	"sigil/internal/core"
 	"sigil/internal/safeio"
 	"sigil/internal/trace"
+	"sigil/internal/tracing"
 	"sigil/internal/vm"
 	"sigil/internal/workloads"
 )
@@ -84,6 +85,11 @@ func run() int {
 	}
 	defer stopTel()
 
+	// Run artifacts (-run-report, -trace-out, flight dump on bad outcomes)
+	// are written on every exit path, including setup failures.
+	var art cli.Artifacts
+	defer func() { tel.Finish(art) }()
+
 	assemble := tel.StartSpan("assemble")
 	prog, input, err := loadProgram(*workload, *class, *asmFile, *inFile)
 	assemble.End()
@@ -104,12 +110,14 @@ func run() int {
 			Prefetch: *prefetch,
 		},
 		Telemetry: tel.Metrics(),
+		Trace:     tel.TraceBuf(),
 	}
 	var sink *trace.FileSink
 	if *outEvt != "" {
 		sink, err = trace.CreateFileOptions(*outEvt, trace.WriterOptions{
 			MaxRetries: *evtRetry,
 			Degraded:   *evtDegr,
+			Trace:      tel.NewTrack("trace-writer"),
 		})
 		if err != nil {
 			return fail(err)
@@ -121,9 +129,19 @@ func run() int {
 	ctx, stop := cli.Context()
 	defer stop()
 
-	runSpan := tel.StartSpan("run")
+	// core traces the run span itself when a span buffer is attached;
+	// without one, keep the logged phase span so the assemble → run →
+	// write → postprocess timeline stays complete in the logs.
+	var runSpan *tracing.Active
+	if opts.Trace == nil {
+		runSpan = tel.StartSpan("run")
+	}
 	res, runErr := core.RunContext(ctx, prog, opts, input)
 	runSpan.End()
+	art.Err = runErr
+	if res != nil {
+		art.Telemetry = res.Telemetry
+	}
 	exit := 0
 	if runErr != nil {
 		if res == nil {
@@ -147,7 +165,10 @@ func run() int {
 	}
 	write := tel.StartSpan("write")
 	if sink != nil {
-		if err := sink.Commit(); err != nil {
+		commitErr := sink.Commit()
+		st := sink.Stats()
+		art.Sink = &st
+		if err := commitErr; err != nil {
 			if !*evtDegr {
 				return fail(err)
 			}

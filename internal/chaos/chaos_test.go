@@ -32,6 +32,7 @@ import (
 	"sigil/internal/faultinject"
 	"sigil/internal/safeio"
 	"sigil/internal/trace"
+	"sigil/internal/tracing"
 	"sigil/internal/vm"
 	"sigil/internal/workloads"
 )
@@ -211,11 +212,32 @@ func checkSalvageAgainstBaseline(t *testing.T, b *baseline, tr *trace.Trace, rep
 }
 
 // install sets up a fresh registry with one planned fault and returns it.
-// The registry stays installed until the next install or Disable.
+// The registry stays installed until the next install or Disable. It also
+// marks the process flight recorder's cursor, so checkFlightFault can
+// assert that firings from this installation (and only these) reached the
+// ring.
 func install(point string, p faultinject.Plan) *faultinject.Registry {
+	flightMark = tracing.Flight().Recorded()
 	reg := faultinject.New(0xC4A05).Plan(point, p)
 	faultinject.Enable(reg)
 	return reg
+}
+
+// flightMark is the flight-recorder cursor at the last install; chaos
+// tests run sequentially, so a package global suffices.
+var flightMark uint64
+
+// checkFlightFault asserts the injected-fault firing landed in the flight
+// recorder: every failure the sweep provokes must be reconstructible from
+// the post-mortem ring, not only from the returned error.
+func checkFlightFault(t *testing.T, point string) {
+	t.Helper()
+	for _, e := range tracing.Flight().Snapshot() {
+		if e.Seq > flightMark && e.Kind == tracing.KindFault && e.Name == point {
+			return
+		}
+	}
+	t.Errorf("no flight-recorder fault event for %s after an injected-fault failure", point)
 }
 
 // TestChaos is the sweep: every fault point x {callgrind, sigil} output
@@ -271,6 +293,7 @@ func chaosCallgrind(t *testing.T, b *baseline) {
 			if reg.Fired(tc.point) != 1 {
 				t.Errorf("point %s fired %d times, want 1", tc.point, reg.Fired(tc.point))
 			}
+			checkFlightFault(t, tc.point)
 			checkIntact(t, path)
 		})
 	}
@@ -287,6 +310,7 @@ func chaosCallgrind(t *testing.T, b *baseline) {
 		if !errors.Is(err, io.ErrShortWrite) {
 			t.Errorf("short write surfaced as %v, want io.ErrShortWrite", err)
 		}
+		checkFlightFault(t, faultinject.SafeioWrite)
 		checkIntact(t, path)
 	})
 
@@ -331,6 +355,7 @@ func chaosCallgrind(t *testing.T, b *baseline) {
 			if !errors.Is(err, faultinject.ErrInjected) {
 				t.Errorf("fired every-2 fault surfaced as %v", err)
 			}
+			checkFlightFault(t, faultinject.SafeioWrite)
 			checkIntact(t, path)
 		} else {
 			if err != nil {
@@ -361,6 +386,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 		if !errors.Is(err, faultinject.ErrInjected) {
 			t.Errorf("create fault surfaced as %v", err)
 		}
+		checkFlightFault(t, faultinject.SinkCreate)
 		checkIntact(t, path)
 	})
 
@@ -382,6 +408,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 			if reg.Fired(point) != 1 {
 				t.Errorf("point %s fired %d times, want 1", point, reg.Fired(point))
 			}
+			checkFlightFault(t, point)
 			checkIntact(t, path)
 		})
 	}
@@ -411,6 +438,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 			if mode == faultinject.ENOSPC && !errors.Is(err, syscall.ENOSPC) {
 				t.Errorf("ENOSPC fault not visible to errors.Is(syscall.ENOSPC): %v", err)
 			}
+			checkFlightFault(t, faultinject.TraceWriteV3)
 			checkIntact(t, path)
 		})
 	}
@@ -431,6 +459,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 		if !errors.Is(err, io.ErrShortWrite) {
 			t.Errorf("short sink write surfaced as runErr=%v commitErr=%v, want io.ErrShortWrite", runErr, commitErr)
 		}
+		checkFlightFault(t, faultinject.TraceWriteV3)
 		checkIntact(t, path)
 	})
 
@@ -454,6 +483,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 		if err != nil {
 			t.Fatalf("salvage rejected the flipped stream outright: %v", err)
 		}
+		checkFlightFault(t, faultinject.TraceWriteV3)
 		checkSalvageAgainstBaseline(t, b, tr, rep)
 	})
 
@@ -478,6 +508,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 		if st.Retries == 0 {
 			t.Error("retry counter is zero after a healed fault")
 		}
+		checkFlightFault(t, faultinject.TraceWriteV3)
 		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
@@ -515,6 +546,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 		if !errors.Is(commitErr, faultinject.ErrInjected) {
 			t.Errorf("dead-sink Commit surfaced %v, want ErrInjected", commitErr)
 		}
+		checkFlightFault(t, faultinject.TraceWriteV3)
 		checkIntact(t, path)
 	})
 
@@ -526,6 +558,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 		if !errors.Is(err, faultinject.ErrInjected) {
 			t.Errorf("injected read fault surfaced as %v", err)
 		}
+		checkFlightFault(t, faultinject.TraceRead)
 	})
 
 	t.Run("trace.read/bitflip", func(t *testing.T) {
@@ -535,6 +568,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 		if err != nil {
 			t.Fatalf("salvage rejected a read-corrupted stream outright: %v", err)
 		}
+		checkFlightFault(t, faultinject.TraceRead)
 		checkSalvageAgainstBaseline(t, b, tr, rep)
 	})
 
@@ -558,6 +592,7 @@ func chaosSigil(t *testing.T, b *baseline) {
 			if !errors.Is(err, faultinject.ErrInjected) {
 				t.Errorf("injected v2 %s fault surfaced as %v", mode, err)
 			}
+			checkFlightFault(t, faultinject.TraceWriteV2)
 		})
 	}
 }

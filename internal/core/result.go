@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"sigil/internal/dbi"
 	"sigil/internal/telemetry"
 	"sigil/internal/trace"
+	"sigil/internal/tracing"
 	"sigil/internal/vm"
 )
 
@@ -192,6 +194,26 @@ func RunContext(ctx context.Context, p *vm.Program, opts Options, input []byte) 
 		return nil, err
 	}
 	start := time.Now()
+
+	// Effective metrics block: the caller's, or — when only a tracer is
+	// attached — a private one, so span deltas and Result.Telemetry are
+	// computed from the same counters and reconcile exactly.
+	tel := opts.Telemetry
+	if tel == nil && opts.Trace != nil {
+		tel = &telemetry.Metrics{}
+	}
+	if tel != nil {
+		tel.BeginRun(start, opts.MaxInstrs, opts.MaxWall)
+	}
+
+	var runSpan *tracing.Active
+	if b := opts.Trace; b != nil {
+		prev := b.SetMetrics(tel)
+		defer b.SetMetrics(prev)
+		tracing.Flight().Record(tracing.KindPhase, "run:start", tel.RunEpoch.Load(), 0)
+		runSpan = b.Start("run")
+	}
+
 	defer func() {
 		if r := recover(); r != nil {
 			// Salvage what the run collected before the panic: finish
@@ -207,24 +229,37 @@ func RunContext(ctx context.Context, p *vm.Program, opts Options, input []byte) 
 				// the original panic.
 				func() {
 					defer func() { _ = recover() }()
-					res.Telemetry = finalSnapshot(tool, opts, start, res.Wall)
+					res.Telemetry = finalSnapshot(tool, tel, opts, start, res.Wall)
 				}()
 			}
+			tracing.Flight().Record(tracing.KindPanic, "run", 0, 0)
+			runSpan.End(tracing.A("outcome", "panic"))
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 
-	if opts.Telemetry != nil {
-		opts.Telemetry.BeginRun(start, opts.MaxInstrs, opts.MaxWall)
-	}
 	stop := budgetCheck(opts, tool, start)
-	if tel := opts.Telemetry; tel != nil {
+	if tel != nil {
 		// Piggyback sampling on the machine's poll point: the hot loop
 		// already branches here every vm.StopCheckInterval instructions,
-		// so live metrics cost one extra call per poll, not per event.
+		// so live metrics (and the tracer's sample timeline) cost one
+		// extra call per poll, not per event.
 		inner := stop
+		buf := opts.Trace
 		stop = func() error {
 			tool.sampleInto(tel)
+			if buf != nil {
+				instrs := tel.Instrs.Load()
+				events := tel.EventsEmitted.Load()
+				buf.Sample(tracing.Sample{
+					TimeNanos:   time.Now().UnixNano(),
+					Instrs:      instrs,
+					HeapBytes:   tel.HeapBytes.Load(),
+					ShadowBytes: tel.ShadowBytesResident.Load(),
+					Events:      events,
+				})
+				tracing.Flight().Record(tracing.KindPoll, "poll", instrs, events)
+			}
 			if inner != nil {
 				return inner()
 			}
@@ -235,8 +270,9 @@ func RunContext(ctx context.Context, p *vm.Program, opts Options, input []byte) 
 	out, resErr := tool.Result()
 	if out != nil {
 		out.Wall = run.Duration
-		out.Telemetry = finalSnapshot(tool, opts, start, run.Duration)
+		out.Telemetry = finalSnapshot(tool, tel, opts, start, run.Duration)
 	}
+	recordRunEnd(runSpan, runErr)
 	if runErr != nil {
 		// Early stop or fault: hand back the partial result with the
 		// typed cause so callers keep the data already collected.
@@ -249,6 +285,27 @@ func RunContext(ctx context.Context, p *vm.Program, opts Options, input []byte) 
 		return nil, resErr
 	}
 	return out, nil
+}
+
+// recordRunEnd closes the run span with the outcome and drops the matching
+// flight-recorder event so budget kills and cancellations are visible in
+// the ring even when no span buffer was attached.
+func recordRunEnd(runSpan *tracing.Active, runErr error) {
+	outcome := "ok"
+	var budget *BudgetError
+	switch {
+	case runErr == nil:
+	case errors.As(runErr, &budget):
+		outcome = "budget"
+		tracing.Flight().Record(tracing.KindBudget, budget.Resource, budget.Limit, budget.Used)
+	case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+		outcome = "interrupted"
+		tracing.Flight().Record(tracing.KindCancel, "run", 0, 0)
+	default:
+		outcome = "error"
+	}
+	tracing.Flight().Record(tracing.KindPhase, "run:end", 0, 0)
+	runSpan.End(tracing.A("outcome", outcome))
 }
 
 // budgetCheck builds the machine stop hook enforcing the Options budgets;

@@ -7,6 +7,7 @@ import (
 	"sigil/internal/callgrind"
 	"sigil/internal/telemetry"
 	"sigil/internal/trace"
+	"sigil/internal/tracing"
 	"sigil/internal/vm"
 )
 
@@ -65,6 +66,15 @@ type Options struct {
 	// snapshot always lands on Result.Telemetry whether or not this is
 	// set.
 	Telemetry *telemetry.Metrics
+
+	// Trace, when non-nil, records the run into the tracing subsystem: a
+	// root "run" span with telemetry-counter deltas, and a poll-point
+	// sample timeline for the counter tracks of the Chrome export. The
+	// buffer must be owned by the goroutine calling Run/RunContext (the
+	// machine executes on the caller's goroutine). When Telemetry is nil a
+	// private Metrics block is attached for the run so span deltas still
+	// reconcile with Result.Telemetry.
+	Trace *tracing.Buf
 
 	// refScalar forces the retained granule-at-a-time reference
 	// classification path instead of the batched chunk-run path. The two

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sigil/internal/telemetry"
+	"sigil/internal/tracing"
 )
 
 // sampleInto publishes the tool's live counters into m with atomic stores.
@@ -56,6 +57,13 @@ func (t *Tool) sampleInto(m *telemetry.Metrics) {
 	m.ClassifyRuns.Store(t.runs)
 	m.ClassifyGranules.Store(t.granules)
 
+	if b := t.opts.Trace; b != nil {
+		m.TraceSpans.Store(b.Recorder().SpanCount())
+		fl := tracing.Flight()
+		m.FlightRecorded.Store(fl.Recorded())
+		m.FlightOverwritten.Store(fl.Overwritten())
+	}
+
 	m.EventsEmitted.Store(t.emitted)
 	if t.evStats != nil {
 		ws := t.evStats()
@@ -75,11 +83,11 @@ func (t *Tool) sampleInto(m *telemetry.Metrics) {
 }
 
 // finalSnapshot takes the end-of-run sample and freezes it for the Result.
-// When the caller supplied live Metrics the final sample lands there too,
-// so /metrics keeps serving the finished run's totals; otherwise a private
-// Metrics is used so Result.Telemetry is populated either way.
-func finalSnapshot(tool *Tool, opts Options, start time.Time, wall time.Duration) *telemetry.Snapshot {
-	m := opts.Telemetry
+// m is the run's effective metrics block (the caller's, or the private one
+// RunContext attached for a traced run) — when the caller supplied live
+// Metrics the final sample lands there too, so /metrics keeps serving the
+// finished run's totals. A nil m still yields a populated snapshot.
+func finalSnapshot(tool *Tool, m *telemetry.Metrics, opts Options, start time.Time, wall time.Duration) *telemetry.Snapshot {
 	if m == nil {
 		m = &telemetry.Metrics{}
 		m.BeginRun(start, opts.MaxInstrs, opts.MaxWall)

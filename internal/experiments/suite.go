@@ -17,6 +17,7 @@ import (
 	"sigil/internal/dbi"
 	"sigil/internal/telemetry"
 	"sigil/internal/trace"
+	"sigil/internal/tracing"
 	"sigil/internal/workloads"
 )
 
@@ -101,6 +102,12 @@ type Suite struct {
 	// run the suite performs, so a long suite invocation is observable via
 	// heartbeats and the HTTP endpoint like any single-run tool.
 	Telemetry *telemetry.Metrics
+
+	// Tracer, when non-nil, records every profiling run as a span tree.
+	// Each run gets its own track (a fresh per-goroutine buffer named
+	// workload/mode), so the trees stay well-formed at any worker count —
+	// unlike the shared Telemetry gauges, tracing needs no -p=1 fallback.
+	Tracer *tracing.Recorder
 }
 
 func (s *Suite) ctx() context.Context {
@@ -163,6 +170,27 @@ func (s *Suite) shared(key any, lookup func() (any, bool), compute func() (any, 
 	}
 }
 
+// modeNames label suite tracks and test output.
+var modeNames = [...]string{ModeBaseline: "baseline", ModeReuse: "reuse", ModeLine: "line"}
+
+// String returns the mode's mnemonic.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode%d", int(m))
+}
+
+// traceBuf allocates the dedicated span track for one profiling run, or
+// nil when the suite is not tracing. The buffer is used only by the
+// goroutine executing that run, honoring the single-owner Buf contract.
+func (s *Suite) traceBuf(label string) *tracing.Buf {
+	if s.Tracer == nil {
+		return nil
+	}
+	return s.Tracer.Local(label)
+}
+
 // NewSuite returns an empty suite.
 func NewSuite() *Suite {
 	return &Suite{
@@ -208,7 +236,9 @@ func (s *Suite) Profile(name string, class workloads.Class, mode Mode) (*core.Re
 			if err != nil {
 				return nil, fmt.Errorf("experiments: building %s/%s: %w", name, class, err)
 			}
-			r, err := core.RunContext(s.ctx(), prog, s.coreOptions(name, mode), input)
+			opts := s.coreOptions(name, mode)
+			opts.Trace = s.traceBuf(fmt.Sprintf("%s/%s", name, mode))
+			r, err := core.RunContext(s.ctx(), prog, opts, input)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: profiling %s/%s: %w", name, class, err)
 			}
@@ -238,6 +268,7 @@ func (s *Suite) Trace(name string) (*trace.Trace, error) {
 			var buf trace.Buffer
 			opts := s.coreOptions(name, ModeBaseline)
 			opts.Events = &buf
+			opts.Trace = s.traceBuf(name + "/events")
 			if _, err := core.RunContext(s.ctx(), prog, opts, input); err != nil {
 				return nil, fmt.Errorf("experiments: tracing %s: %w", name, err)
 			}

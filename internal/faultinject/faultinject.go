@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+
+	"sigil/internal/tracing"
 )
 
 // Mode selects what a firing fault point does to the operation it guards.
@@ -179,6 +181,10 @@ func (r *Registry) hit(point string) (Plan, *InjectedError) {
 		return p, nil
 	}
 	ps.fired++
+	// Every firing lands in the flight recorder: when an injected fault
+	// kills or degrades a run, the post-mortem dump shows which point
+	// fired, on which hit, in which mode.
+	tracing.Flight().Record(tracing.KindFault, point, ps.hits, uint64(p.Mode))
 	return p, &InjectedError{Point: point, Hit: ps.hits, Mode: p.Mode}
 }
 

@@ -10,16 +10,19 @@ import (
 var expositionScope = []string{"internal/telemetry"}
 
 // Exposition cross-checks the telemetry wiring: every sync/atomic counter
-// field on telemetry.Metrics must be read by the Snapshot() method and the
+// field on telemetry.Metrics must be read by the Snapshot() method, the
 // matching Snapshot field must be referenced by a Prometheus emitter (the
-// promMetrics table or WritePrometheus). Three PRs in a row added counters
-// and wired them by hand — and this class of drift (a counter that samples
-// but never exposes, so dashboards silently read zero) survived review
-// more than once. Now it's a build failure.
+// promMetrics table or WritePrometheus), and — when the package renders a
+// human dump — by Snapshot.Text() as well. Three PRs in a row added
+// counters and wired them by hand — and this class of drift (a counter
+// that samples but never exposes, so dashboards silently read zero, or a
+// series visible in /metrics but absent from -telemetry-dump) survived
+// review more than once. Now it's a build failure.
 var Exposition = &analysis.Analyzer{
 	Name: "exposition",
 	Doc: "require every telemetry.Metrics counter to be read in Snapshot() and " +
-		"exposed by the Prometheus emitters (promMetrics / WritePrometheus)",
+		"exposed by the Prometheus emitters (promMetrics / WritePrometheus) " +
+		"and the Text() dump",
 	Run: runExposition,
 }
 
@@ -47,6 +50,9 @@ func runExposition(pass *analysis.Pass) (any, error) {
 	promNames, havePromTable := selectorNamesIn(pass, func(d *ast.FuncDecl) bool {
 		return d.Name.Name == "WritePrometheus"
 	}, "promMetrics")
+	textNames, haveText := selectorNamesIn(pass, func(d *ast.FuncDecl) bool {
+		return d.Name.Name == "Text" && recvTypeName(d) == "Snapshot"
+	}, "")
 
 	for _, field := range counters {
 		for _, name := range field.Names {
@@ -58,6 +64,11 @@ func runExposition(pass *analysis.Pass) (any, error) {
 			if havePromTable && !promNames[name.Name] {
 				pass.Reportf(name.Pos(),
 					"telemetry counter Metrics.%s is missing from the Prometheus exposition (promMetrics/WritePrometheus): counters must reconcile with the emitters",
+					name.Name)
+			}
+			if haveText && !textNames[name.Name] {
+				pass.Reportf(name.Pos(),
+					"telemetry counter Metrics.%s is missing from the Text() dump: -telemetry-dump must show every series the snapshot carries",
 					name.Name)
 			}
 		}

@@ -48,3 +48,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	return nil
 }
+
+// Text renders the human dump, covering every counter.
+func (s Snapshot) Text() string {
+	return fmt.Sprintf("instrs: %d\nframes: %d\n", s.Instrs, s.Frames)
+}

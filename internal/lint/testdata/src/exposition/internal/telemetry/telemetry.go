@@ -11,23 +11,26 @@ import (
 // Metrics is the live counter block. Stalls is sampled but never
 // snapshotted; Frames is snapshotted but never exposed to Prometheus.
 type Metrics struct {
-	Instrs atomic.Uint64
-	Stalls atomic.Uint64 // want `Metrics.Stalls is never read in Snapshot`
-	Frames atomic.Uint64 // want `Metrics.Frames is missing from the Prometheus exposition`
+	Instrs     atomic.Uint64
+	Stalls     atomic.Uint64 // want `Metrics.Stalls is never read in Snapshot` `Metrics.Stalls is missing from the Text\(\) dump`
+	Frames     atomic.Uint64 // want `Metrics.Frames is missing from the Prometheus exposition`
+	TraceSpans atomic.Uint64 // want `Metrics.TraceSpans is missing from the Text\(\) dump`
 }
 
 // Snapshot is the frozen view of the counters.
 type Snapshot struct {
-	Instrs uint64
-	Stalls uint64
-	Frames uint64
+	Instrs     uint64
+	Stalls     uint64
+	Frames     uint64
+	TraceSpans uint64
 }
 
 // Snapshot freezes the counters; Stalls is deliberately dropped.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		Instrs: m.Instrs.Load(),
-		Frames: m.Frames.Load(),
+		Instrs:     m.Instrs.Load(),
+		Frames:     m.Frames.Load(),
+		TraceSpans: m.TraceSpans.Load(),
 	}
 }
 
@@ -40,6 +43,7 @@ type promMetric struct {
 var promMetrics = []promMetric{
 	{"instrs_total", func(s Snapshot) uint64 { return s.Instrs }},
 	{"stalls_total", func(s Snapshot) uint64 { return s.Stalls }},
+	{"trace_spans_total", func(s Snapshot) uint64 { return s.TraceSpans }},
 }
 
 // WritePrometheus renders the exposition.
@@ -50,4 +54,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Text renders the human dump; Stalls and TraceSpans never reach it.
+func (s Snapshot) Text() string {
+	return fmt.Sprintf("instrs: %d\nframes: %d\n", s.Instrs, s.Frames)
 }

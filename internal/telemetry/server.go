@@ -41,9 +41,17 @@ type Server struct {
 	srv *http.Server
 }
 
+// Endpoint is an extra route mounted on the telemetry server. Higher
+// layers use it to expose diagnostics this package cannot import — the
+// tracing flight recorder mounts /debug/flightrecorder this way.
+type Endpoint struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve binds addr (":0" picks a free port) and starts serving m in the
-// background. The caller owns shutdown via Close.
-func Serve(addr string, m *Metrics) (*Server, error) {
+// background, plus any extra endpoints. The caller owns shutdown via Close.
+func Serve(addr string, m *Metrics, extra ...Endpoint) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -77,6 +85,9 @@ func Serve(addr string, m *Metrics) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
 	go func() { _ = s.srv.Serve(ln) }()

@@ -92,6 +92,13 @@ type Metrics struct {
 	Branches          atomic.Uint64
 	BranchMispredicts atomic.Uint64
 
+	// Run tracing: completed spans recorded by the tracing recorder, and
+	// the flight-recorder ring's recorded/overwritten totals. Stored by the
+	// poll-point sampler whenever a tracer is attached to the run.
+	TraceSpans        atomic.Uint64
+	FlightRecorded    atomic.Uint64
+	FlightOverwritten atomic.Uint64
+
 	// Samples counts sampler invocations (one per poll point).
 	Samples atomic.Uint64
 }
@@ -118,6 +125,7 @@ func (m *Metrics) BeginRun(start time.Time, budgetInstrs uint64, budgetWall time
 		&m.EventsDropped, &m.EventRetries, &m.EventSinkDegraded,
 		&m.CacheAccesses, &m.CacheL1Misses, &m.CacheLLMisses, &m.CachePrefetches,
 		&m.Branches, &m.BranchMispredicts,
+		&m.TraceSpans, &m.FlightRecorded, &m.FlightOverwritten,
 	} {
 		c.Store(0)
 	}
@@ -177,6 +185,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Branches:          m.Branches.Load(),
 		BranchMispredicts: m.BranchMispredicts.Load(),
 
+		TraceSpans:        m.TraceSpans.Load(),
+		FlightRecorded:    m.FlightRecorded.Load(),
+		FlightOverwritten: m.FlightOverwritten.Load(),
+
 		Samples: m.Samples.Load(),
 	}
 }
@@ -234,6 +246,10 @@ type Snapshot struct {
 	Branches          uint64 `json:"branches"`
 	BranchMispredicts uint64 `json:"branch_mispredicts"`
 
+	TraceSpans        uint64 `json:"trace_spans"`
+	FlightRecorded    uint64 `json:"flight_recorded"`
+	FlightOverwritten uint64 `json:"flight_overwritten"`
+
 	Samples uint64 `json:"samples"`
 
 	// WallNanos is the run's wall-clock duration, filled in when the run
@@ -261,37 +277,46 @@ func (s Snapshot) InstrsPerSec(now time.Time) float64 {
 	return float64(s.Instrs) / (float64(elapsed) / float64(time.Second))
 }
 
-// Text renders the snapshot as a short human-readable block, the form the
-// CLI tools print on demand.
+// Text renders the snapshot as a human-readable block, the form the CLI
+// tools print behind -telemetry-dump. Every Snapshot field appears with
+// its raw value (a reconciliation test pins text ≡ Snapshot fields); the
+// derived MiB and duration forms are decoration on top, never replacements.
 func (s Snapshot) Text() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "instrs %d  contexts %d  depth %d  samples %d\n",
 		s.Instrs, s.Contexts, s.CallDepth, s.Samples)
+	fmt.Fprintf(&sb, "run: epoch %d  start_nanos %d  budget_instrs %d  budget_wall_nanos %d\n",
+		s.RunEpoch, s.RunStartNanos, s.BudgetInstrs, s.BudgetWallNanos)
 	fmt.Fprintf(&sb, "comm bytes: in %d+%d  out %d+%d  local %d+%d (unique+repeat)\n",
 		s.InputUniqueBytes, s.InputNonUniqueBytes,
 		s.OutputUniqueBytes, s.OutputNonUniqueBytes,
 		s.LocalUniqueBytes, s.LocalNonUniqueBytes)
-	fmt.Fprintf(&sb, "shadow: %d chunks live (peak %d, evicted %d), %.1f MiB resident (peak %.1f)\n",
-		s.ShadowChunksLive, s.ShadowChunksPeak, s.ShadowChunksEvicted,
-		float64(s.ShadowBytesResident)/(1<<20), float64(s.ShadowBytesPeak)/(1<<20))
-	fmt.Fprintf(&sb, "sim: %d accesses, %d L1 misses, %d LL misses, %d/%d branches mispredicted\n",
-		s.CacheAccesses, s.CacheL1Misses, s.CacheLLMisses,
+	fmt.Fprintf(&sb, "shadow: %d chunks live (allocated %d, peak %d, evicted %d, recycled %d)\n",
+		s.ShadowChunksLive, s.ShadowChunksAllocated, s.ShadowChunksPeak,
+		s.ShadowChunksEvicted, s.ShadowChunksRecycled)
+	fmt.Fprintf(&sb, "shadow bytes: %d resident (%.1f MiB), %d peak; cache %d hits, %d misses\n",
+		s.ShadowBytesResident, float64(s.ShadowBytesResident)/(1<<20),
+		s.ShadowBytesPeak, s.ShadowCacheHits, s.ShadowCacheMisses)
+	fmt.Fprintf(&sb, "classify: %d spans, %d runs, %d granules\n",
+		s.ClassifySpans, s.ClassifyRuns, s.ClassifyGranules)
+	fmt.Fprintf(&sb, "sim: %d accesses, %d L1 misses, %d LL misses, %d prefetches, %d/%d branches mispredicted\n",
+		s.CacheAccesses, s.CacheL1Misses, s.CacheLLMisses, s.CachePrefetches,
 		s.BranchMispredicts, s.Branches)
-	fmt.Fprintf(&sb, "events emitted: %d", s.EventsEmitted)
-	if s.EventFrames > 0 {
-		fmt.Fprintf(&sb, " (%d frames, %.2f MiB compressed, %d stalls)",
-			s.EventFrames, float64(s.EventBytesCompressed)/(1<<20), s.EventEmitStalls)
-	}
-	if s.EventsDropped > 0 || s.EventRetries > 0 || s.EventSinkDegraded > 0 {
-		fmt.Fprintf(&sb, " [sink: %d dropped, %d retries, degraded=%d]",
-			s.EventsDropped, s.EventRetries, s.EventSinkDegraded)
-	}
-	fmt.Fprintf(&sb, "   heap %.1f MiB, %d pages\n",
-		float64(s.HeapBytes)/(1<<20), s.MemPages)
+	fmt.Fprintf(&sb, "events emitted: %d (%d frames, %d bytes compressed, %d stalls, queue depth %d)\n",
+		s.EventsEmitted, s.EventFrames, s.EventBytesCompressed,
+		s.EventEmitStalls, s.EventQueueDepth)
+	fmt.Fprintf(&sb, "sink: %d dropped, %d retries, degraded=%d\n",
+		s.EventsDropped, s.EventRetries, s.EventSinkDegraded)
+	fmt.Fprintf(&sb, "tracing: %d spans, flight %d recorded / %d overwritten\n",
+		s.TraceSpans, s.FlightRecorded, s.FlightOverwritten)
+	fmt.Fprintf(&sb, "heap %d bytes (%.1f MiB), %d pages\n",
+		s.HeapBytes, float64(s.HeapBytes)/(1<<20), s.MemPages)
+	fmt.Fprintf(&sb, "wall_nanos %d", s.WallNanos)
 	if s.WallNanos > 0 {
-		fmt.Fprintf(&sb, "wall %s (%.0f instrs/sec)\n",
+		fmt.Fprintf(&sb, " (%s, %.0f instrs/sec)",
 			time.Duration(s.WallNanos), s.InstrsPerSec(time.Time{}))
 	}
+	sb.WriteByte('\n')
 	return sb.String()
 }
 
@@ -345,6 +370,9 @@ var promMetrics = []promMetric{
 	{"sigil_cache_prefetches_total", "counter", "Simulated prefetches issued", func(s Snapshot) uint64 { return s.CachePrefetches }},
 	{"sigil_branches_total", "counter", "Simulated conditional branches", func(s Snapshot) uint64 { return s.Branches }},
 	{"sigil_branch_mispredicts_total", "counter", "Simulated branch mispredictions", func(s Snapshot) uint64 { return s.BranchMispredicts }},
+	{"sigil_trace_spans_total", "counter", "Completed tracing spans recorded this run", func(s Snapshot) uint64 { return s.TraceSpans }},
+	{"sigil_flight_events_total", "counter", "Events recorded into the flight-recorder ring", func(s Snapshot) uint64 { return s.FlightRecorded }},
+	{"sigil_flight_overwritten_total", "counter", "Flight-recorder events lost to ring wraparound", func(s Snapshot) uint64 { return s.FlightOverwritten }},
 	{"sigil_samples_total", "counter", "Telemetry sampler invocations", func(s Snapshot) uint64 { return s.Samples }},
 	{"sigil_run_epoch", "gauge", "Profiling runs begun in this process", func(s Snapshot) uint64 { return s.RunEpoch }},
 	{"sigil_budget_instructions", "gauge", "Retired-instruction budget (0 = unlimited)", func(s Snapshot) uint64 { return s.BudgetInstrs }},

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
@@ -181,6 +182,32 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestServeExtraEndpoints covers the injection seam higher layers use to
+// mount routes this package cannot import (e.g. /debug/flightrecorder).
+func TestServeExtraEndpoints(t *testing.T) {
+	m := &Metrics{}
+	srv, err := Serve("127.0.0.1:0", m, Endpoint{
+		Pattern: "/debug/flightrecorder",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"events":[]}`)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "events") {
+		t.Errorf("/debug/flightrecorder: %d %s", resp.StatusCode, body)
+	}
+}
+
 // TestServeTwice covers the expvar publish-once path: a second server (a
 // second run in the same process) must not panic and must serve the newer
 // metrics block.
@@ -236,40 +263,50 @@ func TestHeartbeatFires(t *testing.T) {
 	}
 }
 
-func TestSpanLogsDeltas(t *testing.T) {
-	var buf syncBuffer
-	log := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
-	m := &Metrics{}
-	m.Instrs.Store(50)
-
-	sp := StartSpan(log, m, "run")
-	m.Instrs.Store(80)
-	sp.End()
-
-	out := buf.String()
-	if !strings.Contains(out, `"msg":"phase"`) || !strings.Contains(out, `"name":"run"`) {
-		t.Fatalf("span not logged:\n%s", out)
+// TestTextCoversEverySnapshotField pins text ≡ Snapshot: every field is
+// set to a distinct sentinel via reflection and must surface, as its raw
+// decimal value, in the -telemetry-dump text rendering. A field added to
+// Snapshot without a Text line fails here by construction.
+func TestTextCoversEverySnapshotField(t *testing.T) {
+	var s Snapshot
+	v := reflect.ValueOf(&s).Elem()
+	typ := v.Type()
+	sentinels := make(map[string]string, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		// Same-width distinct sentinels: an 8-digit value can only appear
+		// as a substring of another if they are equal.
+		val := uint64(31000000 + i)
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(val)
+		case reflect.Int64:
+			f.SetInt(int64(val))
+		default:
+			t.Fatalf("unhandled Snapshot field kind %s for %s", f.Kind(), typ.Field(i).Name)
+		}
+		sentinels[typ.Field(i).Name] = strconv.FormatUint(val, 10)
 	}
-	if !strings.Contains(out, `"instrs":30`) {
-		t.Errorf("span delta wrong (want instrs=30):\n%s", out)
-	}
-
-	// A span with no metrics still logs timing.
-	buf.Reset()
-	sp = StartSpan(log, nil, "write")
-	sp.End()
-	if !strings.Contains(buf.String(), `"name":"write"`) {
-		t.Errorf("metric-less span not logged:\n%s", buf.String())
+	text := s.Text()
+	for name, want := range sentinels {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() omits Snapshot field %s (sentinel %s):\n%s", name, want, text)
+		}
 	}
 }
 
-func TestDeltaResetTolerant(t *testing.T) {
-	if got := delta(10, 3); got != 7 {
-		t.Errorf("delta(10,3) = %d", got)
-	}
-	// Counter reset mid-span (BeginRun): report the new absolute value.
-	if got := delta(4, 100); got != 4 {
-		t.Errorf("delta(4,100) = %d", got)
+// TestTextIncludesSinkAndWriterCounters spot-checks the PR 4 writer and
+// PR 6 sink-failure counters by name, the regression this satellite fixed:
+// they used to be JSON/Prometheus-only (or conditional on being non-zero).
+func TestTextIncludesSinkAndWriterCounters(t *testing.T) {
+	text := Snapshot{}.Text()
+	for _, want := range []string{
+		"dropped", "retries", "degraded=", // PR 6 sink failure handling
+		"frames", "bytes compressed", "stalls", "queue depth", // PR 4 writer
+		"tracing:", "flight", // PR 7 tracing series
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q even on a zero snapshot:\n%s", want, text)
+		}
 	}
 }
 

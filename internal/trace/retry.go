@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"sigil/internal/tracing"
 )
 
 // sleeper abstracts the backoff wait so retry tests drive the schedule
@@ -97,7 +99,7 @@ func (rw *retryWriter) Write(p []byte) (int, error) {
 		if attempt >= rw.max || rw.permanent(err) {
 			return written, err
 		}
-		rw.retries.Add(1)
+		tracing.Flight().Record(tracing.KindRetry, "trace.sink", rw.retries.Add(1), 0)
 		if serr := rw.clock.Sleep(rw.ctx, delay); serr != nil {
 			return written, fmt.Errorf("trace: retry abandoned: %w (last sink error: %v)", serr, err)
 		}

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 
 	"sigil/internal/faultinject"
+
+	"sigil/internal/tracing"
 )
 
 // QuarantinedFrame records one corrupt mid-stream frame the salvage scan
@@ -210,6 +212,8 @@ func salvageV3(rd *Reader, tr *Trace, rep *SalvageReport) {
 				})
 				rep.BytesQuarantined += s.read - recStart
 				quarDeclared += uint64(h.events)
+				tracing.Flight().Record(tracing.KindQuarantine, "trace.salvage",
+					uint64(frameIdx), uint64(s.read-recStart))
 				frameIdx++
 				continue
 			}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sigil/internal/faultinject"
+	"sigil/internal/tracing"
 )
 
 // WriterOptions tunes the v3 Writer. The zero value selects the defaults.
@@ -58,6 +59,12 @@ type WriterOptions struct {
 	levelSet bool
 	// clock substitutes the retry layer's backoff waits in tests.
 	clock sleeper
+	// Trace, when non-nil, records per-frame encode spans on the encoder
+	// goroutine. The buffer must be dedicated to this writer: the encoder
+	// owns it from construction until Close returns. Stall, shed,
+	// degraded-transition, and retry events always go to the process
+	// flight recorder regardless — they are rare slow-path events.
+	Trace *tracing.Buf
 }
 
 // SetLevel fixes the DEFLATE level explicitly, distinguishing
@@ -108,6 +115,9 @@ type Writer struct {
 	// kept for its retry counter.
 	rw *retryWriter
 
+	// trace is the encoder goroutine's span buffer (nil = spans off).
+	trace *tracing.Buf
+
 	// Encoder-goroutine state; the caller may touch it only after done is
 	// closed (Close does, to write the footer).
 	w          *bufio.Writer
@@ -154,6 +164,7 @@ func NewWriterOptions(w io.Writer, opts WriterOptions) *Writer {
 		w:           bufio.NewWriterSize(target, 1<<16),
 		enc:         newFrameEncoder(opts.Level),
 		rw:          rw,
+		trace:       opts.Trace,
 	}
 	wr.cur = make([]Event, 0, opts.FrameEvents)
 	wr.free <- make([]Event, 0, opts.FrameEvents)
@@ -193,17 +204,31 @@ func (w *Writer) flush() error {
 	select {
 	case w.work <- w.cur:
 	default:
-		w.stalls.Add(1)
+		w.recordStall()
 		w.work <- w.cur
 	}
 	select {
 	case b := <-w.free:
 		w.cur = b[:0]
 	default:
-		w.stalls.Add(1)
+		w.recordStall()
 		w.cur = (<-w.free)[:0]
 	}
 	return w.firstErr()
+}
+
+// recordStall counts a backpressure stall and drops it into the flight
+// recorder — a stalling writer is exactly what a post-mortem dump needs to
+// show.
+func (w *Writer) recordStall() {
+	tracing.Flight().Record(tracing.KindStall, "trace.writer", w.stalls.Add(1), 0)
+}
+
+// markDegraded latches the degraded flag, recording the transition once.
+func (w *Writer) markDegraded() {
+	if !w.degraded.Swap(true) {
+		tracing.Flight().Record(tracing.KindDegraded, "trace.writer", 0, 0)
+	}
 }
 
 // flushDegraded is flush's bounded variant. A hand-off to an encoder with
@@ -224,7 +249,7 @@ func (w *Writer) flushDegraded() {
 		w.dropBatch()
 		return
 	}
-	w.stalls.Add(1)
+	w.recordStall()
 	t := time.NewTimer(w.grace)
 	defer t.Stop()
 	select {
@@ -253,8 +278,9 @@ func (w *Writer) handedOff() {
 
 // dropBatch sheds the current batch, recording the exact loss.
 func (w *Writer) dropBatch() {
-	w.dropped.Add(uint64(len(w.cur)))
-	w.degraded.Store(true)
+	shed := uint64(len(w.cur))
+	tracing.Flight().Record(tracing.KindShed, "trace.writer", shed, w.dropped.Add(shed))
+	w.markDegraded()
 	w.cur = w.cur[:0]
 }
 
@@ -264,20 +290,26 @@ func (w *Writer) dropBatch() {
 // counted into the drop total so the loss is exact, not silent.
 func (w *Writer) encodeLoop() {
 	defer close(w.done)
+	root := w.trace.Start("trace.encode")
+	defer root.End()
 	for batch := range w.work {
 		if w.firstErr() == nil {
-			if err := w.writeFrame(batch); err != nil {
+			sp := w.trace.Start("trace.frame")
+			err := w.writeFrame(batch)
+			sp.End(tracing.A("events", len(batch)))
+			if err != nil {
 				w.setErr(err)
 				// The failed frame's events were not persisted.
-				w.dropped.Add(uint64(len(batch)))
+				shed := w.dropped.Add(uint64(len(batch)))
+				tracing.Flight().Record(tracing.KindShed, "trace.encode", uint64(len(batch)), shed)
 				if w.degradedOpt {
-					w.degraded.Store(true)
+					w.markDegraded()
 				}
 			}
 		} else {
 			w.dropped.Add(uint64(len(batch)))
 			if w.degradedOpt {
-				w.degraded.Store(true)
+				w.markDegraded()
 			}
 		}
 		w.queued.Add(-1)

@@ -1,0 +1,98 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+
+	"sigil/internal/telemetry"
+)
+
+// SinkStats mirrors trace.WriterStats in tracing's own vocabulary so the
+// run report can embed event-sink accounting without an import cycle (the
+// trace package itself records into this package).
+type SinkStats struct {
+	Events          uint64 `json:"events"`
+	Frames          uint64 `json:"frames"`
+	QueueDepth      int    `json:"queue_depth"`
+	Stalls          uint64 `json:"stalls"`
+	RawBytes        uint64 `json:"raw_bytes"`
+	CompressedBytes uint64 `json:"compressed_bytes"`
+	Dropped         uint64 `json:"dropped"`
+	Retries         uint64 `json:"retries"`
+	Degraded        bool   `json:"degraded"`
+}
+
+// SalvageInfo summarizes loss accounting from reading a damaged event file.
+type SalvageInfo struct {
+	Complete          bool   `json:"complete"`
+	Truncated         bool   `json:"truncated"`
+	Events            uint64 `json:"events"`
+	EventsDropped     uint64 `json:"events_dropped"`
+	FramesQuarantined int    `json:"frames_quarantined"`
+	BytesRead         uint64 `json:"bytes_read"`
+	BytesDropped      uint64 `json:"bytes_dropped"`
+}
+
+// SpanNode is a span with its children, the tree form used in run reports.
+type SpanNode struct {
+	Span
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree nests a flat span list by parent links. Spans whose parent is
+// missing (dropped to the per-buf cap, or still open when the report was
+// built) become roots rather than vanishing.
+func Tree(spans []Span) []*SpanNode {
+	nodes := make(map[uint64]*SpanNode, len(spans))
+	for _, s := range spans {
+		nodes[s.ID] = &SpanNode{Span: s}
+	}
+	var roots []*SpanNode
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// Report is the single machine-readable record of one tool invocation:
+// what ran, how it ended, the span tree, the final telemetry snapshot,
+// event-sink and salvage accounting, and — for runs that ended badly — the
+// flight-recorder dump.
+type Report struct {
+	Tool       string              `json:"tool"`
+	Args       []string            `json:"args,omitempty"`
+	StartNanos int64               `json:"start_nanos"`
+	WallNanos  int64               `json:"wall_nanos"`
+	Outcome    string              `json:"outcome"`
+	Error      string              `json:"error,omitempty"`
+	Spans      []*SpanNode         `json:"spans,omitempty"`
+	Tracks     []Track             `json:"tracks,omitempty"`
+	Telemetry  *telemetry.Snapshot `json:"telemetry,omitempty"`
+	Sink       *SinkStats          `json:"sink,omitempty"`
+	Salvage    *SalvageInfo        `json:"salvage,omitempty"`
+	Flight     *FlightDump         `json:"flight,omitempty"`
+}
+
+// NewReport seeds a report with the recorder's merged span tree and track
+// timelines; the caller fills in outcome, telemetry, and sink accounting.
+// The recorder's goroutines must be quiescent (see Recorder).
+func NewReport(tool string, rec *Recorder) *Report {
+	r := &Report{Tool: tool, Outcome: "ok"}
+	if rec != nil {
+		r.Spans = Tree(rec.Spans())
+		r.Tracks = rec.Tracks()
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

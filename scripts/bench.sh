@@ -7,10 +7,14 @@
 #
 # Usage:
 #   scripts/bench.sh [regexp]              run benches (default pattern below),
-#                                          write $OUT (default BENCH_3.json)
+#                                          write $OUT (default BENCH_4.json)
 #   scripts/bench.sh compare OLD NEW       diff two bench JSON files; exits 1
 #                                          if any shared benchmark regressed
 #                                          >10% in ns/op
+#
+# When the run covers the BenchmarkAblationTracing pair, the script also
+# gates the tracing overhead: the spans-enabled run must land within
+# TRACING_GATE_PCT (default 3) percent of the spans-disabled run.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -58,7 +62,7 @@ fi
 
 PATTERN="${1:-Overhead|Ablation|MemRead|MemWrite|Shadow|TraceEmit|TraceDecode}"
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_3.json}"
+OUT="${OUT:-BENCH_4.json}"
 
 raw=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . ./internal/core ./internal/trace)
 echo "$raw"
@@ -83,3 +87,19 @@ END { print "\n}" }
 ' > "$OUT"
 
 echo "wrote $OUT"
+
+# Tracing-overhead gate: when this run measured the AblationTracing pair,
+# require the spans-enabled ablation within TRACING_GATE_PCT of disabled.
+TRACING_GATE_PCT="${TRACING_GATE_PCT:-3}"
+echo "$raw" | awk -v gate="$TRACING_GATE_PCT" '
+$1 ~ /^BenchmarkAblationTracing\/tracing=false/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") off = $(i - 1) }
+$1 ~ /^BenchmarkAblationTracing\/tracing=true/  { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") on = $(i - 1) }
+END {
+    if (off == "" || on == "") exit 0  # pair not in this run
+    delta = (on - off) / off * 100
+    printf "tracing overhead: %.0f ns/op -> %.0f ns/op (%+.2f%%, gate %s%%)\n", off, on, delta, gate
+    if (delta > gate + 0) {
+        print "TRACING OVERHEAD GATE FAILED"
+        exit 1
+    }
+}'
