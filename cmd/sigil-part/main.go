@@ -36,8 +36,10 @@ func main() {
 		offload  = flag.Float64("offload", 0, "estimate app speedup assuming this accelerator speedup (0 = skip)")
 		accels   = flag.Int("accelerators", 0, "accelerator budget for -offload (0 = unlimited)")
 	)
+	clsWorkers := cli.RegisterClassifyWorkers(flag.CommandLine)
 	tel = cli.RegisterTelemetry(flag.CommandLine, "sigil-part")
 	flag.Parse()
+	classifyWorkers = *clsWorkers
 
 	ctx, stop := cli.Context()
 	defer stop()
@@ -139,7 +141,7 @@ func loadResult(ctx context.Context, profFile, workload, class string, tel *cli.
 		if err != nil {
 			return nil, err
 		}
-		return core.RunContext(ctx, prog, core.Options{Telemetry: tel.Metrics(), Trace: tel.TraceBuf()}, input)
+		return core.RunContext(ctx, prog, core.Options{ClassifyWorkers: classifyWorkers, Telemetry: tel.Metrics(), Trace: tel.TraceBuf()}, input)
 	default:
 		return nil, fmt.Errorf("need -profile or -workload")
 	}
@@ -153,10 +155,12 @@ func clip(s string, n int) string {
 }
 
 // tel and art are package-level so fatal can flush run artifacts before
-// exiting.
+// exiting; classifyWorkers carries the -classify-workers flag into
+// loadResult's -workload run.
 var (
-	tel *cli.Telemetry
-	art cli.Artifacts
+	tel             *cli.Telemetry
+	art             cli.Artifacts
+	classifyWorkers int
 )
 
 func fatal(err error) {

@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"sigil/internal/core"
+	"sigil/internal/faultinject"
+)
+
+// TestChaosClassify drives the sharded classification engine's drain-side
+// fault point at every worker count: a fault injected while a worker is
+// mid-drain must surface as a typed error, the failed shard's loss must be
+// exact — records appended == drained + dropped at every width — and the
+// run must still salvage the surviving shards' aggregates.
+func TestChaosClassify(t *testing.T) {
+	defer faultinject.Disable()
+	name := "fft"
+	if !testing.Short() {
+		name = "dedup"
+	}
+	b := newBaseline(t, name)
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(string(rune('0'+workers))+"-workers", func(t *testing.T) {
+			opts := core.Options{ClassifyWorkers: workers}
+
+			// Fault-free control at this width, to learn the record volume
+			// and place the fault mid-stream rather than at a record count
+			// the workload may never reach.
+			faultinject.Disable()
+			clean, err := core.RunContext(context.Background(), b.prog, opts, b.runInput())
+			if err != nil {
+				t.Fatalf("fault-free sharded run failed: %v", err)
+			}
+			records := clean.Telemetry.ClassifyRecords
+			if records == 0 {
+				t.Fatal("sharded control run appended no records")
+			}
+
+			reg := install(faultinject.ClassifyDrain, faultinject.Plan{Mode: faultinject.Err, Nth: max(records/2, 1)})
+			defer faultinject.Disable()
+			res, err := core.RunContext(context.Background(), b.prog, opts, b.runInput())
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("injected drain fault surfaced as %v, want ErrInjected", err)
+			}
+			if !strings.Contains(err.Error(), "classification worker") {
+				t.Errorf("drain fault error does not name the failed worker: %v", err)
+			}
+			if reg.Fired(faultinject.ClassifyDrain) != 1 {
+				t.Errorf("drain point fired %d times, want 1", reg.Fired(faultinject.ClassifyDrain))
+			}
+			checkFlightFault(t, faultinject.ClassifyDrain)
+
+			// Salvage: the partial result carries the surviving shards'
+			// aggregates and the loss reconciles exactly.
+			if res == nil {
+				t.Fatal("no partial result salvaged from a drain fault")
+			}
+			tel := res.Telemetry
+			if tel == nil {
+				t.Fatal("partial result has no telemetry snapshot")
+			}
+			if tel.ClassifyDropped == 0 {
+				t.Error("a fired drain fault dropped zero records")
+			}
+			if tel.ClassifyRecords != tel.ClassifyDrained+tel.ClassifyDropped {
+				t.Errorf("loss does not reconcile at %d workers: %d appended != %d drained + %d dropped",
+					workers, tel.ClassifyRecords, tel.ClassifyDrained, tel.ClassifyDropped)
+			}
+			if tel.ClassifyRecords != records {
+				t.Errorf("faulted run appended %d records, control %d", tel.ClassifyRecords, records)
+			}
+			if res.Profile == nil {
+				t.Error("partial result lost the substrate profile")
+			}
+		})
+	}
+}

@@ -1,0 +1,580 @@
+package core
+
+// classifier is the classification engine: the shadow table plus every
+// aggregate that read/write classification updates. The inline path embeds
+// one in Tool and runs it on the interpreter goroutine; the sharded engine
+// (shard.go) gives each worker a private classifier over a disjoint subset
+// of the chunk space and merges them into the Tool's at the end of the run.
+// All aggregates are additive, which is what makes that merge exact.
+type classifier struct {
+	shadow *shadowTable
+	shift  uint // log2 granule size: 0 in byte mode
+
+	// Mode flags, copied out of Options so a classifier is self-contained.
+	lineMode   bool
+	trackReuse bool
+
+	// scalar selects the retained reference classification path (see
+	// Options.refScalar). The default is the batched chunk-run path.
+	scalar bool
+
+	comm  []CommStats  // indexed by context ID
+	reuse []ReuseStats // indexed by context ID; nil unless trackReuse
+
+	edges     map[uint64]*Edge
+	edgeKey   uint64 // one-entry edge cache for runs of same-edge bytes
+	edgeCache *Edge
+
+	// Pseudo-producer aggregate: bytes the program consumed from startup
+	// data and from the kernel, and bytes the kernel consumed.
+	startupOut  uint64
+	kernelOut   uint64
+	kernelIn    uint64
+	kernelReuse ReuseStats // episodes whose reader was the kernel
+
+	lines *LineReport
+
+	// Batch-classifier telemetry: spans are per-chunk segments of an
+	// access, runs are the classification invocations they decomposed into
+	// (one per state-uniform sub-segment, or one per granule past the
+	// short-run cutover), granules is the total granule count covered.
+	// runs/granules is the amortization factor the batching achieves.
+	spans    uint64
+	runs     uint64
+	granules uint64
+
+	// onComm, when non-nil, receives every non-unique-filtered cross-context
+	// read so the event representation can attribute per-segment
+	// communication. The inline path binds Tool.accumulateComm; shard
+	// workers bind a keyed accumulator that records pos for deterministic
+	// first-encounter ordering across shards. nil means events are off.
+	onComm func(f *segFrame, srcEnc uint32, srcCall, bytes uint64)
+
+	// pos is the position of the classification run currently being
+	// processed within the global access stream: seq is the access sequence
+	// number (assigned by the sharded engine; zero inline), off the granule
+	// offset of the run within the access. onComm captures it so the
+	// barrier merge can reproduce the inline first-encounter comm order.
+	pos runPos
+}
+
+// runPos orders classification runs by interpreter execution order: first
+// by access sequence number, then by granule offset within the access.
+type runPos struct {
+	seq uint64
+	off uint64
+}
+
+func (p runPos) less(q runPos) bool {
+	return p.seq < q.seq || (p.seq == q.seq && p.off < q.off)
+}
+
+// init wires the classifier for the given mode. flushHook becomes the shadow
+// table's eviction hook; it must be the classifier's own flushChunk, bound
+// after the classifier has its final address.
+func (c *classifier) init(opts Options, maxChunks int) {
+	c.lineMode = opts.LineGranularity
+	c.trackReuse = opts.TrackReuse
+	c.scalar = opts.refScalar
+	c.edges = make(map[uint64]*Edge)
+	c.edgeKey = ^uint64(0)
+	if opts.LineGranularity {
+		for 1<<c.shift < opts.LineSize {
+			c.shift++
+		}
+		c.lines = &LineReport{LineSize: opts.LineSize}
+	}
+	// Line mode always tracks per-line access counts; byte mode tracks
+	// episodes only when re-use mode is on.
+	wantReuse := opts.TrackReuse || opts.LineGranularity
+	c.shadow = newShadowTable(maxChunks, wantReuse, c.flushChunk)
+}
+
+// Run-length cutover (see readSpan): after cutoverShortRuns consecutive runs
+// shorter than cutoverRunLen granules, the rest of the span classifies
+// granule-at-a-time — on alternating-state data the equality scan never
+// amortizes, so it is dropped instead of paid per granule.
+const (
+	cutoverRunLen    = 4
+	cutoverShortRuns = 8
+)
+
+// --- batched classification hot path ---
+//
+// The paper pays 20-99x over native for byte-level shadowing; the batched
+// path claws a large constant factor back by amortizing the two per-granule
+// costs of the scalar reference: the first-level chunk lookup (now one per
+// per-chunk span instead of one per granule) and the fully branchy
+// classification (now one per run of granules in identical shadow state,
+// counted n times). Workload accesses are overwhelmingly runs: a function
+// streaming over a buffer leaves every byte with the same (writer,
+// writerCall, reader, readerCall) tuple, so an 8-byte load classifies once,
+// and a syscall marshalling 4KiB classifies a handful of times.
+
+// readRange classifies the granule range [g0,g1] read by frame f at time
+// now. It splits the range into per-chunk spans and classifies each with
+// the run fast path; the retained scalar reference walks granule by
+// granule instead so the two can be diffed.
+func (c *classifier) readRange(f *segFrame, g0, g1, now uint64) {
+	if c.scalar {
+		for g := g0; g <= g1; g++ {
+			c.readGranule(f, g, now, 1)
+		}
+		return
+	}
+	base := c.pos.off
+	for g := g0; g <= g1; {
+		ch, idx := c.shadow.get(g)
+		end := g | chunkMask
+		if end > g1 {
+			end = g1
+		}
+		c.readSpan(f, ch, idx, uint32(end-g+1), now, base+(g-g0))
+		g = end + 1
+	}
+}
+
+// readSpan classifies n granules of one chunk starting at intra-chunk index
+// idx: consecutive granules in identical shadow state form a run that is
+// classified once and counted len(run) times. spanBase is the granule
+// offset of the span within the access, threaded through c.pos so comm
+// accumulation can order first encounters deterministically.
+//
+// State changes within the span start the next run, so the worst case
+// degrades to the scalar cost plus one comparison per granule; the cutover
+// stops paying even that: once cutoverShortRuns consecutive runs come in
+// under cutoverRunLen granules the span finishes granule-at-a-time.
+func (c *classifier) readSpan(f *segFrame, ch *shadowChunk, idx, n uint32, now, spanBase uint64) {
+	c.spans++
+	c.granules += uint64(n)
+	objs := ch.objs[idx : idx+n]
+	call32 := uint32(f.call)
+	short := 0
+	for i := uint32(0); i < n; {
+		st := objs[i]
+		j := i + 1
+		for j < n && objs[j] == st {
+			j++
+		}
+		c.runs++
+		c.pos.off = spanBase + uint64(i)
+		c.classifyRun(f, st, uint64(j-i))
+		if ch.reuse != nil {
+			c.reuseRun(f, ch.reuse[idx+i:idx+j], st, call32, now)
+		}
+		for k := i; k < j; k++ {
+			objs[k].reader = f.enc
+			objs[k].readerCall = call32
+		}
+		if j-i < cutoverRunLen {
+			short++
+			if short >= cutoverShortRuns && j < n {
+				c.readSpanTail(f, ch, idx, j, n, now, spanBase, call32)
+				return
+			}
+		} else {
+			short = 0
+		}
+		i = j
+	}
+}
+
+// readSpanTail finishes a degenerate span granule-at-a-time. Classifying a
+// length-k run as k single-granule runs produces the same aggregates (every
+// counter adds bytes, and k×1 == 1×k), the same comm accumulation (bytes
+// sum per (src,call) key; the first granule of a run carries the run-start
+// offset), and the same re-use updates (reuseRun's branches depend only on
+// per-granule state), so the two paths stay byte-identical — the
+// differential suite diffs them directly.
+func (c *classifier) readSpanTail(f *segFrame, ch *shadowChunk, idx, i, n uint32, now, spanBase uint64, call32 uint32) {
+	objs := ch.objs[idx : idx+n]
+	for k := i; k < n; k++ {
+		st := objs[k]
+		c.runs++
+		c.pos.off = spanBase + uint64(k)
+		c.classifyRun(f, st, 1)
+		if ch.reuse != nil {
+			c.reuseRun(f, ch.reuse[idx+k:idx+k+1], st, call32, now)
+		}
+		objs[k].reader = f.enc
+		objs[k].readerCall = call32
+	}
+}
+
+// classifyRun applies the scalar readGranule classification once for a run
+// of `bytes` granules sharing the shadow state obj. It must mirror
+// readGranule exactly; the differential and fuzz tests enforce that.
+func (c *classifier) classifyRun(f *segFrame, obj shadowObj, bytes uint64) {
+	sameReader := obj.reader == f.enc
+	src := obj.writer
+	if src == encInvalid {
+		src = encStartup
+	}
+	if src == f.enc {
+		if f.ctx >= 0 {
+			s := c.commSlot(int(f.ctx))
+			if sameReader {
+				s.LocalNonUnique += bytes
+			} else {
+				s.LocalUnique += bytes
+			}
+		}
+		return
+	}
+	if f.ctx >= 0 {
+		s := c.commSlot(int(f.ctx))
+		if sameReader {
+			s.InputNonUnique += bytes
+		} else {
+			s.InputUnique += bytes
+		}
+	} else if f.enc == encKernel {
+		c.kernelIn += bytes
+	}
+	switch src {
+	case encStartup:
+		if !sameReader {
+			c.startupOut += bytes
+		}
+	case encKernel:
+		if !sameReader {
+			c.kernelOut += bytes
+		}
+	default:
+		s := c.commSlot(int(src - encBias))
+		if sameReader {
+			s.OutputNonUnique += bytes
+		} else {
+			s.OutputUnique += bytes
+		}
+	}
+	e := c.edge(src, f.enc)
+	if sameReader {
+		e.NonUnique += bytes
+	} else {
+		e.Unique += bytes
+	}
+	if !sameReader && c.onComm != nil && f.ctx >= 0 {
+		c.onComm(f, src, uint64(obj.writerCall), bytes)
+	}
+}
+
+// reuseRun updates the re-use extension for one run. The branch structure
+// of the scalar path is uniform across a run (the run key includes reader
+// and readerCall), so it hoists here; the per-granule counters and
+// timestamps still update individually.
+func (c *classifier) reuseRun(f *segFrame, ros []reuseObj, st shadowObj, call32 uint32, now uint64) {
+	if c.lineMode {
+		// Line mode: global per-line access counting, no resets.
+		for k := range ros {
+			ro := &ros[k]
+			if ro.count == 0 && ro.first == 0 {
+				ro.first = now
+			}
+			ro.count++
+			ro.last = now
+		}
+		return
+	}
+	if st.reader == f.enc && st.readerCall == call32 {
+		// Same function call re-reading the granules: the episodes
+		// continue (re-use lifetimes are per function call).
+		for k := range ros {
+			ros[k].count++
+			ros[k].last = now
+		}
+		return
+	}
+	flush := st.reader != encInvalid
+	for k := range ros {
+		ro := &ros[k]
+		if flush {
+			c.flushEpisode(st.reader, ro)
+		}
+		ro.count = 0
+		ro.first = now
+		ro.last = now
+	}
+}
+
+// writeRange records the producer of the granule range [g0,g1], one chunk
+// lookup per span.
+func (c *classifier) writeRange(enc uint32, call uint64, g0, g1, now uint64) {
+	if c.scalar {
+		for g := g0; g <= g1; g++ {
+			c.writeGranule(enc, call, g, now)
+		}
+		return
+	}
+	call32 := uint32(call)
+	lineReuse := c.lineMode
+	for g := g0; g <= g1; {
+		ch, idx := c.shadow.get(g)
+		end := g | chunkMask
+		if end > g1 {
+			end = g1
+		}
+		objs := ch.objs[idx : idx+uint32(end-g+1)]
+		for k := range objs {
+			objs[k].writer = enc
+			objs[k].writerCall = call32
+		}
+		if lineReuse && ch.reuse != nil {
+			ros := ch.reuse[idx : idx+uint32(len(objs))]
+			for k := range ros {
+				ro := &ros[k]
+				if ro.count == 0 && ro.first == 0 {
+					ro.first = now
+				}
+				ro.count++
+				ro.last = now
+			}
+		}
+		g = end + 1
+	}
+}
+
+// markStartup stamps the granule range [g0,g1] as produced by program
+// startup: one chunk lookup per span, writer stamp only — startup marking
+// never touches the re-use extension, so this is not writeRange.
+func (c *classifier) markStartup(g0, g1 uint64) {
+	for g := g0; g <= g1; {
+		ch, idx := c.shadow.get(g)
+		end := g | chunkMask
+		if end > g1 {
+			end = g1
+		}
+		objs := ch.objs[idx : idx+uint32(end-g+1)]
+		for k := range objs {
+			objs[k].writer = encStartup
+			objs[k].writerCall = 0
+		}
+		g = end + 1
+	}
+}
+
+// --- retained scalar reference path ---
+
+// readGranule classifies one granule read by frame f at time now, counting
+// `bytes` toward the communication aggregates.
+func (c *classifier) readGranule(f *segFrame, g, now, bytes uint64) {
+	ch, idx := c.shadow.get(g)
+	obj := &ch.objs[idx]
+	// Unique vs non-unique follows the paper's mechanism exactly: "Sigil
+	// checks if the reading FUNCTION is the last reader and if so counts
+	// the read as non-unique" — the call number is not consulted for
+	// uniqueness (it delimits re-use episodes below). This is what makes
+	// a function's repeated sweeps over the same data count once.
+	sameReader := obj.reader == f.enc
+	sameCall := sameReader && obj.readerCall == uint32(f.call)
+
+	src := obj.writer
+	if src == encInvalid {
+		src = encStartup
+	}
+	if src == f.enc {
+		// Local: produced and read by the same function context.
+		if f.ctx >= 0 {
+			s := c.commSlot(int(f.ctx))
+			if sameReader {
+				s.LocalNonUnique += bytes
+			} else {
+				s.LocalUnique += bytes
+			}
+		}
+	} else {
+		// Input to the reader, output of the producer.
+		if f.ctx >= 0 {
+			s := c.commSlot(int(f.ctx))
+			if sameReader {
+				s.InputNonUnique += bytes
+			} else {
+				s.InputUnique += bytes
+			}
+		} else if f.enc == encKernel {
+			c.kernelIn += bytes
+		}
+		switch src {
+		case encStartup:
+			if !sameReader {
+				c.startupOut += bytes
+			}
+		case encKernel:
+			if !sameReader {
+				c.kernelOut += bytes
+			}
+		default:
+			s := c.commSlot(int(src - encBias))
+			if sameReader {
+				s.OutputNonUnique += bytes
+			} else {
+				s.OutputUnique += bytes
+			}
+		}
+		e := c.edge(src, f.enc)
+		if sameReader {
+			e.NonUnique += bytes
+		} else {
+			e.Unique += bytes
+		}
+		if !sameReader && c.onComm != nil && f.ctx >= 0 {
+			c.onComm(f, src, uint64(obj.writerCall), bytes)
+		}
+	}
+
+	if ch.reuse != nil {
+		ro := &ch.reuse[idx]
+		if c.lineMode {
+			// Line mode: global per-line access counting, no resets.
+			if ro.count == 0 && ro.first == 0 {
+				ro.first = now
+			}
+			ro.count++
+			ro.last = now
+		} else if sameCall {
+			// Same function call re-reading the byte: the episode
+			// continues (re-use lifetimes are per function call).
+			ro.count++
+			ro.last = now
+		} else {
+			if obj.reader != encInvalid {
+				c.flushEpisode(obj.reader, ro)
+			}
+			ro.count = 0
+			ro.first = now
+			ro.last = now
+		}
+	}
+
+	obj.reader = f.enc
+	obj.readerCall = uint32(f.call)
+}
+
+// writeGranule records the producer of one granule.
+func (c *classifier) writeGranule(enc uint32, call uint64, g, now uint64) {
+	ch, idx := c.shadow.get(g)
+	obj := &ch.objs[idx]
+	obj.writer = enc
+	obj.writerCall = uint32(call)
+	if c.lineMode && ch.reuse != nil {
+		ro := &ch.reuse[idx]
+		if ro.count == 0 && ro.first == 0 {
+			ro.first = now
+		}
+		ro.count++
+		ro.last = now
+	}
+}
+
+// edge returns (allocating if needed) the aggregate edge src→dst, with a
+// one-entry cache for byte runs along the same edge.
+func (c *classifier) edge(srcEnc, dstEnc uint32) *Edge {
+	key := uint64(srcEnc)<<32 | uint64(dstEnc)
+	if key == c.edgeKey {
+		return c.edgeCache
+	}
+	e := c.edges[key]
+	if e == nil {
+		e = &Edge{Src: decodeCtx(srcEnc), Dst: decodeCtx(dstEnc)}
+		c.edges[key] = e
+	}
+	c.edgeKey, c.edgeCache = key, e
+	return e
+}
+
+// commSlot returns the per-context aggregate for id, growing the slice when
+// needed. The inline path pre-grows at FnEnter so the branch never fires;
+// shard workers meet producer contexts they never saw enter, so they grow
+// lazily here.
+func (c *classifier) commSlot(id int) *CommStats {
+	if id >= len(c.comm) {
+		c.growComm(id)
+	}
+	return &c.comm[id]
+}
+
+func (c *classifier) growComm(id int) {
+	for len(c.comm) <= id {
+		c.comm = append(c.comm, CommStats{})
+	}
+	if c.trackReuse {
+		for len(c.reuse) <= id {
+			c.reuse = append(c.reuse, ReuseStats{})
+		}
+	}
+}
+
+// flushEpisode closes one re-use episode attributed to the encoded reader.
+func (c *classifier) flushEpisode(readerEnc uint32, ro *reuseObj) {
+	switch {
+	case readerEnc >= encBias:
+		id := int(readerEnc - encBias)
+		if id >= len(c.reuse) {
+			c.growComm(id)
+		}
+		c.reuse[id].recordEpisode(ro.count, ro.last-ro.first)
+	case readerEnc == encKernel:
+		c.kernelReuse.recordEpisode(ro.count, ro.last-ro.first)
+	}
+}
+
+// flushChunk is the eviction / end-of-run hook: open episodes flush to their
+// readers, and in line mode each touched line joins the global report.
+func (c *classifier) flushChunk(key uint64, ch *shadowChunk) {
+	if ch.reuse == nil {
+		return
+	}
+	if c.lineMode {
+		for i := range ch.reuse {
+			ro := &ch.reuse[i]
+			if ro.count > 0 {
+				c.lines.record(uint64(ro.count) - 1)
+			}
+		}
+		return
+	}
+	for i := range ch.objs {
+		if ch.objs[i].reader != encInvalid {
+			c.flushEpisode(ch.objs[i].reader, &ch.reuse[i])
+			ch.objs[i].reader = encInvalid
+		}
+	}
+}
+
+// mergeFrom folds a shard-private classifier into c. Every aggregate is
+// additive, and the shard chunk spaces are disjoint, so adoption plus
+// addition reproduces the inline aggregates exactly; the differential suite
+// holds this to byte-identical.
+func (c *classifier) mergeFrom(w *classifier) {
+	if len(w.comm) > 0 {
+		c.growComm(len(w.comm) - 1)
+		for i := range w.comm {
+			c.comm[i].Add(w.comm[i])
+		}
+	}
+	if len(w.reuse) > 0 {
+		c.growComm(len(w.reuse) - 1)
+		for i := range w.reuse {
+			c.reuse[i].Add(w.reuse[i])
+		}
+	}
+	for key, e := range w.edges {
+		if have := c.edges[key]; have != nil {
+			have.Unique += e.Unique
+			have.NonUnique += e.NonUnique
+		} else {
+			c.edges[key] = e
+		}
+	}
+	c.startupOut += w.startupOut
+	c.kernelOut += w.kernelOut
+	c.kernelIn += w.kernelIn
+	c.kernelReuse.Add(w.kernelReuse)
+	if c.lines != nil && w.lines != nil {
+		c.lines.merge(w.lines)
+	}
+	c.spans += w.spans
+	c.runs += w.runs
+	c.granules += w.granules
+	c.shadow.adopt(w.shadow)
+}

@@ -120,6 +120,25 @@ func BenchmarkMemReadMixed(b *testing.B) {
 	})
 }
 
+// BenchmarkMemReadMixedPairs breaks runs at length two (alternating pairs
+// of writer calls) — still under the cutover threshold, so the batched path
+// must detect the short-run regime and fall back granule-at-a-time instead
+// of paying run scans that never amortize.
+func BenchmarkMemReadMixedPairs(b *testing.B) {
+	const span = 4096
+	benchPaths(b, Options{}, func(b *testing.B, tool *Tool) {
+		f := &tool.stack[0]
+		for g := uint64(0); g < span; g++ {
+			tool.writeGranule(f.enc, f.call+1+((g>>1)&1), benchBase+g, 0)
+		}
+		b.SetBytes(span)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tool.readRange(f, benchBase, benchBase+span-1, 0)
+		}
+	})
+}
+
 // BenchmarkShadowCacheAlternating hammers the first-level lookup with reads
 // alternating between chunks — the pattern (stack vs heap) that thrashed
 // the old one-entry cache on every access.

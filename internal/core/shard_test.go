@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sigil/internal/workloads"
+)
+
+func TestOptionsClassifyWorkersValidate(t *testing.T) {
+	if _, err := New(newSubstrate(), Options{ClassifyWorkers: -1}); err == nil {
+		t.Fatal("negative ClassifyWorkers accepted")
+	} else if !strings.Contains(err.Error(), "classification worker") {
+		t.Fatalf("error does not name the field: %v", err)
+	}
+}
+
+func TestShardedWantedGating(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want bool
+	}{
+		{"off", Options{}, false},
+		{"on", Options{ClassifyWorkers: 2}, true},
+		{"evicting", Options{ClassifyWorkers: 2, MaxShadowChunks: 4}, false},
+		{"scalar-ref", Options{ClassifyWorkers: 2, refScalar: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.opts.shardedWanted(); got != c.want {
+			t.Errorf("%s: shardedWanted() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestShardOfCoversAllShards(t *testing.T) {
+	// Sequential chunk keys (the common access pattern: a linear sweep
+	// through memory) must spread across every shard, not stripe onto one.
+	for _, shards := range []int{1, 2, 4, 8} {
+		hit := make([]bool, shards)
+		for key := uint64(0); key < 1024; key++ {
+			s := shardOf(key, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("shardOf(%d, %d) = %d out of range", key, shards, s)
+			}
+			hit[s] = true
+		}
+		for i, h := range hit {
+			if !h {
+				t.Errorf("shards=%d: shard %d never hit by 1024 sequential keys", shards, i)
+			}
+		}
+	}
+}
+
+func TestShardOfDeterministic(t *testing.T) {
+	for key := uint64(0); key < 256; key++ {
+		if shardOf(key, 4) != shardOf(key, 4) {
+			t.Fatalf("shardOf(%d, 4) not deterministic", key)
+		}
+	}
+}
+
+// TestShardedRepeatRunsIdentical guards against schedule-dependent output:
+// the same workload at the same worker count must produce byte-identical
+// results across repeated runs even though slab hand-off timing differs.
+func TestShardedRepeatRunsIdentical(t *testing.T) {
+	prog, input, err := workloads.Build("dedup", workloads.SimSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{ClassifyWorkers: 4}
+	first, err := Run(prog, opts, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		prog, input, err := workloads.Build("dedup", workloads.SimSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(prog, opts, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, res, first)
+	}
+}

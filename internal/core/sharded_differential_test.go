@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"sigil/internal/trace"
+	"sigil/internal/workloads"
+)
+
+// shardWorkerCounts is the worker matrix the sharded differential pins:
+// one worker (pipeline hand-off only), two, and four (real shard fan-out).
+var shardWorkerCounts = []int{1, 2, 4}
+
+// shardedDiffRun profiles one workload with the sharded classification
+// engine at the given worker count (0 = the inline reference), capturing
+// the event stream when the mode asks for it.
+func shardedDiffRun(t *testing.T, workload string, mode diffMode, workers int) (*Result, []trace.Event) {
+	t.Helper()
+	prog, input, err := workloads.Build(workload, workloads.SimSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mode.opts
+	opts.ClassifyWorkers = workers
+	var buf *trace.Buffer
+	if mode.events {
+		buf = &trace.Buffer{}
+		opts.Events = buf
+	}
+	res, err := Run(prog, opts, input)
+	if err != nil {
+		t.Fatalf("%s/%s workers=%d: %v", workload, mode.name, workers, err)
+	}
+	if buf == nil {
+		return res, nil
+	}
+	return res, buf.Events
+}
+
+// TestShardedMatchesInlineOnWorkloads is the engine's correctness pin: every
+// workload in the registry, in every non-evicting mode, through the sharded
+// engine at 1, 2 and 4 workers — each run must produce profiles, edges,
+// re-use histograms, line reports, shadow accounting and event streams
+// byte-identical to the inline path.
+func TestShardedMatchesInlineOnWorkloads(t *testing.T) {
+	names := workloads.Names()
+	for _, mode := range diffModes() {
+		if mode.opts.MaxShadowChunks > 0 {
+			continue // eviction forces the inline fallback; pinned below
+		}
+		t.Run(mode.name, func(t *testing.T) {
+			ws := names
+			if testing.Short() && mode.name != "baseline-events" {
+				ws = names[:min(3, len(names))]
+			}
+			for _, name := range ws {
+				t.Run(name, func(t *testing.T) {
+					inlineRes, inlineEv := shardedDiffRun(t, name, mode, 0)
+					for _, workers := range shardWorkerCounts {
+						shardedRes, shardedEv := shardedDiffRun(t, name, mode, workers)
+						assertResultsIdentical(t, shardedRes, inlineRes)
+						if mode.events {
+							assertEventsIdentical(t, shardedEv, inlineEv)
+						}
+						assertShardAccounting(t, shardedRes, workers)
+					}
+				})
+			}
+		})
+	}
+}
+
+// assertShardAccounting checks the pipeline's conservation invariant on a
+// clean run: the engine was actually engaged at the requested width, every
+// appended record was drained, and nothing was dropped.
+func assertShardAccounting(t *testing.T, res *Result, workers int) {
+	t.Helper()
+	tel := res.Telemetry
+	if tel == nil {
+		t.Fatal("result has no telemetry snapshot")
+	}
+	if tel.ClassifyWorkers != uint64(workers) {
+		t.Errorf("classify workers: got %d, want %d", tel.ClassifyWorkers, workers)
+	}
+	if tel.ClassifyDropped != 0 {
+		t.Errorf("clean run dropped %d records", tel.ClassifyDropped)
+	}
+	if tel.ClassifyRecords != tel.ClassifyDrained+tel.ClassifyDropped {
+		t.Errorf("accounting: %d appended != %d drained + %d dropped",
+			tel.ClassifyRecords, tel.ClassifyDrained, tel.ClassifyDropped)
+	}
+	if tel.ClassifyRecords == 0 {
+		t.Error("engine engaged but appended no records")
+	}
+}
+
+// TestShardedEvictionFallsBackInline pins the gating rule: a shadow-chunk
+// FIFO limit makes eviction order a global-interleaving property that
+// shard-private tables cannot reproduce, so ClassifyWorkers must silently
+// fall back to the inline path — same results, no engine.
+func TestShardedEvictionFallsBackInline(t *testing.T) {
+	mode := diffMode{name: "reuse-evicting", opts: Options{TrackReuse: true, MaxShadowChunks: 4}}
+	inlineRes, _ := shardedDiffRun(t, "blackscholes", mode, 0)
+	shardedRes, _ := shardedDiffRun(t, "blackscholes", mode, 4)
+	assertResultsIdentical(t, shardedRes, inlineRes)
+	if got := shardedRes.Telemetry.ClassifyWorkers; got != 0 {
+		t.Errorf("eviction mode started %d classification workers, want inline fallback", got)
+	}
+	if shardedRes.Telemetry.ClassifyRecords != 0 {
+		t.Errorf("inline fallback appended %d records", shardedRes.Telemetry.ClassifyRecords)
+	}
+}
+
+// TestShardShakeout drives every workload through the sharded engine at
+// four workers with events on — the configuration scripts/check.sh and CI
+// run under -race to shake out ordering bugs in the slab hand-off, the
+// barrier protocol and the atomic mirrors.
+func TestShardShakeout(t *testing.T) {
+	mode := diffMode{name: "shakeout", opts: Options{}, events: true}
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			res, ev := shardedDiffRun(t, name, mode, 4)
+			assertShardAccounting(t, res, 4)
+			if len(ev) == 0 {
+				t.Error("no events emitted")
+			}
+		})
+	}
+}

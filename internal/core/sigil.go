@@ -31,6 +31,21 @@ type Options struct {
 	// negligible accuracy loss.
 	MaxShadowChunks int
 
+	// ClassifyWorkers moves read/write classification off the interpreter
+	// goroutine: the memory callbacks append compact access records into
+	// per-shard double-buffered slabs, and this many worker goroutines each
+	// drain the records whose chunks hash into their shard against a
+	// shard-private shadow table. Call-boundary barriers and an end-of-run
+	// merge fold the per-shard deltas into the canonical Result, which the
+	// differential suite pins byte-identical to inline classification.
+	//
+	// 0 (the default) classifies inline. The engine requires the full
+	// chunk space to stay resident, so MaxShadowChunks > 0 falls back to
+	// inline classification: FIFO eviction order is a property of the
+	// global access interleaving that shard-private tables cannot
+	// reproduce.
+	ClassifyWorkers int
+
 	// Events, when non-nil, receives the event-file representation: the
 	// execution as a sequence of dependent events.
 	Events trace.Sink
@@ -68,8 +83,9 @@ type Options struct {
 	Telemetry *telemetry.Metrics
 
 	// Trace, when non-nil, records the run into the tracing subsystem: a
-	// root "run" span with telemetry-counter deltas, and a poll-point
-	// sample timeline for the counter tracks of the Chrome export. The
+	// root "run" span with telemetry-counter deltas, a poll-point sample
+	// timeline for the counter tracks of the Chrome export, and — when the
+	// sharded engine is on — one track per classification worker. The
 	// buffer must be owned by the goroutine calling Run/RunContext (the
 	// machine executes on the caller's goroutine). When Telemetry is nil a
 	// private Metrics block is attached for the run so span deltas still
@@ -80,7 +96,8 @@ type Options struct {
 	// classification path instead of the batched chunk-run path. The two
 	// are required to produce byte-identical results; this knob exists so
 	// the differential and fuzz harnesses can prove it, and is therefore
-	// unexported: it is not a supported production mode.
+	// unexported: it is not a supported production mode. It also forces
+	// inline classification regardless of ClassifyWorkers.
 	refScalar bool
 }
 
@@ -101,6 +118,9 @@ func (o Options) validate() error {
 	if o.MaxShadowChunksHard < 0 {
 		return fmt.Errorf("core: negative shadow chunk budget")
 	}
+	if o.ClassifyWorkers < 0 {
+		return fmt.Errorf("core: negative classification worker count")
+	}
 	if o.MaxWall < 0 {
 		return fmt.Errorf("core: negative wall-clock budget")
 	}
@@ -113,43 +133,30 @@ func (o Options) validate() error {
 	return nil
 }
 
+// shardedWanted reports whether this configuration runs the sharded
+// classification engine (see Options.ClassifyWorkers for the fallbacks).
+func (o Options) shardedWanted() bool {
+	return o.ClassifyWorkers > 0 && o.MaxShadowChunks == 0 && !o.refScalar
+}
+
 // Tool is the Sigil instrumentation tool. It must run chained after (and
 // pointed at) a callgrind.Tool, which resolves the executing calling
 // context — mirroring how the paper's Sigil hooks into Callgrind to identify
 // function names and count operations.
+//
+// The embedded classifier holds the shadow table and every classification
+// aggregate; with ClassifyWorkers > 0 the memory callbacks append access
+// records to the sharded engine instead of classifying into it, and the
+// engine merges its shard-private classifiers back at the end of the run.
 type Tool struct {
-	sub    *callgrind.Tool
-	opts   Options
-	shadow *shadowTable
-	shift  uint // log2 granule size: 0 in byte mode
+	classifier
 
-	comm  []CommStats  // indexed by context ID
-	reuse []ReuseStats // indexed by context ID; nil unless TrackReuse
+	sub  *callgrind.Tool
+	opts Options
 
-	edges     map[uint64]*Edge
-	edgeKey   uint64 // one-entry edge cache for runs of same-edge bytes
-	edgeCache *Edge
-
-	// Pseudo-producer aggregate: bytes the program consumed from startup
-	// data and from the kernel, and bytes the kernel consumed.
-	startupOut  uint64
-	kernelOut   uint64
-	kernelIn    uint64
-	kernelReuse ReuseStats // episodes whose reader was the kernel
-
-	lines *LineReport
-
-	// scalar selects the retained reference classification path (see
-	// Options.refScalar). The default is the batched chunk-run path.
-	scalar bool
-
-	// Batch-classifier telemetry: spans are per-chunk segments of an
-	// access, runs are the state-uniform sub-segments classified at once,
-	// granules is the total granule count they covered. runs/granules is
-	// the amortization factor the batching achieves.
-	spans    uint64
-	runs     uint64
-	granules uint64
+	// engine is the sharded classification pipeline; nil means the memory
+	// callbacks classify inline on the interpreter goroutine.
+	engine *classifyEngine
 
 	stack   []segFrame
 	events  trace.Sink
@@ -193,53 +200,40 @@ func New(sub *callgrind.Tool, opts Options) (*Tool, error) {
 		return nil, err
 	}
 	t := &Tool{
-		sub:     sub,
-		opts:    opts,
-		edges:   make(map[uint64]*Edge),
-		events:  opts.Events,
-		edgeKey: ^uint64(0),
-		scalar:  opts.refScalar,
+		sub:    sub,
+		opts:   opts,
+		events: opts.Events,
+	}
+	t.classifier.init(opts, opts.MaxShadowChunks)
+	if t.events != nil {
+		t.onComm = t.accumulateComm
 	}
 	if st, ok := opts.Events.(interface{ Stats() trace.WriterStats }); ok {
 		t.evStats = st.Stats
 	}
-	if opts.LineGranularity {
-		for 1<<t.shift < opts.LineSize {
-			t.shift++
-		}
-		t.lines = &LineReport{LineSize: opts.LineSize}
-	}
-	// Line mode always tracks per-line access counts; byte mode tracks
-	// episodes only when re-use mode is on.
-	wantReuse := opts.TrackReuse || opts.LineGranularity
-	t.shadow = newShadowTable(opts.MaxShadowChunks, wantReuse, t.flushChunk)
 	return t, nil
 }
 
 // ProgramStart implements dbi.Tool. The loader's initialized data segments
 // are marked as produced at startup: they are the program's true input.
+// This is also where the sharded engine spins up: ProgramStart is the first
+// observer callback, so tools that are constructed but never run (tests,
+// benches poking the classifier directly) never start workers.
 func (t *Tool) ProgramStart(p *vm.Program, m *vm.Machine) {
+	if t.opts.shardedWanted() && t.engine == nil {
+		t.engine = newClassifyEngine(t)
+	}
 	for _, s := range p.Segments {
 		if len(s.Data) == 0 {
 			continue
 		}
 		g0 := s.Addr >> t.shift
 		g1 := (s.Addr + uint64(len(s.Data)) - 1) >> t.shift
-		// One chunk lookup per span; startup marking never touches the
-		// re-use extension, so this is not writeRange.
-		for g := g0; g <= g1; {
-			ch, idx := t.shadow.get(g)
-			end := g | chunkMask
-			if end > g1 {
-				end = g1
-			}
-			objs := ch.objs[idx : idx+uint32(end-g+1)]
-			for k := range objs {
-				objs[k].writer = encStartup
-				objs[k].writerCall = 0
-			}
-			g = end + 1
+		if t.engine != nil {
+			t.engine.recordAccess(opStartup, encStartup, 0, g0, g1, 0)
+			continue
 		}
+		t.markStartup(g0, g1)
 	}
 }
 
@@ -301,6 +295,10 @@ func (t *Tool) MemRead(addr uint64, size uint8) {
 	f := &t.stack[len(t.stack)-1]
 	g0 := addr >> t.shift
 	g1 := (addr + uint64(size) - 1) >> t.shift
+	if t.engine != nil {
+		t.engine.recordAccess(opRead, f.enc, f.call, g0, g1, t.sub.Now())
+		return
+	}
 	t.readRange(f, g0, g1, t.sub.Now())
 }
 
@@ -312,6 +310,10 @@ func (t *Tool) MemWrite(addr uint64, size uint8) {
 	f := &t.stack[len(t.stack)-1]
 	g0 := addr >> t.shift
 	g1 := (addr + uint64(size) - 1) >> t.shift
+	if t.engine != nil {
+		t.engine.recordAccess(opWrite, f.enc, f.call, g0, g1, t.sub.Now())
+		return
+	}
 	t.writeRange(f.enc, f.call, g0, g1, t.sub.Now())
 }
 
@@ -319,14 +321,21 @@ func (t *Tool) MemWrite(addr uint64, size uint8) {
 // range (classified like its own reads — the syscall's data-marshalling
 // cost belongs to the caller) and the bytes then leave the program on an
 // explicit edge to the kernel; the output range is produced by the kernel.
-// Per the paper, nothing inside the call is visible.
+// Per the paper, nothing inside the call is visible. The explicit
+// kernel-edge aggregates stay on the interpreter-side classifier even when
+// the engine is on — they are additive, so the end-of-run merge folds them
+// with the shard deltas.
 func (t *Tool) Syscall(sys vm.Sys, inAddr, inLen, outAddr, outLen uint64) {
 	now := t.sub.Now()
 	if inLen > 0 && len(t.stack) > 0 {
 		f := &t.stack[len(t.stack)-1]
 		g0 := inAddr >> t.shift
 		g1 := (inAddr + inLen - 1) >> t.shift
-		t.readRange(f, g0, g1, now)
+		if t.engine != nil {
+			t.engine.recordAccess(opRead, f.enc, f.call, g0, g1, now)
+		} else {
+			t.readRange(f, g0, g1, now)
+		}
 		units := g1 - g0 + 1
 		t.kernelIn += units
 		if f.ctx >= 0 {
@@ -337,7 +346,11 @@ func (t *Tool) Syscall(sys vm.Sys, inAddr, inLen, outAddr, outLen uint64) {
 	if outLen > 0 {
 		g0 := outAddr >> t.shift
 		g1 := (outAddr + outLen - 1) >> t.shift
-		t.writeRange(encKernel, 0, g0, g1, now)
+		if t.engine != nil {
+			t.engine.recordAccess(opWrite, encKernel, 0, g0, g1, now)
+		} else {
+			t.writeRange(encKernel, 0, g0, g1, now)
+		}
 	}
 	if t.events != nil && len(t.stack) > 0 {
 		f := &t.stack[len(t.stack)-1]
@@ -348,8 +361,10 @@ func (t *Tool) Syscall(sys vm.Sys, inAddr, inLen, outAddr, outLen uint64) {
 	}
 }
 
-// ProgramEnd implements dbi.Tool: remaining segments close, all live shadow
-// chunks flush their open re-use episodes, and the result is frozen.
+// ProgramEnd implements dbi.Tool: remaining segments close, the sharded
+// engine (when on) drains and merges its shard classifiers back into the
+// tool's, all live shadow chunks flush their open re-use episodes, and the
+// result is frozen.
 func (t *Tool) ProgramEnd() {
 	for len(t.stack) > 0 {
 		f := &t.stack[len(t.stack)-1]
@@ -358,6 +373,9 @@ func (t *Tool) ProgramEnd() {
 			t.emit(trace.Event{Kind: trace.KindLeave, Ctx: f.ctx, Call: f.call, Time: t.sub.Now()})
 		}
 		t.stack = t.stack[:len(t.stack)-1]
+	}
+	if t.engine != nil {
+		t.engine.finish(t)
 	}
 	t.shadow.forEach(t.flushChunk)
 	t.finished = true
@@ -374,6 +392,7 @@ func (t *Tool) abort() {
 	// The event sink may be the very thing that panicked: stop emitting
 	// while finalizing, and attempt each finalization step independently.
 	t.events = nil
+	t.onComm = nil
 	func() {
 		defer func() { _ = recover() }()
 		t.sub.ProgramEnd()
@@ -385,374 +404,20 @@ func (t *Tool) abort() {
 	t.finished = true
 }
 
-// --- batched classification hot path ---
-//
-// The paper pays 20-99x over native for byte-level shadowing; the batched
-// path claws a large constant factor back by amortizing the two per-granule
-// costs of the scalar reference: the first-level chunk lookup (now one per
-// per-chunk span instead of one per granule) and the fully branchy
-// classification (now one per run of granules in identical shadow state,
-// counted n times). Workload accesses are overwhelmingly runs: a function
-// streaming over a buffer leaves every byte with the same (writer,
-// writerCall, reader, readerCall) tuple, so an 8-byte load classifies once,
-// and a syscall marshalling 4KiB classifies a handful of times.
-
-// readRange classifies the granule range [g0,g1] read by frame f at time
-// now. It splits the range into per-chunk spans and classifies each with
-// the run fast path; the retained scalar reference walks granule by
-// granule instead so the two can be diffed.
-func (t *Tool) readRange(f *segFrame, g0, g1, now uint64) {
-	if t.scalar {
-		for g := g0; g <= g1; g++ {
-			t.readGranule(f, g, now, 1)
-		}
-		return
+// ClassifyError returns the first classification-worker failure, if any.
+// Like event-sink errors, worker faults do not stop the run: the remaining
+// shards keep classifying, the failed shard counts its records as dropped
+// (reconciled by telemetry: records == drained + dropped), and the fault
+// surfaces here after the run.
+func (t *Tool) ClassifyError() error {
+	if t.engine == nil {
+		return nil
 	}
-	for g := g0; g <= g1; {
-		ch, idx := t.shadow.get(g)
-		end := g | chunkMask
-		if end > g1 {
-			end = g1
-		}
-		t.readSpan(f, ch, idx, uint32(end-g+1), now)
-		g = end + 1
-	}
-}
-
-// readSpan classifies n granules of one chunk starting at intra-chunk index
-// idx: consecutive granules in identical shadow state form a run that is
-// classified once and counted len(run) times; state changes within the span
-// simply start the next run, so the worst case degrades to the scalar cost
-// plus one comparison per granule.
-func (t *Tool) readSpan(f *segFrame, ch *shadowChunk, idx, n uint32, now uint64) {
-	t.spans++
-	t.granules += uint64(n)
-	objs := ch.objs[idx : idx+n]
-	call32 := uint32(f.call)
-	for i := uint32(0); i < n; {
-		st := objs[i]
-		j := i + 1
-		for j < n && objs[j] == st {
-			j++
-		}
-		t.runs++
-		t.classifyRun(f, st, uint64(j-i))
-		if ch.reuse != nil {
-			t.reuseRun(f, ch.reuse[idx+i:idx+j], st, call32, now)
-		}
-		for k := i; k < j; k++ {
-			objs[k].reader = f.enc
-			objs[k].readerCall = call32
-		}
-		i = j
-	}
-}
-
-// classifyRun applies the scalar readGranule classification once for a run
-// of `bytes` granules sharing the shadow state obj. It must mirror
-// readGranule exactly; the differential and fuzz tests enforce that.
-func (t *Tool) classifyRun(f *segFrame, obj shadowObj, bytes uint64) {
-	sameReader := obj.reader == f.enc
-	src := obj.writer
-	if src == encInvalid {
-		src = encStartup
-	}
-	if src == f.enc {
-		if f.ctx >= 0 {
-			s := &t.comm[f.ctx]
-			if sameReader {
-				s.LocalNonUnique += bytes
-			} else {
-				s.LocalUnique += bytes
-			}
-		}
-		return
-	}
-	if f.ctx >= 0 {
-		s := &t.comm[f.ctx]
-		if sameReader {
-			s.InputNonUnique += bytes
-		} else {
-			s.InputUnique += bytes
-		}
-	} else if f.enc == encKernel {
-		t.kernelIn += bytes
-	}
-	switch src {
-	case encStartup:
-		if !sameReader {
-			t.startupOut += bytes
-		}
-	case encKernel:
-		if !sameReader {
-			t.kernelOut += bytes
-		}
-	default:
-		s := &t.comm[src-encBias]
-		if sameReader {
-			s.OutputNonUnique += bytes
-		} else {
-			s.OutputUnique += bytes
-		}
-	}
-	e := t.edge(src, f.enc)
-	if sameReader {
-		e.NonUnique += bytes
-	} else {
-		e.Unique += bytes
-	}
-	if !sameReader && t.events != nil && f.ctx >= 0 {
-		t.accumulateComm(f, src, uint64(obj.writerCall), bytes)
-	}
-}
-
-// reuseRun updates the re-use extension for one run. The branch structure
-// of the scalar path is uniform across a run (the run key includes reader
-// and readerCall), so it hoists here; the per-granule counters and
-// timestamps still update individually.
-func (t *Tool) reuseRun(f *segFrame, ros []reuseObj, st shadowObj, call32 uint32, now uint64) {
-	if t.opts.LineGranularity {
-		// Line mode: global per-line access counting, no resets.
-		for k := range ros {
-			ro := &ros[k]
-			if ro.count == 0 && ro.first == 0 {
-				ro.first = now
-			}
-			ro.count++
-			ro.last = now
-		}
-		return
-	}
-	if st.reader == f.enc && st.readerCall == call32 {
-		// Same function call re-reading the granules: the episodes
-		// continue (re-use lifetimes are per function call).
-		for k := range ros {
-			ros[k].count++
-			ros[k].last = now
-		}
-		return
-	}
-	flush := st.reader != encInvalid
-	for k := range ros {
-		ro := &ros[k]
-		if flush {
-			t.flushEpisode(st.reader, ro)
-		}
-		ro.count = 0
-		ro.first = now
-		ro.last = now
-	}
-}
-
-// writeRange records the producer of the granule range [g0,g1], one chunk
-// lookup per span.
-func (t *Tool) writeRange(enc uint32, call uint64, g0, g1, now uint64) {
-	if t.scalar {
-		for g := g0; g <= g1; g++ {
-			t.writeGranule(enc, call, g, now)
-		}
-		return
-	}
-	call32 := uint32(call)
-	lineReuse := t.opts.LineGranularity
-	for g := g0; g <= g1; {
-		ch, idx := t.shadow.get(g)
-		end := g | chunkMask
-		if end > g1 {
-			end = g1
-		}
-		objs := ch.objs[idx : idx+uint32(end-g+1)]
-		for k := range objs {
-			objs[k].writer = enc
-			objs[k].writerCall = call32
-		}
-		if lineReuse && ch.reuse != nil {
-			ros := ch.reuse[idx : idx+uint32(len(objs))]
-			for k := range ros {
-				ro := &ros[k]
-				if ro.count == 0 && ro.first == 0 {
-					ro.first = now
-				}
-				ro.count++
-				ro.last = now
-			}
-		}
-		g = end + 1
-	}
-}
-
-// --- retained scalar reference path ---
-
-// readGranule classifies one granule read by frame f at time now, counting
-// `bytes` toward the communication aggregates.
-func (t *Tool) readGranule(f *segFrame, g, now, bytes uint64) {
-	ch, idx := t.shadow.get(g)
-	obj := &ch.objs[idx]
-	// Unique vs non-unique follows the paper's mechanism exactly: "Sigil
-	// checks if the reading FUNCTION is the last reader and if so counts
-	// the read as non-unique" — the call number is not consulted for
-	// uniqueness (it delimits re-use episodes below). This is what makes
-	// a function's repeated sweeps over the same data count once.
-	sameReader := obj.reader == f.enc
-	sameCall := sameReader && obj.readerCall == uint32(f.call)
-
-	src := obj.writer
-	if src == encInvalid {
-		src = encStartup
-	}
-	if src == f.enc {
-		// Local: produced and read by the same function context.
-		if f.ctx >= 0 {
-			s := &t.comm[f.ctx]
-			if sameReader {
-				s.LocalNonUnique += bytes
-			} else {
-				s.LocalUnique += bytes
-			}
-		}
-	} else {
-		// Input to the reader, output of the producer.
-		if f.ctx >= 0 {
-			s := &t.comm[f.ctx]
-			if sameReader {
-				s.InputNonUnique += bytes
-			} else {
-				s.InputUnique += bytes
-			}
-		} else if f.enc == encKernel {
-			t.kernelIn += bytes
-		}
-		switch src {
-		case encStartup:
-			if !sameReader {
-				t.startupOut += bytes
-			}
-		case encKernel:
-			if !sameReader {
-				t.kernelOut += bytes
-			}
-		default:
-			s := &t.comm[src-encBias]
-			if sameReader {
-				s.OutputNonUnique += bytes
-			} else {
-				s.OutputUnique += bytes
-			}
-		}
-		e := t.edge(src, f.enc)
-		if sameReader {
-			e.NonUnique += bytes
-		} else {
-			e.Unique += bytes
-		}
-		if !sameReader && t.events != nil && f.ctx >= 0 {
-			t.accumulateComm(f, src, uint64(obj.writerCall), bytes)
-		}
-	}
-
-	if ch.reuse != nil {
-		ro := &ch.reuse[idx]
-		if t.opts.LineGranularity {
-			// Line mode: global per-line access counting, no resets.
-			if ro.count == 0 && ro.first == 0 {
-				ro.first = now
-			}
-			ro.count++
-			ro.last = now
-		} else if sameCall {
-			// Same function call re-reading the byte: the episode
-			// continues (re-use lifetimes are per function call).
-			ro.count++
-			ro.last = now
-		} else {
-			if obj.reader != encInvalid {
-				t.flushEpisode(obj.reader, ro)
-			}
-			ro.count = 0
-			ro.first = now
-			ro.last = now
-		}
-	}
-
-	obj.reader = f.enc
-	obj.readerCall = uint32(f.call)
-}
-
-// writeGranule records the producer of one granule.
-func (t *Tool) writeGranule(enc uint32, call uint64, g, now uint64) {
-	ch, idx := t.shadow.get(g)
-	obj := &ch.objs[idx]
-	obj.writer = enc
-	obj.writerCall = uint32(call)
-	if t.opts.LineGranularity && ch.reuse != nil {
-		ro := &ch.reuse[idx]
-		if ro.count == 0 && ro.first == 0 {
-			ro.first = now
-		}
-		ro.count++
-		ro.last = now
-	}
-}
-
-// edge returns (allocating if needed) the aggregate edge src→dst, with a
-// one-entry cache for byte runs along the same edge.
-func (t *Tool) edge(srcEnc, dstEnc uint32) *Edge {
-	key := uint64(srcEnc)<<32 | uint64(dstEnc)
-	if key == t.edgeKey {
-		return t.edgeCache
-	}
-	e := t.edges[key]
-	if e == nil {
-		e = &Edge{Src: decodeCtx(srcEnc), Dst: decodeCtx(dstEnc)}
-		t.edges[key] = e
-	}
-	t.edgeKey, t.edgeCache = key, e
-	return e
-}
-
-// flushEpisode closes one re-use episode attributed to the encoded reader.
-func (t *Tool) flushEpisode(readerEnc uint32, ro *reuseObj) {
-	lifetime := ro.last - ro.first
-	switch {
-	case readerEnc >= encBias:
-		t.reuse[readerEnc-encBias].recordEpisode(ro.count, lifetime)
-	case readerEnc == encKernel:
-		t.kernelReuse.recordEpisode(ro.count, lifetime)
-	}
-}
-
-// flushChunk is the eviction / end-of-run hook: open episodes flush to their
-// readers, and in line mode each touched line joins the global report.
-func (t *Tool) flushChunk(key uint64, ch *shadowChunk) {
-	if ch.reuse == nil {
-		return
-	}
-	if t.opts.LineGranularity {
-		for i := range ch.reuse {
-			ro := &ch.reuse[i]
-			if ro.count > 0 {
-				t.lines.record(uint64(ro.count) - 1)
-			}
-		}
-		return
-	}
-	for i := range ch.objs {
-		if ch.objs[i].reader != encInvalid {
-			t.flushEpisode(ch.objs[i].reader, &ch.reuse[i])
-			ch.objs[i].reader = encInvalid
-		}
-	}
+	return t.engine.err
 }
 
 func (t *Tool) growCtx(id int) {
-	for len(t.comm) <= id {
-		t.comm = append(t.comm, CommStats{})
-	}
-	if t.opts.TrackReuse {
-		for len(t.reuse) <= id {
-			t.reuse = append(t.reuse, ReuseStats{})
-		}
-	}
+	t.growComm(id)
 	if t.events != nil {
 		for len(t.defined) <= id {
 			t.defined = append(t.defined, false)
@@ -773,8 +438,14 @@ func (t *Tool) accumulateComm(f *segFrame, srcEnc uint32, srcCall, bytes uint64)
 }
 
 // closeSegment emits the open segment's accumulated communication and
-// operation count, then resets the frame for its next segment.
+// operation count, then resets the frame for its next segment. With the
+// sharded engine on, the segment's communication lives in the workers'
+// keyed accumulators: a barrier drains every shard and merges them into
+// the frame in the inline first-encounter order.
 func (t *Tool) closeSegment(f *segFrame) {
+	if t.engine != nil {
+		f.comm = t.engine.drainSegment(f.comm[:0])
+	}
 	if f.ops == 0 && len(f.comm) == 0 {
 		return
 	}

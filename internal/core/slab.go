@@ -1,0 +1,66 @@
+package core
+
+// Access records and slabs for the sharded classification engine (shard.go).
+//
+// The interpreter's memory callbacks append one accessRec per chunk-sized
+// sub-range of each access into the owning shard's current slab; slabs hand
+// off to the shard worker through a double-buffered channel pair, the same
+// shape the v3 event writer uses for its frame batches: a bounded work queue
+// so the interpreter can run ahead, and a free list so slab buffers recycle
+// instead of allocating per batch.
+
+// Access record opcodes.
+const (
+	opRead uint8 = iota
+	opWrite
+	opStartup // ProgramStart data-segment marking: writer stamp only
+)
+
+const (
+	// slabRecs is the record capacity of one slab: big enough to amortize
+	// the channel hand-off, small enough that three slabs per shard stay
+	// under ~100KiB each.
+	slabRecs = 2048
+	// shardWorkDepth lets the interpreter run one full slab ahead of the
+	// worker before publishing stalls.
+	shardWorkDepth = 2
+	// shardSlabs is the total slab count per shard: one current, one in
+	// the work queue, one draining — the same double-buffering budget as
+	// the event writer.
+	shardSlabs = 3
+)
+
+// accessRec is one per-chunk sub-range of an interpreter memory access. All
+// granules [g0, g0+n) live in a single shadow chunk, so the record routes to
+// exactly one shard, and per-shard FIFO order preserves the interpreter's
+// access order for every granule.
+type accessRec struct {
+	g0  uint64 // first granule; g0..g0+n-1 share one chunk
+	now uint64 // substrate timestamp of the access
+	seq uint64 // global access sequence, for deterministic comm ordering
+	off uint64 // granule offset of this sub-range within the access
+
+	call uint32 // accessing call number (writeRange truncates to 32 bits)
+	enc  uint32 // encoded accessor context
+	n    uint32 // granule count, ≤ chunkGranules
+	op   uint8
+}
+
+// recSlab is one batch of access records. flush marks a barrier publish:
+// after draining the worker sends its per-segment comm accumulator on the
+// shard's ack channel.
+type recSlab struct {
+	recs  []accessRec
+	flush bool
+}
+
+func newRecSlab() *recSlab {
+	return &recSlab{recs: make([]accessRec, 0, slabRecs)}
+}
+
+// shardOf maps a chunk key to a shard index with a multiplicative hash, so
+// adjacent chunks spread across shards instead of striping hot regions onto
+// one worker.
+func shardOf(chunkKey uint64, shards int) int {
+	return int((chunkKey * 0x9E3779B97F4A7C15 >> 33) % uint64(shards))
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sigil/internal/core"
+	"sigil/internal/workloads"
+)
+
+// This file extends the evaluation with the sharded-classification scaling
+// study: how sigil-mode wall clock responds to moving classification off
+// the interpreter thread onto 1..N shard workers (core.Options
+// .ClassifyWorkers). The inline engine is the baseline every column is
+// normalized against.
+
+// ShardScaleWorkers is the default worker sweep of the scaling study.
+var ShardScaleWorkers = []int{1, 2, 4, 8}
+
+// ShardScaleNames is the default workload set of the scaling study: the
+// overhead-benchmark quartet spanning compute-bound (blackscholes, fft)
+// and memory-bound (canneal, dedup) behavior.
+var ShardScaleNames = []string{"blackscholes", "canneal", "dedup", "fft"}
+
+// ShardScaleRow is one workload's scaling curve. Walls[i] is the median
+// sharded wall clock at Workers[i]; Speedup(i) normalizes it against the
+// inline run.
+type ShardScaleRow struct {
+	Name    string
+	Inline  time.Duration   // classification on the interpreter thread
+	Walls   []time.Duration // per worker count, same order as Workers
+	Records uint64          // access records pipelined at the widest sweep
+	Stalls  uint64          // slab-handoff stalls at the widest sweep
+}
+
+// Speedup returns inline wall / sharded wall at worker column i.
+func (r ShardScaleRow) Speedup(i int) float64 {
+	if i >= len(r.Walls) || r.Walls[i] <= 0 {
+		return 0
+	}
+	return float64(r.Inline) / float64(r.Walls[i])
+}
+
+// ShardScaleResult is the scaling study across workloads.
+type ShardScaleResult struct {
+	Workers []int
+	Rows    []ShardScaleRow
+}
+
+// ShardScale measures each workload's sigil-mode wall clock inline and at
+// every worker count, reporting the median of TimingReps repetitions. Runs
+// are uncached and sequential: like Timing, wall-clock fidelity demands an
+// otherwise-idle process, so this never goes through the profile cache or
+// the prewarm pool.
+func (s *Suite) ShardScale(names []string, sweep []int) (*ShardScaleResult, error) {
+	if len(names) == 0 {
+		names = ShardScaleNames
+	}
+	if len(sweep) == 0 {
+		sweep = ShardScaleWorkers
+	}
+	reps := s.TimingReps
+	if reps <= 0 {
+		reps = 3
+	}
+	out := &ShardScaleResult{Workers: sweep}
+	for _, name := range names {
+		prog, input, err := workloads.Build(name, workloads.SimSmall)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", name, err)
+		}
+		row := ShardScaleRow{Name: name}
+		measure := func(workers int) (time.Duration, *core.Result, error) {
+			var best time.Duration
+			var last *core.Result
+			ds := make([]time.Duration, 0, reps)
+			for i := 0; i < reps; i++ {
+				start := time.Now()
+				res, err := core.RunContext(s.ctx(), prog,
+					core.Options{ClassifyWorkers: workers}, input)
+				if err != nil {
+					return 0, nil, fmt.Errorf("experiments: shard scale %s @%d: %w", name, workers, err)
+				}
+				ds = append(ds, time.Since(start))
+				last = res
+			}
+			for i := 1; i < len(ds); i++ {
+				for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+					ds[j], ds[j-1] = ds[j-1], ds[j]
+				}
+			}
+			best = ds[len(ds)/2]
+			return best, last, nil
+		}
+		if row.Inline, _, err = measure(0); err != nil {
+			return nil, err
+		}
+		for _, w := range sweep {
+			d, res, err := measure(w)
+			if err != nil {
+				return nil, err
+			}
+			row.Walls = append(row.Walls, d)
+			if res != nil && res.Telemetry != nil {
+				row.Records = res.Telemetry.ClassifyRecords
+				row.Stalls = res.Telemetry.ClassifyStalls
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the scaling study.
+func (r *ShardScaleResult) Render() string {
+	headers := []string{"workload", "inline"}
+	for _, w := range r.Workers {
+		headers = append(headers, fmt.Sprintf("%dw", w))
+	}
+	headers = append(headers, "records", "stalls")
+	tb := &table{
+		title:   "Extension: sharded classification scaling (sigil-mode wall vs inline, speedup in parens)",
+		headers: headers,
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Name, row.Inline.Round(time.Millisecond).String()}
+		for i := range r.Workers {
+			cells = append(cells, fmt.Sprintf("%s (%.2fx)",
+				row.Walls[i].Round(time.Millisecond), row.Speedup(i)))
+		}
+		cells = append(cells,
+			fmt.Sprintf("%d", row.Records), fmt.Sprintf("%d", row.Stalls))
+		tb.add(cells...)
+	}
+	return tb.String()
+}

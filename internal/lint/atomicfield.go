@@ -57,6 +57,20 @@ func guardedStruct(t types.Type) (string, bool) {
 	return guardedStructRec(t, map[types.Type]bool{})
 }
 
+// fieldHoldsAtomic reports whether a field of this type embeds atomic
+// state directly: an atomic itself or an array of them. Arrays are copied
+// element-wise, so an array of atomics forks exactly like a single one.
+func fieldHoldsAtomic(t types.Type) bool {
+	t = types.Unalias(t)
+	if isAtomicType(t) {
+		return true
+	}
+	if arr, ok := t.(*types.Array); ok {
+		return fieldHoldsAtomic(arr.Elem())
+	}
+	return false
+}
+
 func guardedStructRec(t types.Type, seen map[types.Type]bool) (string, bool) {
 	t = types.Unalias(t)
 	if seen[t] {
@@ -75,7 +89,7 @@ func guardedStructRec(t types.Type, seen map[types.Type]bool) (string, bool) {
 		}
 		for i := 0; i < st.NumFields(); i++ {
 			ft := st.Field(i).Type()
-			if isAtomicType(ft) {
+			if fieldHoldsAtomic(ft) {
 				return obj.Name(), true
 			}
 			if _, ok := guardedStructRec(ft, seen); ok {
@@ -86,7 +100,7 @@ func guardedStructRec(t types.Type, seen map[types.Type]bool) (string, bool) {
 		return guardedStructRec(u.Elem(), seen)
 	case *types.Struct:
 		for i := 0; i < u.NumFields(); i++ {
-			if isAtomicType(u.Field(i).Type()) {
+			if fieldHoldsAtomic(u.Field(i).Type()) {
 				return "struct", true
 			}
 			if name, ok := guardedStructRec(u.Field(i).Type(), seen); ok {
@@ -205,8 +219,18 @@ func checkAtomicCopies(pass *analysis.Pass, f *ast.File) {
 			}
 		case *ast.RangeStmt:
 			if st.Value != nil {
+				// A `:=`-defined range variable is recorded in Defs, an
+				// assigned one in Types; a copy happens either way.
+				var vt types.Type
 				if tv, ok := pass.TypesInfo.Types[st.Value]; ok {
-					if name, bad := guardedStruct(tv.Type); bad {
+					vt = tv.Type
+				} else if id, ok := st.Value.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						vt = obj.Type()
+					}
+				}
+				if vt != nil {
+					if name, bad := guardedStruct(vt); bad {
 						report(st.Value.Pos(), name, "range copies")
 					}
 				}

@@ -16,7 +16,7 @@ func TestPanicfree(t *testing.T) {
 
 func TestAtomicfield(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Atomicfield,
-		"atomicfield/internal/telemetry")
+		"atomicfield/internal/telemetry", "atomicfield/internal/core")
 }
 
 func TestSinkerr(t *testing.T) {

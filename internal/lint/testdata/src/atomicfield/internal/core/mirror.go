@@ -1,0 +1,56 @@
+// Package core mirrors the sharded classification engine's state blocks
+// for the atomicfield analyzer: per-shard mirror counters (arrays of
+// atomics) that workers publish and the telemetry sampler reads. The
+// array field must propagate the no-copy property to the structs that
+// embed it.
+package core
+
+import "sync/atomic"
+
+// shardMirror is a per-shard counter block: the worker stores, the
+// sampler loads, nobody locks.
+type shardMirror struct {
+	Counts [4]atomic.Uint64
+}
+
+// engine owns the mirrors; both the direct atomic field and the mirror
+// array make it a guarded struct.
+type engine struct {
+	Appended atomic.Uint64
+	Mirrors  [2]shardMirror
+}
+
+// Good drains through pointers and the atomic API only.
+func Good(e *engine) uint64 {
+	e.Appended.Add(1)
+	m := &e.Mirrors[0]
+	m.Counts[1].Store(7)
+	return m.Counts[1].Load()
+}
+
+// Bad reads an atomic field as a plain value and copies mirror blocks.
+func Bad(e *engine) uint64 {
+	v := e.Appended   // want `field engine.Appended has atomic type`
+	m := e.Mirrors[0] // want `assignment copies shardMirror by value`
+	snap := *e        // want `assignment copies engine by value`
+	return v.Load() + m.Counts[0].Load() + snap.Appended.Load()
+}
+
+// Sweep copies each mirror out of the array while summing.
+func Sweep(e *engine) uint64 {
+	var total uint64
+	for _, m := range e.Mirrors { // want `range copies shardMirror by value`
+		total += m.Counts[0].Load()
+	}
+	return total
+}
+
+// Merge takes a mirror block by value.
+func Merge(m shardMirror) uint64 { // want `parameter takes shardMirror by value`
+	return m.Counts[0].Load()
+}
+
+// Snapshot copies a mirror through a return value.
+func Snapshot(e *engine) shardMirror { // want `result returns shardMirror by value`
+	return e.Mirrors[1] // want `return copies shardMirror by value`
+}

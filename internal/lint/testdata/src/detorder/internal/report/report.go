@@ -46,3 +46,28 @@ func Aggregate(counts map[string]int) int {
 	}
 	return total
 }
+
+// FlaggedShardTable renders per-shard drain counters straight from map
+// order — the merged-counter table a sharded run reports.
+func FlaggedShardTable(drained map[int]uint64) string {
+	var sb strings.Builder
+	for shard, n := range drained { // want `map iteration order is randomized`
+		fmt.Fprintf(&sb, "shard %d drained %d\n", shard, n)
+	}
+	return sb.String()
+}
+
+// SortedShardTable is the clean pattern for the same table: merge into a
+// dense slice keyed by shard index, then render in index order.
+func SortedShardTable(drained map[int]uint64) string {
+	shards := make([]int, 0, len(drained))
+	for s := range drained {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	var sb strings.Builder
+	for _, s := range shards {
+		fmt.Fprintf(&sb, "shard %d drained %d\n", s, drained[s])
+	}
+	return sb.String()
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // Version-3 wire layout. After the 8-byte magic the stream is a sequence of
@@ -160,6 +161,33 @@ func newFrameEncoder(level int) *frameEncoder {
 		fw, _ = flate.NewWriter(io.Discard, flate.DefaultCompression)
 	}
 	return &frameEncoder{fw: fw, level: level}
+}
+
+// encoderPool recycles frame encoders across writer lifetimes. The flate
+// compressor behind one encoder holds several hundred KiB of window and
+// dictionary state, and short-lived writers (one per profiled run, one per
+// chaos iteration) otherwise re-allocate all of it per stream.
+var encoderPool sync.Pool
+
+// getFrameEncoder returns a pooled encoder for level, or a fresh one when
+// the pool is empty or holds an encoder built for a different level (flate
+// state cannot change level on Reset).
+func getFrameEncoder(level int) *frameEncoder {
+	if fe, ok := encoderPool.Get().(*frameEncoder); ok && fe != nil {
+		if fe.level == level {
+			return fe
+		}
+	}
+	return newFrameEncoder(level)
+}
+
+// putFrameEncoder returns an encoder to the pool. The scratch buffers keep
+// their high-water capacity — that is the point: the next stream's frames
+// encode with zero buffer growth.
+func putFrameEncoder(fe *frameEncoder) {
+	if fe != nil {
+		encoderPool.Put(fe)
+	}
 }
 
 // encode produces the frame for events: the header (marker + sizes + CRC)

@@ -162,15 +162,40 @@ func NewWriterOptions(w io.Writer, opts WriterOptions) *Writer {
 		free:        make(chan []Event, 3),
 		done:        make(chan struct{}),
 		w:           bufio.NewWriterSize(target, 1<<16),
-		enc:         newFrameEncoder(opts.Level),
+		enc:         getFrameEncoder(opts.Level),
 		rw:          rw,
 		trace:       opts.Trace,
 	}
-	wr.cur = make([]Event, 0, opts.FrameEvents)
-	wr.free <- make([]Event, 0, opts.FrameEvents)
-	wr.free <- make([]Event, 0, opts.FrameEvents)
+	wr.cur = getSlab(opts.FrameEvents)
+	wr.free <- getSlab(opts.FrameEvents)
+	wr.free <- getSlab(opts.FrameEvents)
 	go wr.encodeLoop()
 	return wr
+}
+
+// slabPool recycles event batch slabs across writer lifetimes; at the
+// default frame size each slab is ~300 KiB, and three circulate per writer.
+// Slabs are cleared before pooling so they do not pin event name strings.
+var slabPool sync.Pool
+
+// getSlab returns an empty slab with at least n capacity, recycling a
+// pooled one when it is big enough (a smaller pooled slab is discarded —
+// growing it would defeat the pool).
+func getSlab(n int) []Event {
+	if p, ok := slabPool.Get().(*[]Event); ok && cap(*p) >= n {
+		return (*p)[:0]
+	}
+	return make([]Event, 0, n)
+}
+
+func putSlab(s []Event) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	slabPool.Put(&s)
 }
 
 // Emit implements Sink. The event is buffered; encoding, compression and
@@ -272,7 +297,7 @@ func (w *Writer) handedOff() {
 		// All slabs in flight; a fresh one keeps Emit non-blocking.
 		// Excess slabs fall out of circulation at the encoder's
 		// non-blocking return to the bounded free list.
-		w.cur = make([]Event, 0, w.frameEvents)
+		w.cur = getSlab(w.frameEvents)
 	}
 }
 
@@ -316,7 +341,9 @@ func (w *Writer) encodeLoop() {
 		select {
 		case w.free <- batch[:0]:
 		default:
-			// Close drained the free list; drop the slab.
+			// The free list is full (an excess degraded-mode slab) or Close
+			// drained it; recycle the slab for the next writer.
+			putSlab(batch)
 		}
 	}
 }
@@ -427,6 +454,21 @@ func (w *Writer) Close() error {
 	close(w.work)
 	<-w.done
 	// The encoder has exited: its state (w.w, w.index, wroteMagic) is ours.
+	// Recycle the batch machinery before the error check so failed streams
+	// return their slabs and compressor state too.
+	putSlab(w.cur)
+	w.cur = nil
+	for {
+		select {
+		case s := <-w.free:
+			putSlab(s)
+			continue
+		default:
+		}
+		break
+	}
+	putFrameEncoder(w.enc)
+	w.enc = nil
 	if err := w.firstErr(); err != nil {
 		return err
 	}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// TestEmitV3SteadyStateAllocs pins the writer-lifetime pooling: after one
+// warm-up stream, encoding a whole stream through a fresh Writer must reuse
+// the pooled flate state and batch slabs instead of re-allocating megabytes
+// per run. The bound is allocation count, which is stable across
+// architectures; scripts/bench.sh gates bytes/op on top.
+func TestEmitV3SteadyStateAllocs(t *testing.T) {
+	events := genEvents(benchStreamEvents)
+	encode := func() {
+		w := NewWriter(io.Discard)
+		for _, e := range events {
+			if err := w.Emit(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encode() // warm the encoder and slab pools
+
+	// Steady state measures ~27 allocs (writer, channels, bufio buffer,
+	// per-frame footer entries); 120 leaves headroom for runtime noise
+	// while still failing hard if the compressor or the slabs fall out of
+	// the pool (hundreds of allocs, megabytes).
+	if n := testing.AllocsPerRun(5, encode); n > 120 {
+		t.Errorf("steady-state v3 stream encode did %.0f allocs, want pooled (< 120)", n)
+	}
+}
+
+// TestSlabPoolDoesNotLeakEvents guards the pool's clear-before-put: a slab
+// recycled from one stream must not surface the previous stream's events
+// (or pin their name strings) in the next.
+func TestSlabPoolDoesNotLeakEvents(t *testing.T) {
+	first := genEvents(defaultFrameEvents + 16) // two frames, slabs recycled
+	var a bytes.Buffer
+	w := NewWriter(&a)
+	for _, e := range first {
+		if err := w.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := genEvents(32)
+	var b bytes.Buffer
+	w = NewWriter(&b)
+	for _, e := range second {
+		if err := w.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadAll(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two leading KindDefCtx records decode into tr.Contexts.
+	if !reflect.DeepEqual(tr.Events, second[2:]) {
+		t.Fatalf("recycled-slab stream decoded %d events, want the %d emitted", len(tr.Events), len(second)-2)
+	}
+	if len(tr.Contexts) != 2 {
+		t.Fatalf("recycled-slab stream decoded %d contexts, want 2", len(tr.Contexts))
+	}
+}
+
+func TestGetSlabCapacity(t *testing.T) {
+	putSlab(make([]Event, 0, 8))
+	s := getSlab(1024)
+	if cap(s) < 1024 || len(s) != 0 {
+		t.Fatalf("getSlab(1024) = len %d cap %d", len(s), cap(s))
+	}
+}

@@ -7,10 +7,14 @@
 #
 # Usage:
 #   scripts/bench.sh [regexp]              run benches (default pattern below),
-#                                          write $OUT (default BENCH_4.json)
+#                                          write $OUT (default BENCH_5.json)
 #   scripts/bench.sh compare OLD NEW       diff two bench JSON files; exits 1
 #                                          if any shared benchmark regressed
-#                                          >10% in ns/op
+#                                          >10% in ns/op or >25% in bytes/op
+#                                          (allocation bloat regressions —
+#                                          e.g. scratch buffers falling out
+#                                          of a pool — fail the gate even
+#                                          when ns/op still passes)
 #
 # When the run covers the BenchmarkAblationTracing pair, the script also
 # gates the tracing overhead: the spans-enabled run must land within
@@ -22,7 +26,7 @@ if [ "${1:-}" = "compare" ]; then
     old="${2:?usage: bench.sh compare OLD.json NEW.json}"
     new="${3:?usage: bench.sh compare OLD.json NEW.json}"
     awk -v oldfile="$old" -v newfile="$new" '
-    function parse(file, arr,    line, name, ns) {
+    function parse(file, arr, barr,    line, name, ns, by) {
         while ((getline line < file) > 0) {
             if (match(line, /"[^"]+": \{"ns_per_op": [0-9.]+/)) {
                 split(line, parts, "\"")
@@ -30,13 +34,17 @@ if [ "${1:-}" = "compare" ]; then
                 match(line, /"ns_per_op": [0-9.]+/)
                 ns = substr(line, RSTART + 13, RLENGTH - 13)
                 arr[name] = ns + 0
+                if (match(line, /"bytes_per_op": [0-9.]+/)) {
+                    by = substr(line, RSTART + 16, RLENGTH - 16)
+                    barr[name] = by + 0
+                }
             }
         }
         close(file)
     }
     BEGIN {
-        parse(oldfile, oldns)
-        parse(newfile, newns)
+        parse(oldfile, oldns, oldby)
+        parse(newfile, newns, newby)
         shared = 0; regressed = 0
         printf "%-60s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta"
         for (name in newns) {
@@ -46,23 +54,34 @@ if [ "${1:-}" = "compare" ]; then
             flag = ""
             if (delta > 10) { flag = "  REGRESSION"; regressed++ }
             printf "%-60s %12.0f %12.0f %+7.1f%%%s\n", name, oldns[name], newns[name], delta, flag
+            # Allocation gate: bytes/op regressions past 25% (on benches
+            # big enough for the delta to mean something) fail even when
+            # ns/op holds — pooled buffers leaving the pool show up here
+            # long before they cost visible time.
+            if ((name in oldby) && (name in newby) && oldby[name] >= 1024) {
+                bdelta = (newby[name] - oldby[name]) / oldby[name] * 100
+                if (bdelta > 25) {
+                    printf "%-60s %12.0f %12.0f %+7.1f%%  ALLOC REGRESSION (bytes/op)\n", name, oldby[name], newby[name], bdelta
+                    regressed++
+                }
+            }
         }
         if (shared == 0) {
             print "no shared benchmarks between " oldfile " and " newfile
             exit 1
         }
         if (regressed > 0) {
-            print regressed " benchmark(s) regressed >10%"
+            print regressed " benchmark(s) regressed (>10% ns/op or >25% bytes/op)"
             exit 1
         }
-        print "no regressions >10% across " shared " shared benchmark(s)"
+        print "no regressions across " shared " shared benchmark(s) (ns/op and bytes/op)"
     }'
     exit $?
 fi
 
 PATTERN="${1:-Overhead|Ablation|MemRead|MemWrite|Shadow|TraceEmit|TraceDecode}"
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_4.json}"
+OUT="${OUT:-BENCH_5.json}"
 
 raw=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . ./internal/core ./internal/trace)
 echo "$raw"
