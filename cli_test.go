@@ -4,12 +4,14 @@ package sigil
 // profile → post-process pipeline through real files, the way a user would.
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -337,5 +339,88 @@ func TestCLIFaultTolerance(t *testing.T) {
 	out = runCmd(t, critBin, "-events", cut, "-salvage")
 	if !strings.Contains(out, "recovered") || !strings.Contains(out, "max parallelism") {
 		t.Errorf("salvage run malformed:\n%s", out)
+	}
+}
+
+// TestCLILint drives the sigil-lint binary: sorted analyzer listing,
+// unknown-name hardening, and the -vm static program verifier in both text
+// and JSON modes.
+func TestCLILint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	lintBin := buildCmd(t, dir, "sigil-lint")
+
+	// -list prints every analyzer, one per line, sorted by name.
+	out := runCmd(t, lintBin, "-list")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var names []string
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) < 2 {
+			t.Fatalf("-list line without a doc: %q", l)
+		}
+		names = append(names, fields[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list not sorted: %v", names)
+	}
+	for _, want := range []string{"shardown", "hotalloc", "goleak", "panicfree"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("-list missing %s:\n%s", want, out)
+		}
+	}
+
+	// Unknown analyzer names are a usage error: exit 2.
+	rawOut, err := exec.Command(lintBin, "-run", "bogus").CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("-run bogus: %v, want exit 2\n%s", err, rawOut)
+	}
+	if !strings.Contains(string(rawOut), `unknown analyzer "bogus"`) {
+		t.Errorf("-run bogus output:\n%s", rawOut)
+	}
+
+	// -vm: a malformed program yields typed diagnostics and exit 1; JSON
+	// mode carries the class/func/pc fields for CI annotation.
+	bad := filepath.Join(dir, "bad.sasm")
+	if err := os.WriteFile(bad, []byte("func main {\n movi r1, 16\n load8 r2, r1, 0\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rawOut, err = exec.Command(lintBin, "-vm", bad).CombinedOutput()
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("-vm bad.sasm: %v, want exit 1\n%s", err, rawOut)
+	}
+	for _, want := range []string{"vm-fall-off", "vm-memory", "main+1 (load)"} {
+		if !strings.Contains(string(rawOut), want) {
+			t.Errorf("-vm output missing %q:\n%s", want, rawOut)
+		}
+	}
+	jsonOut, err := exec.Command(lintBin, "-vm", "-json", bad).Output()
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("-vm -json: %v, want exit 1", err)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(jsonOut, &diags); err != nil {
+		t.Fatalf("-vm -json output is not JSON: %v\n%s", err, jsonOut)
+	}
+	if len(diags) == 0 || diags[0]["class"] == "" || diags[0]["func"] != "main" {
+		t.Errorf("-vm -json diagnostics malformed: %v", diags)
+	}
+
+	// A well-formed program is clean: exit 0, no output in text mode.
+	good := filepath.Join(dir, "good.sasm")
+	if err := os.WriteFile(good, []byte("func main {\n movi r1, 1\n halt\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out := runCmd(t, lintBin, "-vm", good); strings.TrimSpace(out) != "" {
+		t.Errorf("-vm on a clean program produced output:\n%s", out)
 	}
 }

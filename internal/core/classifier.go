@@ -115,6 +115,8 @@ const (
 // now. It splits the range into per-chunk spans and classifies each with
 // the run fast path; the retained scalar reference walks granule by
 // granule instead so the two can be diffed.
+//
+//sigil:hot
 func (c *classifier) readRange(f *segFrame, g0, g1, now uint64) {
 	if c.scalar {
 		for g := g0; g <= g1; g++ {
@@ -144,6 +146,8 @@ func (c *classifier) readRange(f *segFrame, g0, g1, now uint64) {
 // degrades to the scalar cost plus one comparison per granule; the cutover
 // stops paying even that: once cutoverShortRuns consecutive runs come in
 // under cutoverRunLen granules the span finishes granule-at-a-time.
+//
+//sigil:hot
 func (c *classifier) readSpan(f *segFrame, ch *shadowChunk, idx, n uint32, now, spanBase uint64) {
 	c.spans++
 	c.granules += uint64(n)
@@ -186,6 +190,8 @@ func (c *classifier) readSpan(f *segFrame, ch *shadowChunk, idx, n uint32, now, 
 // offset), and the same re-use updates (reuseRun's branches depend only on
 // per-granule state), so the two paths stay byte-identical — the
 // differential suite diffs them directly.
+//
+//sigil:hot
 func (c *classifier) readSpanTail(f *segFrame, ch *shadowChunk, idx, i, n uint32, now, spanBase uint64, call32 uint32) {
 	objs := ch.objs[idx : idx+n]
 	for k := i; k < n; k++ {
@@ -204,6 +210,8 @@ func (c *classifier) readSpanTail(f *segFrame, ch *shadowChunk, idx, i, n uint32
 // classifyRun applies the scalar readGranule classification once for a run
 // of `bytes` granules sharing the shadow state obj. It must mirror
 // readGranule exactly; the differential and fuzz tests enforce that.
+//
+//sigil:hot
 func (c *classifier) classifyRun(f *segFrame, obj shadowObj, bytes uint64) {
 	sameReader := obj.reader == f.enc
 	src := obj.writer
@@ -263,6 +271,8 @@ func (c *classifier) classifyRun(f *segFrame, obj shadowObj, bytes uint64) {
 // of the scalar path is uniform across a run (the run key includes reader
 // and readerCall), so it hoists here; the per-granule counters and
 // timestamps still update individually.
+//
+//sigil:hot
 func (c *classifier) reuseRun(f *segFrame, ros []reuseObj, st shadowObj, call32 uint32, now uint64) {
 	if c.lineMode {
 		// Line mode: global per-line access counting, no resets.
@@ -299,6 +309,8 @@ func (c *classifier) reuseRun(f *segFrame, ros []reuseObj, st shadowObj, call32 
 
 // writeRange records the producer of the granule range [g0,g1], one chunk
 // lookup per span.
+//
+//sigil:hot
 func (c *classifier) writeRange(enc uint32, call uint64, g0, g1, now uint64) {
 	if c.scalar {
 		for g := g0; g <= g1; g++ {
@@ -337,6 +349,8 @@ func (c *classifier) writeRange(enc uint32, call uint64, g0, g1, now uint64) {
 // markStartup stamps the granule range [g0,g1] as produced by program
 // startup: one chunk lookup per span, writer stamp only — startup marking
 // never touches the re-use extension, so this is not writeRange.
+//
+//sigil:hot
 func (c *classifier) markStartup(g0, g1 uint64) {
 	for g := g0; g <= g1; {
 		ch, idx := c.shadow.get(g)

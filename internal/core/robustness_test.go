@@ -12,13 +12,16 @@ import (
 )
 
 // spinner builds a program that loops forever (the cancellation target).
+// The loop is an always-taken conditional branch so the halt stays
+// statically reachable and vm.Verify accepts the program.
 func spinner() *vm.Program {
 	b := vm.NewBuilder()
 	main := b.Func("main")
 	main.Movi(vm.R1, 0)
 	top := main.Here()
 	main.Addi(vm.R1, vm.R1, 1)
-	main.Br(top)
+	main.Bge(vm.R1, vm.R2, top)
+	main.Halt()
 	return mustBuild(b)
 }
 

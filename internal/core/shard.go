@@ -56,25 +56,34 @@ type classifyEngine struct {
 // live. The non-mirror, non-channel fields are worker-owned once the worker
 // starts and interpreter-owned again after finish's Wait.
 type shardState struct {
-	id   int
+	id int
+	//sigil:owner interp
 	cur  *recSlab      // interpreter-owned append target
 	work chan *recSlab // published slabs, oldest first
 	free chan *recSlab // drained slabs ready for reuse
 	ack  chan []shardCommEntry
 
-	cls   classifier
+	//sigil:owner worker
+	cls classifier
+	//sigil:owner worker
 	frame segFrame
-	seg   map[commKey]segComm // per-segment comm accumulator (events mode)
+	//sigil:owner worker
+	seg map[commKey]segComm // per-segment comm accumulator (events mode)
 
 	trace *tracing.Buf // per-shard span track; nil without tracing
 
 	// Salvage accounting: idx is the cursor into the slab being drained
 	// (so a panic knows how many records it lost), classified and dropped
 	// partition every record this shard ever received.
-	idx        int
+	//
+	//sigil:owner worker
+	idx int
+	//sigil:owner worker
 	classified uint64
-	dropped    uint64
-	err        error
+	//sigil:owner worker
+	dropped uint64
+	//sigil:owner worker
+	err error
 
 	mirror shardMirror
 }
@@ -122,6 +131,7 @@ type shardCommEntry struct {
 	segComm
 }
 
+//sigil:goroutine interp
 func newClassifyEngine(t *Tool) *classifyEngine {
 	e := &classifyEngine{
 		shards: make([]*shardState, t.opts.ClassifyWorkers),
@@ -141,10 +151,12 @@ func newClassifyEngine(t *Tool) *classifyEngine {
 		for k := 0; k < shardSlabs-1; k++ {
 			s.free <- newRecSlab()
 		}
-		s.cls.init(t.opts, 0)
+		// Pre-start boundary: the worker goroutine does not exist yet, so
+		// initializing its state here cannot race.
+		s.cls.init(t.opts, 0) //sigil:lint-allow shardown pre-start init, worker not launched yet
 		if t.events != nil {
-			s.seg = make(map[commKey]segComm)
-			s.cls.onComm = s.captureComm
+			s.seg = make(map[commKey]segComm) //sigil:lint-allow shardown pre-start init, worker not launched yet
+			s.cls.onComm = s.captureComm      //sigil:lint-allow shardown pre-start init, worker not launched yet
 		}
 		if rec != nil {
 			// The buffer is created here but handed to the worker before
@@ -160,6 +172,9 @@ func newClassifyEngine(t *Tool) *classifyEngine {
 
 // recordAccess appends the access [g0,g1] as one record per chunk-sized
 // sub-range, each routed to the shard owning its chunk.
+//
+//sigil:goroutine interp
+//sigil:hot
 func (e *classifyEngine) recordAccess(op uint8, enc uint32, call uint64, g0, g1, now uint64) {
 	seq := e.seq
 	e.seq++
@@ -196,6 +211,8 @@ func (e *classifyEngine) recordAccess(op uint8, enc uint32, call uint64, g0, g1,
 // one from the free list. Either side can saturate when the worker is
 // behind; both count as a backpressure stall and note it in the flight
 // recorder before blocking.
+//
+//sigil:goroutine interp
 func (e *classifyEngine) publish(s *shardState, flush bool) {
 	slab := s.cur
 	slab.flush = flush
@@ -222,6 +239,8 @@ func (e *classifyEngine) publish(s *shardState, flush bool) {
 // order. When no read record was appended since the last barrier no worker
 // can hold segment communication, so the round-trip is skipped — leaf calls
 // that never touch memory stay cheap.
+//
+//sigil:goroutine interp
 func (e *classifyEngine) drainSegment(dst []commAcc) []commAcc {
 	if e.readsSinceBarrier == 0 {
 		return dst
@@ -266,6 +285,8 @@ func (e *classifyEngine) drainSegment(dst []commAcc) []commAcc {
 // call from the salvage path: workers never wedge (their panics are
 // recovered into dropped-record accounting), and a stray barrier ack left
 // by an interrupted closeSegment is consumed here.
+//
+//sigil:goroutine interp
 func (e *classifyEngine) finish(t *Tool) {
 	if e.merged {
 		return
@@ -282,10 +303,12 @@ func (e *classifyEngine) finish(t *Tool) {
 		case <-s.ack:
 		default:
 		}
-		if s.err != nil && e.err == nil {
+		// Post-Wait boundary: every worker has exited, so its state is
+		// interpreter-owned again for the merge.
+		if s.err != nil && e.err == nil { //sigil:lint-allow shardown post-Wait merge, workers joined above
 			e.err = fmt.Errorf("core: classification worker %d failed: %w", s.id, s.err)
 		}
-		t.classifier.mergeFrom(&s.cls)
+		t.classifier.mergeFrom(&s.cls) //sigil:lint-allow shardown post-Wait merge, workers joined above
 	}
 	e.merged = true
 }
@@ -317,6 +340,7 @@ func (t *Tool) shadowAllocated() uint64 {
 
 // --- worker side ---
 
+//sigil:goroutine worker
 func (e *classifyEngine) runWorker(s *shardState) {
 	defer e.wg.Done()
 	span := s.trace.Start("classify.worker", tracing.A("shard", s.id))
@@ -344,6 +368,8 @@ func (e *classifyEngine) runWorker(s *shardState) {
 // surfaced at finish — but the shard keeps consuming slabs and acking
 // barriers so the pipeline never deadlocks and the other shards' work
 // survives into the salvaged result.
+//
+//sigil:goroutine worker
 func (s *shardState) drainSlab(slab *recSlab) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -368,12 +394,15 @@ func (s *shardState) drainSlab(slab *recSlab) {
 	}
 }
 
+//sigil:goroutine worker
 func (s *shardState) fail(err error) {
 	if s.err == nil {
 		s.err = err
 	}
 }
 
+//sigil:goroutine worker
+//sigil:hot
 func (s *shardState) apply(rec *accessRec) {
 	c := &s.cls
 	g1 := rec.g0 + uint64(rec.n) - 1
@@ -397,6 +426,9 @@ func (s *shardState) apply(rec *accessRec) {
 // by producer pair, first-contribution position retained for the barrier's
 // deterministic ordering. Workers process records in per-shard interpreter
 // order, so the first insertion is this shard's minimum position.
+//
+//sigil:goroutine worker
+//sigil:hot
 func (s *shardState) captureComm(_ *segFrame, srcEnc uint32, srcCall, bytes uint64) {
 	k := commKey{enc: srcEnc, call: srcCall}
 	if acc, ok := s.seg[k]; ok {
@@ -407,6 +439,7 @@ func (s *shardState) captureComm(_ *segFrame, srcEnc uint32, srcCall, bytes uint
 	s.seg[k] = segComm{bytes: bytes, pos: s.cls.pos}
 }
 
+//sigil:goroutine worker
 func (s *shardState) takeSeg() []shardCommEntry {
 	if len(s.seg) == 0 {
 		return nil
@@ -422,6 +455,8 @@ func (s *shardState) takeSeg() []shardCommEntry {
 // syncMirror publishes the shard's progress to the atomic mirror after each
 // drained slab, so the interpreter-side sampler and budget check can watch
 // live without touching worker-owned state.
+//
+//sigil:goroutine worker
 func (s *shardState) syncMirror() {
 	c := &s.cls
 	m := &s.mirror

@@ -1,0 +1,243 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Def is one definition of a function-local variable. Site is the node
+// performing the definition; a nil Site is the variable's initial
+// definition — a parameter, a named result, the zero value of a var
+// declaration without initializer being tracked conservatively, or a
+// variable captured from an enclosing function.
+type Def struct {
+	Var  *types.Var
+	Site ast.Node
+}
+
+// Reaching holds the reaching-definitions solution for one graph: for
+// every block, the set of definitions live on entry. Build it with
+// ReachingDefs and query with DefsAt.
+type Reaching struct {
+	g    *Graph
+	info *types.Info
+
+	defs    []Def                // all definition sites, indexed by defSet bit
+	initial map[*types.Var]int   // var -> index of its nil-site initial def
+	byVar   map[*types.Var][]int // var -> indices of its real def sites
+	in      map[*Block]defSet
+}
+
+type defSet []uint64
+
+func newDefSet(n int) defSet    { return make(defSet, (n+63)/64) }
+func (s defSet) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+func (s defSet) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s defSet) clear(i int)    { s[i/64] &^= 1 << (i % 64) }
+func (s defSet) clone() defSet  { c := make(defSet, len(s)); copy(c, s); return c }
+func (s defSet) union(o defSet) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] | o[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ReachingDefs solves reaching definitions over the graph with a standard
+// gen/kill worklist. Every variable assigned anywhere in the graph is
+// tracked; variables only read (parameters, captures, package globals)
+// keep a single initial definition that nothing kills.
+func ReachingDefs(g *Graph, info *types.Info) *Reaching {
+	r := &Reaching{
+		g:       g,
+		info:    info,
+		initial: map[*types.Var]int{},
+		byVar:   map[*types.Var][]int{},
+		in:      map[*Block]defSet{},
+	}
+
+	// Pass 1: collect definition sites in a deterministic order.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			r.collectDefs(n)
+		}
+	}
+	// Every assigned variable also gets an initial definition, generated
+	// at entry, standing for its value before the first tracked write.
+	for _, d := range append([]Def(nil), r.defs...) {
+		if _, ok := r.initial[d.Var]; !ok {
+			idx := len(r.defs)
+			r.initial[d.Var] = idx
+			r.defs = append(r.defs, Def{Var: d.Var})
+			// Registered in byVar so any real definition kills it.
+			r.byVar[d.Var] = append(r.byVar[d.Var], idx)
+		}
+	}
+
+	n := len(r.defs)
+	gen := map[*Block]defSet{}
+	kill := map[*Block]defSet{}
+	for _, b := range g.Blocks {
+		gb, kb := newDefSet(n), newDefSet(n)
+		for _, node := range b.Nodes {
+			r.eachDef(node, func(idx int, d Def) {
+				// A later def in the block kills earlier ones of the
+				// same variable, including this block's own gens.
+				for _, other := range r.byVar[d.Var] {
+					gb.clear(other)
+					kb.set(other)
+				}
+				kb.clear(idx)
+				gb.set(idx)
+			})
+		}
+		gen[b], kill[b] = gb, kb
+		r.in[b] = newDefSet(n)
+	}
+	entryIn := r.in[g.Blocks[0]]
+	for _, idx := range r.initial {
+		entryIn.set(idx)
+	}
+
+	// Worklist fixpoint: in[b] = union over preds of out[p];
+	// out[b] = gen[b] ∪ (in[b] − kill[b]).
+	out := func(b *Block) defSet {
+		o := r.in[b].clone()
+		for i := range o {
+			o[i] = (o[i] &^ kill[b][i]) | gen[b][i]
+		}
+		return o
+	}
+	work := append([]*Block(nil), g.Blocks...)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		ob := out(b)
+		for _, s := range b.Succs {
+			if r.in[s].union(ob) {
+				work = append(work, s)
+			}
+		}
+	}
+	return r
+}
+
+// DefsAt returns the definitions of the identifier's variable that reach
+// the given use. The use's own enclosing top-level node is excluded (the
+// defs visible to `x` in `x = x + 1` are the ones before the statement).
+// An unknown identifier or one outside the graph returns nil.
+func (r *Reaching) DefsAt(id *ast.Ident) []Def {
+	obj, ok := r.info.Uses[id].(*types.Var)
+	if !ok {
+		if obj, ok = r.info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	b := r.g.BlockAt(id.Pos())
+	if b == nil {
+		return nil
+	}
+	live := r.in[b].clone()
+	for _, node := range b.Nodes {
+		if node.Pos() <= id.Pos() && id.Pos() <= node.End() {
+			break // the use's own node: stop before applying its defs
+		}
+		r.eachDef(node, func(idx int, d Def) {
+			for _, other := range r.byVar[d.Var] {
+				live.clear(other)
+			}
+			if init, ok := r.initial[d.Var]; ok {
+				live.clear(init)
+			}
+			live.set(idx)
+		})
+	}
+	var out []Def
+	for i, d := range r.defs {
+		if d.Var == obj && live.has(i) {
+			out = append(out, d)
+		}
+	}
+	if out == nil {
+		// Variable never assigned in this graph (parameter, capture,
+		// global): its sole definition is the initial one.
+		out = []Def{{Var: obj}}
+	}
+	return out
+}
+
+// collectDefs registers the definition sites in node, in source order.
+func (r *Reaching) collectDefs(node ast.Node) {
+	r.eachDef(node, func(idx int, d Def) {
+		if idx == len(r.defs) {
+			r.defs = append(r.defs, d)
+			r.byVar[d.Var] = append(r.byVar[d.Var], idx)
+		}
+	})
+}
+
+// eachDef calls fn for every definition site within node (not descending
+// into function literals). During collection the index passed is
+// len(r.defs) for new sites; afterwards it is the registered index.
+func (r *Reaching) eachDef(node ast.Node, fn func(idx int, d Def)) {
+	emit := func(id *ast.Ident, site ast.Node) {
+		var obj *types.Var
+		if o, ok := r.info.Defs[id].(*types.Var); ok {
+			obj = o
+		} else if o, ok := r.info.Uses[id].(*types.Var); ok {
+			obj = o
+		}
+		if obj == nil {
+			return
+		}
+		idx := r.indexOf(obj, site)
+		fn(idx, Def{Var: obj, Site: site})
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					emit(id, n)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				emit(id, n)
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				if name.Name != "_" {
+					emit(name, n)
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+				emit(id, n)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+				emit(id, n)
+			}
+			// Do not descend: the body belongs to other blocks. The
+			// operand carries no defs.
+			return false
+		}
+		return true
+	})
+}
+
+// indexOf finds the registered index for a (var, site) pair, or len(defs)
+// when it is new (collection pass).
+func (r *Reaching) indexOf(obj *types.Var, site ast.Node) int {
+	for _, idx := range r.byVar[obj] {
+		if r.defs[idx].Site == site {
+			return idx
+		}
+	}
+	return len(r.defs)
+}

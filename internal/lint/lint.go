@@ -33,6 +33,9 @@ var All = []*analysis.Analyzer{
 	Sinkerr,
 	Exposition,
 	Detorder,
+	Shardown,
+	Hotalloc,
+	Goleak,
 }
 
 // Finding is one resolved diagnostic: analyzer, file position, message.

@@ -35,6 +35,21 @@ func TestDetorder(t *testing.T) {
 		"detorder/internal/report", "detorder/other")
 }
 
+func TestShardown(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Shardown,
+		"shardown/internal/core", "shardown/other")
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Hotalloc,
+		"hotalloc/internal/core")
+}
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Goleak,
+		"goleak/internal/core", "goleak/nowait")
+}
+
 // TestSuiteCleanOnTree is the acceptance gate in test form: the shipped
 // tree must produce zero findings, so any regression in a guarded
 // invariant fails `go test` as well as scripts/check.sh.

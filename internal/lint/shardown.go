@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sigil/internal/lint/analysis"
+	"sigil/internal/lint/cfg"
+)
+
+// Shardown enforces the goroutine-ownership protocol of the sharded
+// classification engine (internal/core/shard.go, slab.go). Struct fields
+// annotated
+//
+//	//sigil:owner <role>
+//
+// may only be accessed from functions annotated
+//
+//	//sigil:goroutine <role>
+//
+// with the same role. The engine's protocol boundaries — initialization
+// before the worker starts, and the merge after wg.Wait — are exactly the
+// places a //sigil:lint-allow shardown directive documents. A closure
+// launched with `go` never inherits its enclosing function's role: if it
+// captures or touches owned state it is flagged, because that is precisely
+// how shard-private state leaks onto a foreign goroutine.
+var Shardown = &analysis.Analyzer{
+	Name: "shardown",
+	Doc: "owned struct fields (//sigil:owner role) may only be touched by functions " +
+		"running on that role's goroutine (//sigil:goroutine role); go-launched closures " +
+		"never inherit a role",
+	Run: runShardown,
+}
+
+// shardownScope limits the pass to the packages that define goroutine
+// ownership protocols.
+var shardownScope = []string{"internal/core"}
+
+func runShardown(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), shardownScope) {
+		return nil, nil
+	}
+
+	owners := fieldOwners(pass)
+	if len(owners) == 0 {
+		return nil, nil
+	}
+	roles := funcRoles(pass)
+	litRoles := funcLitRoles(pass)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkOwnership(pass, fd.Body, roles[fd], owners, litRoles, false)
+		}
+	}
+	return nil, nil
+}
+
+// checkOwnership walks a body running under `role`, reporting accesses to
+// owned fields whose owner differs. Function literals run on the same
+// goroutine (so they inherit the role) unless launched via `go`, where the
+// role is reset to the literal's own annotation, if any.
+func checkOwnership(pass *analysis.Pass, body ast.Node, role string, owners map[*types.Var]string, litRoles map[*ast.FuncLit]string, inGoLit bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				litRole := litRoles[lit]
+				checkOwnership(pass, lit.Body, litRole, owners, litRoles, litRole == "")
+				// Arguments evaluate on the launching goroutine.
+				for _, arg := range n.Call.Args {
+					checkOwnership(pass, arg, role, owners, litRoles, inGoLit)
+				}
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			// A literal not behind `go` executes on the current goroutine
+			// (calls, defers): inherit the role.
+			return true
+		case *ast.SelectorExpr:
+			v, ok := pass.TypesInfo.Uses[n.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			owner, owned := owners[v]
+			if !owned || owner == role {
+				return true
+			}
+			if inGoLit {
+				pass.Reportf(n.Sel.Pos(),
+					"go-launched closure touches %s-owned field %s; shard state must stay on its owner goroutine (annotate the closure //sigil:goroutine %s if it really runs that role)",
+					owner, n.Sel.Name, owner)
+			} else if role == "" {
+				pass.Reportf(n.Sel.Pos(),
+					"access to %s-owned field %s from unannotated function; annotate the function //sigil:goroutine %s or route through the engine's channel protocol",
+					owner, n.Sel.Name, owner)
+			} else {
+				pass.Reportf(n.Sel.Pos(),
+					"access to %s-owned field %s from a //sigil:goroutine %s function; only the %s goroutine may touch it outside the documented barrier/merge protocol",
+					owner, n.Sel.Name, role, owner)
+			}
+		}
+		return true
+	})
+}
+
+// fieldOwners collects //sigil:owner annotations from struct field docs and
+// trailing comments.
+func fieldOwners(pass *analysis.Pass) map[*types.Var]string {
+	owners := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				role := directiveRole(field.Doc, "sigil:owner")
+				if role == "" {
+					role = directiveRole(field.Comment, "sigil:owner")
+				}
+				if role == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						owners[v] = role
+					}
+				}
+			}
+			return true
+		})
+	}
+	return owners
+}
+
+// funcRoles collects //sigil:goroutine annotations from function docs.
+func funcRoles(pass *analysis.Pass) map[*ast.FuncDecl]string {
+	roles := map[*ast.FuncDecl]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if role := directiveRole(fd.Doc, "sigil:goroutine"); role != "" {
+					roles[fd] = role
+				}
+			}
+		}
+	}
+	return roles
+}
+
+// funcLitRoles maps go-launched function literals to roles declared by a
+// //sigil:goroutine comment on the launch line or the line above it.
+func funcLitRoles(pass *analysis.Pass) map[*ast.FuncLit]string {
+	lineRole := map[int]string{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "sigil:goroutine") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "sigil:goroutine"))
+				if len(fields) == 0 {
+					continue
+				}
+				line := pass.Fset.Position(c.Pos()).Line
+				lineRole[line] = fields[0]
+				lineRole[line+1] = fields[0]
+			}
+		}
+	}
+	roles := map[*ast.FuncLit]string{}
+	if len(lineRole) == 0 {
+		return roles
+	}
+	for _, f := range pass.Files {
+		for _, l := range cfg.Launches(f, pass.TypesInfo) {
+			if l.Lit == nil {
+				continue
+			}
+			if role, ok := lineRole[pass.Fset.Position(l.Stmt.Pos()).Line]; ok {
+				roles[l.Lit] = role
+			}
+		}
+	}
+	return roles
+}
+
+// directiveRole extracts the role argument of a //sigil:<directive> comment
+// within the group, or "".
+func directiveRole(cg *ast.CommentGroup, directive string) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, directive) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, directive))
+		if len(fields) > 0 {
+			return fields[0]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,127 @@
+// Package core exercises the goleak analyzer: every go statement needs a
+// statically visible join or cancel.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func fireAndForget() {
+	go fmt.Println("lost") // want `goroutine body is not visible in this package`
+	go loop()              // want `goroutine has no reachable join or cancel`
+}
+
+func loop() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}
+
+// joined is the canonical WaitGroup pairing: Done in the body, Wait
+// reachable from the launch.
+func joined(work chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for w := range work {
+			_ = w
+		}
+	}()
+	wg.Wait()
+}
+
+// waitNotReachable has a Wait, but on a path the launch can never reach:
+// the pairing is textual, not real.
+func waitNotReachable(n int) {
+	var wg sync.WaitGroup
+	if n > 0 {
+		wg.Wait()
+		return
+	}
+	wg.Add(1)
+	go func() { // want `Wait is not reachable from this launch`
+		defer wg.Done()
+	}()
+}
+
+// drainer is bounded by the producer closing the channel.
+func drainer(work chan []byte) {
+	go func() {
+		for buf := range work {
+			_ = buf
+		}
+	}()
+}
+
+// spawnWorker launches a named same-package function whose body drains a
+// channel: resolved through the package's declarations.
+func spawnWorker(work chan int) {
+	go consume(work)
+}
+
+func consume(work chan int) {
+	for range work {
+	}
+}
+
+// stoppable watches a stop channel.
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// ctxBounded is cancelled through its context.
+func ctxBounded(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// handoff joins by reading the goroutine's result channel.
+func handoff() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// neverRead sends on a channel nobody reads: the send blocks forever.
+func neverRead() {
+	ch := make(chan int)
+	go func() { // want `sends on a channel the launching function never reads`
+		ch <- 1
+	}()
+}
+
+// readNotReachable reads the result channel only on a path the launch
+// cannot reach.
+func readNotReachable(n int) {
+	ch := make(chan int)
+	if n > 0 {
+		<-ch
+		return
+	}
+	go func() { // want `no read of that channel is reachable from the launch site`
+		ch <- 1
+	}()
+}
+
+// server's boundedness is real but invisible (the loop exits when the
+// listener closes), so the launch documents itself.
+func server() {
+	//sigil:lint-allow goleak serve loop exits when the listener closes
+	go serveLoop()
+}
+
+func serveLoop() {}

@@ -1,0 +1,13 @@
+// Package nowait isolates the Done-without-Wait diagnostic: the package
+// contains no WaitGroup Wait at all, so a Done-pairing goroutine has
+// nothing to pair with.
+package nowait
+
+import "sync"
+
+func orphanDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `Done but no WaitGroup Wait exists in this package`
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,74 @@
+// Package core exercises the hotalloc analyzer: functions marked
+// //sigil:hot must not box into interfaces, call fmt, range over maps,
+// append to function-local slices, or create closures.
+package core
+
+import "fmt"
+
+type sink interface{ put(v any) }
+
+type classifier struct {
+	counts map[int]int
+	buf    []byte
+	out    sink
+}
+
+// record is the per-access hot path: one call per classified access.
+//
+//sigil:hot
+func (c *classifier) record(addr int) {
+	c.buf = append(c.buf, byte(addr)) // field append: pooled-slab pattern, allowed
+
+	local := make([]byte, 0, 8)
+	local = append(local, byte(addr)) // want `append to function-local slice local allocates per call`
+	_ = local
+
+	for k := range c.counts { // want `map iteration allocates its iterator`
+		_ = k
+	}
+
+	msg := fmt.Sprintf("addr=%d", addr) // want `fmt.Sprintf allocates on the //sigil:hot path`
+	_ = msg
+
+	c.out.put(addr) // want `argument boxes int into an interface`
+
+	var v any
+	v = addr // want `assignment boxes int into an interface`
+	_ = v
+
+	f := func() {} // want `closure allocates on the //sigil:hot path`
+	f()
+}
+
+// fill appends into a caller-provided buffer: the caller owns the growth.
+//
+//sigil:hot
+func fill(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// forward passes an already-boxed value through: no new allocation.
+//
+//sigil:hot
+func (c *classifier) forward(v any) {
+	c.out.put(v)
+}
+
+// fail is an error path that leaves the hot loop anyway; the boxing there
+// is documented and suppressed.
+//
+//sigil:hot
+func (c *classifier) fail(err error) {
+	//sigil:lint-allow hotalloc error path: the run is already aborting
+	c.out.put(err.Error())
+}
+
+// report is cold: the same patterns are fine off the hot path.
+func (c *classifier) report() string {
+	parts := []string{}
+	for k, v := range c.counts {
+		parts = append(parts, fmt.Sprintf("%d=%d", k, v))
+	}
+	_ = parts
+	return fmt.Sprint(len(c.counts))
+}

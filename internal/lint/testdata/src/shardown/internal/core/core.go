@@ -1,0 +1,70 @@
+// Package core mirrors the sharded classification engine for the shardown
+// analyzer: fields annotated //sigil:owner <role> may only be touched by
+// functions annotated //sigil:goroutine <role>, and a closure launched with
+// `go` never inherits its enclosing function's role.
+package core
+
+import "sync"
+
+type shard struct {
+	//sigil:owner worker
+	frame []byte
+	//sigil:owner worker
+	classified uint64
+	//sigil:owner interp
+	cur int
+
+	work chan []byte // unannotated: part of the channel protocol, any role
+	wg   sync.WaitGroup
+}
+
+// runWorker is the owning goroutine: worker-owned fields are fair game.
+//
+//sigil:goroutine worker
+func (s *shard) runWorker() {
+	for buf := range s.work {
+		s.frame = buf
+		s.classified++
+	}
+}
+
+// advance runs on the interpreter goroutine and owns cur, but must not
+// touch the worker's state directly.
+//
+//sigil:goroutine interp
+func (s *shard) advance() {
+	s.cur++
+	s.classified++ // want `access to worker-owned field classified from a //sigil:goroutine interp function`
+}
+
+// reset carries no role annotation: default-deny applies.
+func (s *shard) reset() {
+	s.frame = nil // want `access to worker-owned field frame from unannotated function`
+}
+
+// spill launches a closure with go: the closure runs on a fresh goroutine
+// and never inherits spill's worker role.
+//
+//sigil:goroutine worker
+func (s *shard) spill() {
+	go func() {
+		s.frame = nil // want `go-launched closure touches worker-owned field frame`
+	}()
+}
+
+// start shows the two sanctioned escapes: annotating the launch itself with
+// the role its closure runs, and documenting a protocol boundary where the
+// owner goroutine is provably quiescent.
+//
+//sigil:goroutine interp
+func (s *shard) start() {
+	//sigil:goroutine worker
+	go func() {
+		s.frame = s.frame[:0]
+	}()
+
+	s.wg.Wait()
+	//sigil:lint-allow shardown post-Wait merge: the worker goroutine has exited
+	total := s.classified
+	_ = total
+}

@@ -1,0 +1,13 @@
+// Package other is outside the shardown scope (internal/core): the same
+// annotations produce no findings here, keeping the analyzer from policing
+// packages that don't define goroutine-ownership protocols.
+package other
+
+type state struct {
+	//sigil:owner worker
+	buf []byte
+}
+
+func touch(s *state) {
+	s.buf = nil // out of scope: no finding
+}

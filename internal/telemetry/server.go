@@ -90,6 +90,7 @@ func Serve(addr string, m *Metrics, extra ...Endpoint) (*Server, error) {
 	}
 
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	//sigil:lint-allow goleak Serve returns when Close shuts the listener
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

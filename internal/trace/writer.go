@@ -202,6 +202,8 @@ func putSlab(s []Event) {
 // the write happen on the background encoder. Errors from earlier frames
 // surface here (and on Close) — profiling continues, later events are
 // dropped by the caller's error handling as with any failing sink.
+//
+//sigil:hot
 func (w *Writer) Emit(e Event) error {
 	if w.closed {
 		return errors.New("trace: emit after Close")

@@ -162,14 +162,14 @@ func TestAssembleForwardLabels(t *testing.T) {
 	m := assembleRun(t, `
 func main {
     movi r1, 1
-    br   skip
+    beq  r1, r1, skip
     movi r2, 99
 skip:
     halt
 }
 `, nil)
 	if m.Regs[R2] != 0 {
-		t.Errorf("forward br: R2=%d", m.Regs[R2])
+		t.Errorf("forward branch: R2=%d", m.Regs[R2])
 	}
 }
 

@@ -9,11 +9,12 @@ import (
 // emit virtual-ISA functions with forward-referenced labels and calls;
 // Build resolves everything and validates the result.
 type Builder struct {
-	funcs []*FuncBuilder
-	segs  []Segment
-	entry string
-	next  uint64 // next free global address
-	errs  []error
+	funcs    []*FuncBuilder
+	segs     []Segment
+	reserved []Region
+	entry    string
+	next     uint64 // next free global address
+	errs     []error
 }
 
 // NewBuilder returns an empty Builder. The entry point defaults to "main".
@@ -35,11 +36,12 @@ func (b *Builder) Data(name string, data []byte) uint64 {
 }
 
 // Reserve returns the address of an uninitialized (zero) global region of the
-// given size. The machine's memory is zero on first touch, so no segment is
-// recorded; the space is simply skipped over.
+// given size. The machine's memory is zero on first touch, so no segment
+// data is installed; the region is recorded on the program so the static
+// verifier knows the range is declared.
 func (b *Builder) Reserve(name string, size uint64) uint64 {
-	_ = name
 	addr := b.next
+	b.reserved = append(b.reserved, Region{Name: name, Addr: addr, Size: size})
 	b.next = align(addr+size, 64)
 	return addr
 }
@@ -65,7 +67,7 @@ func (b *Builder) Build() (*Program, error) {
 	if len(b.errs) > 0 {
 		return nil, b.errs[0]
 	}
-	p := &Program{Segments: b.segs}
+	p := &Program{Segments: b.segs, Reserved: b.reserved}
 	index := make(map[string]int, len(b.funcs))
 	for i, fb := range b.funcs {
 		index[fb.name] = i
@@ -96,6 +98,9 @@ func (b *Builder) Build() (*Program, error) {
 	p.Entry = entry
 	p.buildIndex()
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Verify(); err != nil {
 		return nil, err
 	}
 	return p, nil

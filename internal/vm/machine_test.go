@@ -386,8 +386,11 @@ func TestDivideByZeroFaults(t *testing.T) {
 func TestInstrBudgetFaults(t *testing.T) {
 	b := NewBuilder()
 	f := b.Func("main")
+	// An always-taken conditional branch: spins forever at run time but
+	// keeps a statically reachable halt, so Verify accepts the program.
 	top := f.Here()
-	f.Br(top)
+	f.Beq(R1, R1, top)
+	f.Halt()
 	p := mustBuild(b)
 	m := NewMachine()
 	m.MaxInstrs = 1000

@@ -35,11 +35,22 @@ const (
 	StackBase uint64 = 0x7000_0000
 )
 
+// Region is a named range of uninitialized (zero-on-touch) global memory
+// declared via Builder.Reserve or the assembler's .reserve directive. The
+// machine needs no segment for it, but the static verifier uses the record
+// to decide which constant addresses a program may legally touch.
+type Region struct {
+	Name string
+	Addr uint64
+	Size uint64
+}
+
 // Program is an executable image: functions, initialized data segments and
 // an entry point.
 type Program struct {
 	Funcs    []*Function
 	Segments []Segment
+	Reserved []Region
 	Entry    int // index into Funcs
 
 	index map[string]int

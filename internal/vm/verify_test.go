@@ -1,0 +1,231 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// oneFunc wraps a code sequence as a runnable single-function program.
+func oneFunc(code ...Instr) *Program {
+	p := &Program{Funcs: []*Function{{Name: "main", Code: code}}}
+	p.buildIndex()
+	return p
+}
+
+// firstDiag asserts Verify fails and returns the first diagnostic.
+func firstDiag(t *testing.T, p *Program) Diag {
+	t.Helper()
+	err := p.Verify()
+	if err == nil {
+		t.Fatal("Verify accepted a malformed program")
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Verify error is %T, want *VerifyError", err)
+	}
+	if len(ve.Diags) == 0 {
+		t.Fatal("VerifyError carries no diagnostics")
+	}
+	return ve.Diags[0]
+}
+
+func TestVerifyBranchTargetOutOfRange(t *testing.T) {
+	d := firstDiag(t, oneFunc(
+		Instr{Op: OpBr, Target: 99},
+	))
+	if d.Class != DiagTarget {
+		t.Fatalf("class = %v, want %v", d.Class, DiagTarget)
+	}
+	if d.PC != 0 || d.Func != "main" {
+		t.Errorf("diag location = %s+%d", d.Func, d.PC)
+	}
+}
+
+func TestVerifyCallTargetOutOfRange(t *testing.T) {
+	d := firstDiag(t, oneFunc(
+		Instr{Op: OpCall, Target: 7},
+		Instr{Op: OpHalt},
+	))
+	if d.Class != DiagTarget {
+		t.Fatalf("class = %v, want %v", d.Class, DiagTarget)
+	}
+}
+
+func TestVerifyFallOff(t *testing.T) {
+	d := firstDiag(t, oneFunc(
+		Instr{Op: OpMovi, Rd: R1, Imm: 1},
+	))
+	if d.Class != DiagFallOff {
+		t.Fatalf("class = %v, want %v", d.Class, DiagFallOff)
+	}
+}
+
+func TestVerifyUnreachable(t *testing.T) {
+	d := firstDiag(t, oneFunc(
+		Instr{Op: OpHalt},
+		Instr{Op: OpMovi, Rd: R1, Imm: 1},
+	))
+	if d.Class != DiagUnreachable {
+		t.Fatalf("class = %v, want %v", d.Class, DiagUnreachable)
+	}
+	if d.PC != 1 {
+		t.Errorf("diag pc = %d, want 1", d.PC)
+	}
+}
+
+func TestVerifyNoReturn(t *testing.T) {
+	d := firstDiag(t, oneFunc(
+		Instr{Op: OpBr, Target: 0},
+	))
+	if d.Class != DiagNoReturn {
+		t.Fatalf("class = %v, want %v", d.Class, DiagNoReturn)
+	}
+	if d.PC != -1 {
+		t.Errorf("whole-function diag pc = %d, want -1", d.PC)
+	}
+}
+
+func TestVerifyMemoryConstantOutsideRegions(t *testing.T) {
+	// movi r1, 0x10; store8 [r1+0] <- r2 — address 16 is below every
+	// declared region, provably wild.
+	d := firstDiag(t, oneFunc(
+		Instr{Op: OpMovi, Rd: R1, Imm: 0x10},
+		Instr{Op: OpStore, Ra: R1, Rb: R2, Imm: 0, Size: 8},
+		Instr{Op: OpHalt},
+	))
+	if d.Class != DiagMemory {
+		t.Fatalf("class = %v, want %v", d.Class, DiagMemory)
+	}
+	if d.PC != 1 || d.Op != OpStore {
+		t.Errorf("diag at %s+%d (%s)", d.Func, d.PC, d.Op)
+	}
+}
+
+func TestVerifyMemoryEntryRegistersStartZero(t *testing.T) {
+	// The machine zeroes the register file, so in the entry function an
+	// untouched base register is a constant 0 — a load through it is wild.
+	d := firstDiag(t, oneFunc(
+		Instr{Op: OpLoad, Rd: R2, Ra: R5, Imm: 0, Size: 8},
+		Instr{Op: OpHalt},
+	))
+	if d.Class != DiagMemory {
+		t.Fatalf("class = %v, want %v", d.Class, DiagMemory)
+	}
+}
+
+func TestVerifyMemoryUnknownAddressNotFlagged(t *testing.T) {
+	// Non-entry functions inherit the caller's registers, so the same
+	// load through an untouched register is unknowable and passes.
+	p := &Program{
+		Funcs: []*Function{
+			{Name: "main", Code: []Instr{
+				{Op: OpMovi, Rd: R1, Imm: int64(HeapBase)},
+				{Op: OpCall, Target: 1},
+				{Op: OpHalt},
+			}},
+			{Name: "helper", Code: []Instr{
+				{Op: OpLoad, Rd: R2, Ra: R1, Imm: 0, Size: 8},
+				{Op: OpRet},
+			}},
+		},
+	}
+	p.buildIndex()
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify flagged an unknowable address: %v", err)
+	}
+}
+
+func TestVerifyAcceptsDeclaredRegions(t *testing.T) {
+	b := NewBuilder()
+	data := b.Data("tbl", []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	buf := b.Reserve("buf", 128)
+	f := b.Func("main")
+	f.MoviU(R1, data)
+	f.Load(R2, R1, 0, 8)
+	f.MoviU(R3, buf)
+	f.Store(R3, 120, R2, 8)
+	f.MoviU(R4, HeapBase)
+	f.Store(R4, 64, R2, 8)
+	f.MoviU(R5, StackBase)
+	f.Store(R5, 0, R2, 8)
+	f.Halt()
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("Build rejected accesses to declared regions: %v", err)
+	}
+}
+
+func TestVerifyMemoryJoinOverPaths(t *testing.T) {
+	// r1 is 0x10 on one path and HeapBase on the other; at the join the
+	// address is unknown and must not be flagged.
+	hb := int64(HeapBase)
+	p := oneFunc(
+		Instr{Op: OpBeq, Ra: R2, Rb: R3, Target: 3}, // 0: branch
+		Instr{Op: OpMovi, Rd: R1, Imm: 0x10},        // 1
+		Instr{Op: OpBr, Target: 4},                  // 2
+		Instr{Op: OpMovi, Rd: R1, Imm: hb},          // 3
+		Instr{Op: OpLoad, Rd: R4, Ra: R1, Size: 8},  // 4: join
+		Instr{Op: OpHalt},                           // 5
+	)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify flagged a join-of-constants address: %v", err)
+	}
+}
+
+func TestVerifyBuildReturnsTypedError(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.Movi(R1, 0)
+	f.Load(R2, R1, 0, 8) // load from address 0
+	f.Halt()
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("Build accepted a program with a wild constant address")
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Build error is %T (%v), want *VerifyError", err, err)
+	}
+	if ve.Diags[0].Class != DiagMemory {
+		t.Errorf("class = %v, want %v", ve.Diags[0].Class, DiagMemory)
+	}
+}
+
+func TestVerifyDiagRendering(t *testing.T) {
+	err := oneFunc(Instr{Op: OpBr, Target: 42}).Verify()
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *VerifyError, got %T", err)
+	}
+	s := ve.Error()
+	if !strings.Contains(s, "vm: verify: target: main+0 (br)") {
+		t.Errorf("Error() = %q", s)
+	}
+	r := ve.Render()
+	if !strings.HasSuffix(strings.TrimSpace(r), "out of range [0,1)") {
+		t.Errorf("Render() = %q", r)
+	}
+	if DiagSpawn.String() != "spawn" {
+		t.Errorf("DiagSpawn.String() = %q", DiagSpawn.String())
+	}
+}
+
+func TestVerifyCallPreservesRegistersExceptR0(t *testing.T) {
+	// r1 holds a segment address across a call (the machine restores the
+	// full file, so r1 is still known); r0 is clobbered by the return
+	// value and a load through it must not be assumed constant.
+	b := NewBuilder()
+	data := b.Data("d", make([]byte, 64))
+	f := b.Func("main")
+	f.MoviU(R1, data)
+	f.Call("sub")
+	f.Load(R2, R1, 0, 8) // r1 survived the call: fine
+	f.Load(R3, R0, 0, 8) // r0 unknown after call: not flagged
+	f.Halt()
+	s := b.Func("sub")
+	s.Movi(R0, 0)
+	s.Ret()
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}

@@ -117,11 +117,21 @@ func Fig13Names() []string {
 }
 
 // Build is a convenience wrapper: build the named workload at the given
-// class.
+// class. Every program is statically verified before it is handed to a
+// runner — specs built through vm.Builder already verified in Build, but
+// the explicit check here keeps the guarantee even for a spec that
+// assembles its Program by hand.
 func Build(name string, c Class) (*vm.Program, []byte, error) {
 	s, ok := Get(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("workloads: unknown workload %q", name)
 	}
-	return s.Build(c)
+	p, input, err := s.Build(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.Verify(); err != nil {
+		return nil, nil, fmt.Errorf("workloads: %s: %w", name, err)
+	}
+	return p, input, nil
 }

@@ -381,3 +381,20 @@ func TestLibcFunctions(t *testing.T) {
 		}
 	})
 }
+
+// TestAllWorkloadsVerify asserts every registry workload passes the static
+// program verifier at every input class — the acceptance bar for shipping
+// vm.Verify inside vm.Build.
+func TestAllWorkloadsVerify(t *testing.T) {
+	for _, spec := range All() {
+		for _, c := range []Class{SimSmall, SimMedium, SimLarge} {
+			p, _, err := spec.Build(c)
+			if err != nil {
+				t.Fatalf("build %s/%s: %v", spec.Name, c, err)
+			}
+			if err := p.Verify(); err != nil {
+				t.Errorf("verify %s/%s: %v", spec.Name, c, err)
+			}
+		}
+	}
+}

@@ -107,6 +107,21 @@ END { print "\n}" }
 
 echo "wrote $OUT"
 
+# Lint-runtime budget: the full-tree analyzer suite (CFG construction,
+# reaching definitions and all) must stay fast enough to sit in the
+# pre-commit loop. Budget in seconds, wall clock, including the driver
+# build.
+LINT_BUDGET_S="${LINT_BUDGET_S:-30}"
+lint_start=$(date +%s)
+go run ./cmd/sigil-lint ./... > /dev/null
+lint_end=$(date +%s)
+lint_elapsed=$((lint_end - lint_start))
+echo "lint runtime: ${lint_elapsed}s (budget ${LINT_BUDGET_S}s)"
+if [ "$lint_elapsed" -gt "$LINT_BUDGET_S" ]; then
+    echo "LINT RUNTIME BUDGET EXCEEDED"
+    exit 1
+fi
+
 # Tracing-overhead gate: when this run measured the AblationTracing pair,
 # require the spans-enabled ablation within TRACING_GATE_PCT of disabled.
 TRACING_GATE_PCT="${TRACING_GATE_PCT:-3}"

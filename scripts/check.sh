@@ -22,8 +22,14 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== sigil-lint"
+echo "== sigil-lint (8 analyzers incl. shardown/hotalloc/goleak)"
 go run ./cmd/sigil-lint ./...
+
+echo "== sigil-lint -vm (static program verifier over checked-in assembly)"
+go run ./cmd/sigil-lint -vm examples/asm/*.sasm
+
+echo "== vm verify (every registry workload at every class)"
+go test -count=1 -run 'TestAllWorkloadsVerify' ./internal/workloads
 
 echo "== go test -race"
 go test -race ./...
